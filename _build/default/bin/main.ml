@@ -1,0 +1,270 @@
+(* conferr — command-line front end.
+
+   Subcommands mirror the paper's evaluation: typo campaigns (table1),
+   structural variations (table2), semantic DNS errors (table3), the
+   MySQL/Postgres comparison (figure3), plus generic profile runs against
+   any simulated SUT. *)
+
+open Cmdliner
+
+let all_suts =
+  [
+    Suts.Mini_mysql.sut;
+    Suts.Mini_pg.sut;
+    Suts.Mini_apache.sut;
+    Suts.Mini_bind.sut;
+    Suts.Mini_djbdns.sut;
+    Suts.Mini_appserver.sut;
+  ]
+
+let find_sut name =
+  List.find_opt (fun s -> s.Suts.Sut.sut_name = name) all_suts
+
+let sut_conv =
+  let parse s =
+    match find_sut s with
+    | Some sut -> Ok sut
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown SUT %S (expected one of: %s)" s
+              (String.concat ", "
+                 (List.map (fun s -> s.Suts.Sut.sut_name) all_suts))))
+  in
+  let print fmt s = Format.pp_print_string fmt s.Suts.Sut.sut_name in
+  Arg.conv (parse, print)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log each injection as it runs.")
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let entries_arg =
+  Arg.(
+    value & flag
+    & info [ "entries" ] ~doc:"Also print the per-injection entries of the profile.")
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-10s %s (files: %s)\n" s.Suts.Sut.sut_name s.Suts.Sut.version
+          (String.concat ", " (List.map fst s.Suts.Sut.config_files)))
+      all_suts
+  in
+  Cmd.v (Cmd.info "list-suts" ~doc:"List the simulated systems under test.")
+    Term.(const run $ const ())
+
+let profile_cmd =
+  let run sut seed entries csv by_level verbose =
+    setup_logging verbose;
+    let rng = Conferr_util.Rng.create seed in
+    match Conferr.Engine.parse_default_config sut with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok base ->
+      let scenarios =
+        Conferr.Campaign.typo_scenarios ~rng
+          ~faultload:Conferr.Campaign.paper_faultload sut base
+      in
+      let profile = Conferr.Engine.run_from ~sut ~base ~scenarios in
+      if csv then print_string (Conferr.Profile.to_csv profile)
+      else begin
+        print_string (Conferr.Profile.render profile);
+        if by_level then begin
+          print_newline ();
+          print_string (Conferr.Profile.render_by_cognitive_level profile)
+        end;
+        if entries then print_string (Conferr.Profile.render_entries profile)
+      end
+  in
+  let sut =
+    Arg.(
+      required
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT" ~doc:"System under test.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the raw profile as CSV.")
+  in
+  let by_level =
+    Arg.(
+      value & flag
+      & info [ "by-level" ] ~doc:"Also summarize outcomes by GEMS cognitive level.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run the typo faultload against one SUT and print its resilience profile.")
+    Term.(const run $ sut $ seed_arg $ entries_arg $ csv $ by_level $ verbose_arg)
+
+let benchmark_cmd =
+  let run seed experiments =
+    print_string
+      (Conferr.Paper.render_process_benchmark
+         (Conferr.Paper.process_benchmark ~seed ~experiments ()))
+  in
+  let experiments =
+    Arg.(
+      value & opt int 20
+      & info [ "experiments" ] ~docv:"N" ~doc:"Typos injected per task.")
+  in
+  Cmd.v
+    (Cmd.info "benchmark"
+       ~doc:
+         "Run the configuration-process benchmark: valid edits followed by typos \
+          injected near them (paper section 5.5).")
+    Term.(const run $ seed_arg $ experiments)
+
+let table_cmd name doc render =
+  let run seed = print_string (render seed) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ seed_arg)
+
+let table1_cmd =
+  table_cmd "table1" "Regenerate Table 1 (resilience to typos)." (fun seed ->
+      Conferr.Paper.render_table1 (Conferr.Paper.table1 ~seed ()))
+
+let table2_cmd =
+  table_cmd "table2" "Regenerate Table 2 (resilience to structural errors)."
+    (fun seed -> Conferr.Paper.render_table2 (Conferr.Paper.table2 ~seed ()))
+
+let table3_cmd =
+  table_cmd "table3" "Regenerate Table 3 (resilience to semantic DNS errors)."
+    (fun _seed -> Conferr.Paper.render_table3 (Conferr.Paper.table3 ()))
+
+let figure3_cmd =
+  table_cmd "figure3" "Regenerate Figure 3 (MySQL vs Postgres value-typo resilience)."
+    (fun seed -> Conferr.Paper.render_figure3 (Conferr.Paper.figure3 ~seed ()))
+
+let all_cmd =
+  table_cmd "all" "Regenerate every table and figure of the paper's evaluation."
+    (fun seed -> Conferr.Paper.run_all ~seed ())
+
+let variations_cmd =
+  let run sut seed =
+    let t = Conferr.Structural_check.run ~rng:(Conferr_util.Rng.create seed) ~sut () in
+    List.iter
+      (fun (r : Conferr.Structural_check.row) ->
+        Printf.printf "%-32s %s\n"
+          (Errgen.Variations.class_title r.class_name)
+          (Conferr.Structural_check.support_label r.support))
+      t.rows;
+    Printf.printf "%% of assumptions satisfied: %.0f%%\n" t.satisfied_percent
+  in
+  let sut =
+    Arg.(
+      required
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT" ~doc:"System under test.")
+  in
+  Cmd.v
+    (Cmd.info "variations"
+       ~doc:"Check which structural variation classes one SUT accepts.")
+    Term.(const run $ sut $ seed_arg)
+
+let semantic_cmd =
+  let run sut entries =
+    let codec =
+      match sut.Suts.Sut.sut_name with
+      | "bind" -> Dnsmodel.Codec.bind ~zones:Suts.Mini_bind.zones
+      | "djbdns" -> Dnsmodel.Codec.tinydns ~file:Suts.Mini_djbdns.data_file
+      | other ->
+        prerr_endline (Printf.sprintf "semantic campaign only supports DNS SUTs, not %s" other);
+        exit 1
+    in
+    match Conferr.Engine.parse_default_config sut with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok base ->
+      let scenarios =
+        Dnsmodel.Rfc1912.scenarios ~codec ~faults:Dnsmodel.Rfc1912.all_faults base
+        |> Errgen.Scenario.relabel_ids ~prefix:"semantic"
+      in
+      let profile = Conferr.Engine.run_from ~sut ~base ~scenarios in
+      print_string (Conferr.Profile.render profile);
+      if entries then print_string (Conferr.Profile.render_entries profile)
+  in
+  let sut =
+    Arg.(
+      required
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT" ~doc:"DNS system under test (bind or djbdns).")
+  in
+  Cmd.v
+    (Cmd.info "semantic"
+       ~doc:"Run the full RFC-1912 semantic fault catalog against a DNS SUT.")
+    Term.(const run $ sut $ entries_arg)
+
+let suggest_cmd =
+  let run sut seed =
+    let vocabulary = Suts.Vocabulary.for_sut sut in
+    if vocabulary = [] then begin
+      prerr_endline
+        (Printf.sprintf "%s has no name-oriented directives to suggest about"
+           sut.Suts.Sut.sut_name);
+      exit 1
+    end;
+    let rng = Conferr_util.Rng.create seed in
+    print_string
+      (Conferr.Suggest.render (Conferr.Suggest.recoverability ~vocabulary ~rng ()))
+  in
+  let sut =
+    Arg.(
+      required
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT" ~doc:"System under test.")
+  in
+  Cmd.v
+    (Cmd.info "suggest"
+       ~doc:
+         "Estimate how many directive-name typos a did-you-mean suggester would \
+          repair for one SUT.")
+    Term.(const run $ sut $ seed_arg)
+
+let report_cmd =
+  let run sut seed =
+    let semantic_codec =
+      match sut.Suts.Sut.sut_name with
+      | "bind" -> Some (Dnsmodel.Codec.bind ~zones:Suts.Mini_bind.zones)
+      | "djbdns" -> Some (Dnsmodel.Codec.tinydns ~file:Suts.Mini_djbdns.data_file)
+      | _ -> None
+    in
+    let excluded_variations =
+      if sut.Suts.Sut.sut_name = "apache" then
+        [ Errgen.Variations.Reorder_sections ]
+      else []
+    in
+    let report =
+      Conferr.Report.generate ~seed ~excluded_variations ?semantic_codec sut
+    in
+    print_string (Conferr.Report.render report)
+  in
+  let sut =
+    Arg.(
+      required
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT" ~doc:"System under test.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Generate the full assessment report for one SUT (all campaigns).")
+    Term.(const run $ sut $ seed_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "conferr" ~version:"1.0.0"
+       ~doc:"Assess resilience to human configuration errors (DSN'08 reproduction).")
+    [
+      list_cmd; profile_cmd; benchmark_cmd; report_cmd; suggest_cmd; table1_cmd;
+      table2_cmd; table3_cmd; figure3_cmd; all_cmd; variations_cmd; semantic_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

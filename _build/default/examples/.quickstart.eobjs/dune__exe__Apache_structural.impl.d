@@ -1,0 +1,1 @@
+examples/apache_structural.ml: Conferr Conferr_util Conftree Errgen List Printf Suts

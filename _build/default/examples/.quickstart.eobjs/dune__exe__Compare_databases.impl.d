@@ -1,0 +1,1 @@
+examples/compare_databases.ml: Conferr Conferr_util List Printf Suts

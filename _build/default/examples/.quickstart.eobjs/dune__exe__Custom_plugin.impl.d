@@ -1,0 +1,1 @@
+examples/custom_plugin.ml: Conferr Conferr_util Conftree Errgen List Option Printf Suts

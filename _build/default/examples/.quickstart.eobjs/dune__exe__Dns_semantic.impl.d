@@ -1,0 +1,1 @@
+examples/dns_semantic.ml: Conferr Dnsmodel Errgen List Printf Suts

@@ -1,0 +1,1 @@
+examples/gems_mix.ml: Conferr Conferr_util Conftree Errgen List Option Printf Suts

@@ -1,0 +1,1 @@
+examples/gems_mix.mli:

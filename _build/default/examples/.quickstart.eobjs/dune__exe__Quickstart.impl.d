@@ -1,0 +1,1 @@
+examples/quickstart.ml: Conferr Conferr_util List Printf Suts

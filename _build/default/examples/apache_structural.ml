@@ -1,0 +1,58 @@
+(* Structural errors and structural variations against Apache
+   (paper §2.2, §4.2 and §5.3).
+
+     dune exec examples/apache_structural.exe
+
+   Part 1 checks which semantics-preserving variation classes the server
+   accepts (Table 2's Apache column).  Part 2 injects skill-based
+   structural faults — omissions, duplications, misplacements — plus a
+   rule-based "borrowed directive" from another server's configuration
+   dialect, and reports the resilience profile. *)
+
+let () =
+  let sut = Suts.Mini_apache.sut in
+  let rng = Conferr_util.Rng.create 7 in
+
+  (* Part 1: structural variations (§5.3) *)
+  let check =
+    Conferr.Structural_check.run ~rng
+      ~excluded:[ Errgen.Variations.Reorder_sections ]
+      ~sut ()
+  in
+  print_endline "Structural variation classes accepted by Apache:";
+  List.iter
+    (fun (r : Conferr.Structural_check.row) ->
+      Printf.printf "  %-32s %s\n"
+        (Errgen.Variations.class_title r.class_name)
+        (Conferr.Structural_check.support_label r.support))
+    check.Conferr.Structural_check.rows;
+  Printf.printf "  %% of assumptions satisfied: %.0f%%\n\n"
+    check.Conferr.Structural_check.satisfied_percent;
+
+  (* Part 2: structural faults (§4.2) *)
+  let base =
+    match Conferr.Engine.parse_default_config sut with
+    | Ok base -> base
+    | Error msg -> failwith msg
+  in
+  let file = "httpd.conf" in
+  let borrowed =
+    (* a MySQL-style directive pasted into httpd.conf by an operator who
+       administers both (rule-based error, §2.2) *)
+    Conftree.Node.directive ~value:"16M" "key_buffer_size"
+  in
+  let scenarios =
+    Errgen.Template.union
+      [
+        Errgen.Structural.omit_sections ~file base;
+        Errgen.Structural.duplicate_directives ~file base |> Errgen.Template.limit 30;
+        Errgen.Structural.misplace_directives ~file base |> Errgen.Template.sample rng 40;
+        Errgen.Structural.borrow_foreign_directive ~donor_name:"mysql"
+          ~directive:borrowed ~file base;
+      ]
+    |> Errgen.Scenario.relabel_ids ~prefix:"structural"
+  in
+  Printf.printf "Injecting %d structural faults into httpd.conf...\n\n"
+    (List.length scenarios);
+  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios in
+  print_string (Conferr.Profile.render profile)

@@ -1,0 +1,66 @@
+(* Extending ConfErr with a custom error-generator plugin (paper §3.3:
+   "users can add other custom templates").
+
+     dune exec examples/custom_plugin.exe
+
+   The plugin below models a knowledge-based mistake the built-in models
+   do not cover: an operator who understands each directive in isolation
+   but swaps the values of two related directives (e.g. writing the
+   relations limit into max_fsm_pages and vice versa).  It composes the
+   existing abstract-modify template with a custom candidate-pairing
+   rule, then runs through the standard engine untouched — plugins need
+   no engine changes. *)
+
+module Node = Conftree.Node
+
+let swap_values_plugin =
+  Errgen.Plugin.make ~name:"value-swap"
+    ~describe:"swap the values of two related (same-section) directives"
+    (fun ~rng:_ set ->
+      Conftree.Config_set.to_list set
+      |> List.concat_map (fun (file, tree) ->
+             let directives =
+               Node.find_all
+                 (fun n -> n.Node.kind = Node.kind_directive && n.Node.value <> None)
+                 tree
+             in
+             (* pair each directive with its successors *)
+             let rec pairs = function
+               | [] -> []
+               | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+             in
+             pairs directives
+             |> List.map (fun ((pa, (na : Node.t)), (pb, (nb : Node.t))) ->
+                    Errgen.Scenario.make ~id:""
+                      ~class_name:"custom/value-swap"
+                      ~description:
+                        (Printf.sprintf "swap values of %S and %S in %s" na.name nb.name
+                           file)
+                      (Errgen.Scenario.edit_in_file ~file (fun t ->
+                           let ( let* ) = Option.bind in
+                           let* t =
+                             Node.replace t pa { na with Node.value = nb.Node.value }
+                           in
+                           Node.replace t pb { nb with Node.value = na.Node.value })))))
+
+let () =
+  let sut = Suts.Mini_pg.sut in
+  let base =
+    match Conferr.Engine.parse_default_config sut with
+    | Ok base -> base
+    | Error msg -> failwith msg
+  in
+  let rng = Conferr_util.Rng.create 1 in
+  let scenarios = Errgen.Plugin.generate swap_values_plugin ~rng base in
+  Printf.printf "%s: %s\n" swap_values_plugin.Errgen.Plugin.name
+    swap_values_plugin.Errgen.Plugin.describe;
+  Printf.printf "Generated %d scenarios against %s\n\n" (List.length scenarios)
+    sut.Suts.Sut.version;
+  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios in
+  print_string (Conferr.Profile.render profile);
+  print_newline ();
+  print_endline "Swaps that went unnoticed (candidates for new constraints):";
+  List.iter
+    (fun (e : Conferr.Profile.entry) ->
+      if e.outcome = Conferr.Outcome.Passed then Printf.printf "  %s\n" e.description)
+    profile.Conferr.Profile.entries

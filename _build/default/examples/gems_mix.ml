@@ -1,0 +1,95 @@
+(* A GEMS-weighted mixed faultload (paper §2).
+
+     dune exec examples/gems_mix.exe
+
+   The Generic Error-Modeling System attributes roughly 60% of human
+   errors to skill-based slips, 30% to rule-based mistakes and 10% to
+   knowledge-based mistakes.  This example assembles one faultload with
+   those proportions against mini-MySQL — typos and structural slips for
+   the skill level, borrowed directives and format variations for the
+   rule level, a value swap standing in for knowledge-level
+   misunderstanding — and reports outcomes per cognitive level. *)
+
+module Node = Conftree.Node
+
+let () =
+  let sut = Suts.Mini_mysql.sut in
+  let rng = Conferr_util.Rng.create 1990 in
+  let base =
+    match Conferr.Engine.parse_default_config sut with
+    | Ok base -> base
+    | Error msg -> failwith msg
+  in
+  let file = "my.cnf" in
+
+  (* skill-based: slips while typing or copy-pasting *)
+  let skill =
+    Errgen.Template.union
+      [
+        Conferr.Campaign.typo_scenarios ~rng
+          ~faultload:
+            { Conferr.Campaign.paper_faultload with typos_per_directive = 2 }
+          sut base;
+        Errgen.Structural.duplicate_directives ~file base;
+        Errgen.Structural.misplace_directives ~file base;
+      ]
+  in
+
+  (* rule-based: applying another system's configuration habits *)
+  let rule =
+    Errgen.Template.union
+      [
+        Errgen.Structural.borrow_foreign_directive ~donor_name:"postgres"
+          ~directive:(Node.directive ~value:"24MB" "shared_buffers")
+          ~file base;
+        Errgen.Structural.borrow_foreign_directive ~donor_name:"apache"
+          ~directive:(Node.directive ~value:"/var/log/httpd/error_log" "ErrorLog")
+          ~file base;
+        (List.concat_map
+           (fun class_name ->
+             Errgen.Variations.scenarios ~rng ~count:3 class_name ~file base)
+           [ Errgen.Variations.Mixed_case_names; Errgen.Variations.Truncated_names ]
+         |> List.map (fun (s : Errgen.Scenario.t) ->
+                (* variations are normally benign probes; here they stand
+                   in for rule-based habit transfer *)
+                s));
+      ]
+  in
+
+  (* knowledge-based: a wrong mental model of what a parameter means *)
+  let knowledge =
+    let directives =
+      match Conftree.Config_set.find base file with
+      | Some tree ->
+        Node.find_all
+          (fun n -> n.Node.kind = Node.kind_directive && n.Node.value <> None)
+          tree
+      | None -> []
+    in
+    let rec pairs = function
+      | [] -> []
+      | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+    in
+    pairs directives
+    |> List.map (fun ((pa, (na : Node.t)), (pb, (nb : Node.t))) ->
+           Errgen.Scenario.make ~id:"" ~class_name:"semantic/value-confusion"
+             ~description:
+               (Printf.sprintf "confuse %S with %S" na.name nb.name)
+             (Errgen.Scenario.edit_in_file ~file (fun t ->
+                  let ( let* ) = Option.bind in
+                  let* t = Node.replace t pa { na with Node.value = nb.Node.value } in
+                  Node.replace t pb { nb with Node.value = na.Node.value })))
+  in
+
+  let faultload =
+    Errgen.Cognitive.weighted_mix ~rng ~total:100 ~skill ~rule ~knowledge
+    |> Errgen.Scenario.relabel_ids ~prefix:"gems"
+  in
+  Printf.printf "GEMS-weighted faultload: %d scenarios (%d skill pool, %d rule pool, %d \
+                 knowledge pool)\n\n"
+    (List.length faultload) (List.length skill) (List.length rule)
+    (List.length knowledge);
+  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios:faultload in
+  print_string (Conferr.Profile.render profile);
+  print_newline ();
+  print_string (Conferr.Profile.render_by_cognitive_level profile)

@@ -1,0 +1,1 @@
+lib/confpath/confpath.ml: Ast Eval Lexer Parser

@@ -1,0 +1,1 @@
+lib/confpath/ast.mli: Format

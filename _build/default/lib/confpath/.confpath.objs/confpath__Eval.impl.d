@@ -1,0 +1,1 @@
+lib/confpath/eval.ml: Ast Conferr_util Conftree Hashtbl List

@@ -1,0 +1,1 @@
+lib/confpath/eval.mli: Ast Conftree

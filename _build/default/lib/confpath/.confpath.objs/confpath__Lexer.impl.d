@@ -1,0 +1,1 @@
+lib/confpath/lexer.ml: Format List Printf String

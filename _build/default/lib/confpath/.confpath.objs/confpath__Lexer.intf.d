@@ -1,0 +1,1 @@
+lib/confpath/lexer.mli: Format

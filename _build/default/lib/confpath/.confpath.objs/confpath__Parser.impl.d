@@ -1,0 +1,1 @@
+lib/confpath/parser.ml: Ast Format Lexer List

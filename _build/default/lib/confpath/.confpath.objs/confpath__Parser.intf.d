@@ -1,0 +1,1 @@
+lib/confpath/parser.mli: Ast

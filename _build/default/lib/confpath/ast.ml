@@ -1,0 +1,63 @@
+type axis = Child | Descendant | Parent | Self
+
+type name_test = Name of string | Any
+
+type value_expr = Attr of string | Kind | Node_name | Node_value | Literal of string
+
+type cmp = Eq | Neq
+
+type pred =
+  | Compare of value_expr * cmp * value_expr
+  | Exists of value_expr
+  | Position of int
+  | Last
+  | Contains of value_expr * value_expr
+  | Starts_with of value_expr * value_expr
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type step = { axis : axis; test : name_test; preds : pred list }
+
+type t = { absolute : bool; steps : step list }
+
+let pp_value_expr fmt = function
+  | Attr a -> Format.fprintf fmt "@%s" a
+  | Kind -> Format.pp_print_string fmt "kind()"
+  | Node_name -> Format.pp_print_string fmt "name()"
+  | Node_value -> Format.pp_print_string fmt "value()"
+  | Literal s -> Format.fprintf fmt "'%s'" s
+
+let rec pp_pred fmt = function
+  | Compare (a, Eq, b) -> Format.fprintf fmt "%a=%a" pp_value_expr a pp_value_expr b
+  | Compare (a, Neq, b) -> Format.fprintf fmt "%a!=%a" pp_value_expr a pp_value_expr b
+  | Exists v -> pp_value_expr fmt v
+  | Position n -> Format.pp_print_int fmt n
+  | Last -> Format.pp_print_string fmt "last()"
+  | Contains (a, b) ->
+    Format.fprintf fmt "contains(%a,%a)" pp_value_expr a pp_value_expr b
+  | Starts_with (a, b) ->
+    Format.fprintf fmt "starts-with(%a,%a)" pp_value_expr a pp_value_expr b
+  | And (a, b) -> Format.fprintf fmt "%a and %a" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf fmt "%a or %a" pp_pred a pp_pred b
+  | Not p -> Format.fprintf fmt "not(%a)" pp_pred p
+
+let pp_step fmt { axis; test; preds } =
+  (match (axis, test) with
+   | Parent, _ -> Format.pp_print_string fmt ".."
+   | Self, _ -> Format.pp_print_string fmt "."
+   | (Child | Descendant), Name n -> Format.pp_print_string fmt n
+   | (Child | Descendant), Any -> Format.pp_print_string fmt "*");
+  List.iter (fun p -> Format.fprintf fmt "[%a]" pp_pred p) preds
+
+let pp fmt { absolute; steps } =
+  let sep i { axis; _ } =
+    match axis with
+    | Descendant -> "//"
+    | Child | Parent | Self -> if i = 0 && not absolute then "" else "/"
+  in
+  List.iteri
+    (fun i step -> Format.fprintf fmt "%s%a" (sep i step) pp_step step)
+    steps
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,26 @@
+(** ConfPath: the XPath-subset query language ConfErr uses to designate
+    mutation targets in configuration trees.
+
+    {[
+      let q = Confpath.compile_exn "//directive[name()='Listen']" in
+      let hits = Confpath.select q tree
+    ]} *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Eval = Eval
+
+type query = Ast.t
+
+let compile = Parser.parse
+
+let compile_exn = Parser.parse_exn
+
+let select query tree = Eval.eval query tree
+
+let select_str_exn query_text tree = Eval.eval (compile_exn query_text) tree
+
+let matches = Eval.matches
+
+let to_string = Ast.to_string

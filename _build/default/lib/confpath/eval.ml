@@ -1,0 +1,93 @@
+module Node = Conftree.Node
+module Path = Conftree.Path
+
+type result_set = (Path.t * Node.t) list
+
+let value_of root (path, (node : Node.t)) = function
+  | Ast.Attr a -> Node.attr node a
+  | Ast.Kind -> Some node.kind
+  | Ast.Node_name -> Some node.name
+  | Ast.Node_value -> node.value
+  | Ast.Literal s ->
+    ignore root;
+    ignore path;
+    Some s
+
+let rec pred_holds root ~position ~set_size ctx = function
+  | Ast.Position n -> position = n
+  | Ast.Last -> position = set_size
+  | Ast.Exists v -> value_of root ctx v <> None
+  | Ast.Compare (a, cmp, b) ->
+    (match (value_of root ctx a, value_of root ctx b) with
+     | Some va, Some vb -> (match cmp with Ast.Eq -> va = vb | Ast.Neq -> va <> vb)
+     | _, _ -> (match cmp with Ast.Eq -> false | Ast.Neq -> true))
+  | Ast.Contains (a, b) ->
+    (match (value_of root ctx a, value_of root ctx b) with
+     | Some hay, Some needle -> Conferr_util.Strutil.contains_substring ~needle hay
+     | _, _ -> false)
+  | Ast.Starts_with (a, b) ->
+    (match (value_of root ctx a, value_of root ctx b) with
+     | Some s, Some prefix -> Conferr_util.Strutil.is_prefix ~prefix s
+     | _, _ -> false)
+  | Ast.And (p, q) ->
+    pred_holds root ~position ~set_size ctx p && pred_holds root ~position ~set_size ctx q
+  | Ast.Or (p, q) ->
+    pred_holds root ~position ~set_size ctx p || pred_holds root ~position ~set_size ctx q
+  | Ast.Not p -> not (pred_holds root ~position ~set_size ctx p)
+
+let name_test_holds test (node : Node.t) =
+  match test with Ast.Any -> true | Ast.Name n -> node.name = n
+
+let rec descendants_or_self path (node : Node.t) =
+  (path, node)
+  :: List.concat
+       (List.mapi (fun i c -> descendants_or_self (path @ [ i ]) c) node.children)
+
+(* Candidates produced by one step from one context node, in document
+   order, before predicates. *)
+let axis_candidates root (path, (node : Node.t)) = function
+  | Ast.Child -> List.mapi (fun i c -> (path @ [ i ], c)) node.children
+  | Ast.Descendant ->
+    (match descendants_or_self path node with [] -> [] | _self :: rest -> rest)
+  | Ast.Self -> [ (path, node) ]
+  | Ast.Parent ->
+    (match Path.parent path with
+     | None -> []
+     | Some (parent_path, _) ->
+       (match Node.get root parent_path with
+        | None -> []
+        | Some parent -> [ (parent_path, parent) ]))
+
+let apply_preds root preds candidates =
+  List.fold_left
+    (fun cands pred ->
+      let size = List.length cands in
+      List.filteri
+        (fun i ctx -> pred_holds root ~position:(i + 1) ~set_size:size ctx pred)
+        cands)
+    candidates preds
+
+let step_eval root contexts { Ast.axis; test; preds } =
+  let per_context ctx =
+    axis_candidates root ctx axis
+    |> List.filter (fun (_, n) -> name_test_holds test n)
+    |> apply_preds root preds
+  in
+  let all = List.concat_map per_context contexts in
+  (* Deduplicate by path, keeping document order. *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (p, _) ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.add seen p ();
+        true
+      end)
+    all
+  |> List.sort (fun (a, _) (b, _) -> Path.compare a b)
+
+let eval { Ast.absolute = _; steps } root =
+  List.fold_left (step_eval root) [ ([], root) ] steps
+
+let matches query root path =
+  List.exists (fun (p, _) -> Path.equal p path) (eval query root)

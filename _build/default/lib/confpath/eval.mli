@@ -1,0 +1,13 @@
+(** ConfPath query evaluation over configuration trees. *)
+
+type result_set = (Conftree.Path.t * Conftree.Node.t) list
+(** Matches in document order, without duplicates. *)
+
+val eval : Ast.t -> Conftree.Node.t -> result_set
+(** [eval query root] evaluates [query] with [root] as both the context
+    node and the document root.  Relative and absolute queries coincide
+    because evaluation always starts at the root. *)
+
+val matches : Ast.t -> Conftree.Node.t -> Conftree.Path.t -> bool
+(** [matches query root path] is true when [path] is among the query's
+    results. *)

@@ -1,0 +1,93 @@
+type token =
+  | SLASH
+  | DSLASH
+  | STAR
+  | DOT
+  | DOTDOT
+  | AT
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQ
+  | NEQ
+  | AND
+  | OR
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | EOF
+
+exception Lex_error of string
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let rec scan i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' -> scan (i + 1) acc
+      | '/' when i + 1 < n && input.[i + 1] = '/' -> scan (i + 2) (DSLASH :: acc)
+      | '/' -> scan (i + 1) (SLASH :: acc)
+      | '*' -> scan (i + 1) (STAR :: acc)
+      | '.' when i + 1 < n && input.[i + 1] = '.' -> scan (i + 2) (DOTDOT :: acc)
+      | '.' -> scan (i + 1) (DOT :: acc)
+      | '@' -> scan (i + 1) (AT :: acc)
+      | '[' -> scan (i + 1) (LBRACK :: acc)
+      | ']' -> scan (i + 1) (RBRACK :: acc)
+      | '(' -> scan (i + 1) (LPAREN :: acc)
+      | ')' -> scan (i + 1) (RPAREN :: acc)
+      | ',' -> scan (i + 1) (COMMA :: acc)
+      | '=' -> scan (i + 1) (EQ :: acc)
+      | '!' when i + 1 < n && input.[i + 1] = '=' -> scan (i + 2) (NEQ :: acc)
+      | ('\'' | '"') as quote ->
+        let rec find j =
+          if j >= n then raise (Lex_error "unterminated string literal")
+          else if input.[j] = quote then j
+          else find (j + 1)
+        in
+        let close = find (i + 1) in
+        scan (close + 1) (STRING (String.sub input (i + 1) (close - i - 1)) :: acc)
+      | c when is_digit c ->
+        let rec span j = if j < n && is_digit input.[j] then span (j + 1) else j in
+        let stop = span i in
+        scan stop (INT (int_of_string (String.sub input i (stop - i))) :: acc)
+      | c when is_name_char c ->
+        let rec span j = if j < n && is_name_char input.[j] then span (j + 1) else j in
+        let stop = span i in
+        let word = String.sub input i (stop - i) in
+        let tok =
+          match word with "and" -> AND | "or" -> OR | _ -> IDENT word
+        in
+        scan stop (tok :: acc)
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C at offset %d" c i))
+  in
+  scan 0 []
+
+let pp_token fmt = function
+  | SLASH -> Format.pp_print_string fmt "/"
+  | DSLASH -> Format.pp_print_string fmt "//"
+  | STAR -> Format.pp_print_string fmt "*"
+  | DOT -> Format.pp_print_string fmt "."
+  | DOTDOT -> Format.pp_print_string fmt ".."
+  | AT -> Format.pp_print_string fmt "@"
+  | LBRACK -> Format.pp_print_string fmt "["
+  | RBRACK -> Format.pp_print_string fmt "]"
+  | LPAREN -> Format.pp_print_string fmt "("
+  | RPAREN -> Format.pp_print_string fmt ")"
+  | COMMA -> Format.pp_print_string fmt ","
+  | EQ -> Format.pp_print_string fmt "="
+  | NEQ -> Format.pp_print_string fmt "!="
+  | AND -> Format.pp_print_string fmt "and"
+  | OR -> Format.pp_print_string fmt "or"
+  | IDENT s -> Format.fprintf fmt "ident(%s)" s
+  | STRING s -> Format.fprintf fmt "string(%S)" s
+  | INT i -> Format.fprintf fmt "int(%d)" i
+  | EOF -> Format.pp_print_string fmt "<eof>"

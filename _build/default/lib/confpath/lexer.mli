@@ -1,0 +1,30 @@
+(** Tokenizer for ConfPath queries. *)
+
+type token =
+  | SLASH          (** [/] *)
+  | DSLASH         (** [//] *)
+  | STAR
+  | DOT
+  | DOTDOT
+  | AT
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQ
+  | NEQ
+  | AND
+  | OR
+  | IDENT of string  (** names, including function names *)
+  | STRING of string (** single- or double-quoted literal *)
+  | INT of int
+  | EOF
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** Raises {!Lex_error} on malformed input (unterminated string, stray
+    character). *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,162 @@
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    raise
+      (Parse_error
+         (Format.asprintf "expected %s, found %a" what Lexer.pp_token (peek st)))
+
+let parse_value_expr st =
+  match peek st with
+  | Lexer.AT ->
+    advance st;
+    (match peek st with
+     | Lexer.IDENT name ->
+       advance st;
+       Ast.Attr name
+     | t -> raise (Parse_error (Format.asprintf "expected attribute name after @, found %a" Lexer.pp_token t)))
+  | Lexer.STRING s ->
+    advance st;
+    Ast.Literal s
+  | Lexer.IDENT ("kind" | "name" | "value" as fn) ->
+    advance st;
+    expect st Lexer.LPAREN "(";
+    expect st Lexer.RPAREN ")";
+    (match fn with
+     | "kind" -> Ast.Kind
+     | "name" -> Ast.Node_name
+     | _ -> Ast.Node_value)
+  | t -> raise (Parse_error (Format.asprintf "expected value expression, found %a" Lexer.pp_token t))
+
+let rec parse_or st =
+  let left = parse_and st in
+  if peek st = Lexer.OR then begin
+    advance st;
+    Ast.Or (left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_atom st in
+  if peek st = Lexer.AND then begin
+    advance st;
+    Ast.And (left, parse_and st)
+  end
+  else left
+
+and parse_atom st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    Ast.Position n
+  | Lexer.IDENT "last" ->
+    advance st;
+    expect st Lexer.LPAREN "(";
+    expect st Lexer.RPAREN ")";
+    Ast.Last
+  | Lexer.IDENT "not" ->
+    advance st;
+    expect st Lexer.LPAREN "(";
+    let inner = parse_or st in
+    expect st Lexer.RPAREN ")";
+    Ast.Not inner
+  | Lexer.IDENT "contains" ->
+    advance st;
+    expect st Lexer.LPAREN "(";
+    let a = parse_value_expr st in
+    expect st Lexer.COMMA ",";
+    let b = parse_value_expr st in
+    expect st Lexer.RPAREN ")";
+    Ast.Contains (a, b)
+  | Lexer.IDENT "starts-with" ->
+    advance st;
+    expect st Lexer.LPAREN "(";
+    let a = parse_value_expr st in
+    expect st Lexer.COMMA ",";
+    let b = parse_value_expr st in
+    expect st Lexer.RPAREN ")";
+    Ast.Starts_with (a, b)
+  | _ ->
+    let left = parse_value_expr st in
+    (match peek st with
+     | Lexer.EQ ->
+       advance st;
+       Ast.Compare (left, Ast.Eq, parse_value_expr st)
+     | Lexer.NEQ ->
+       advance st;
+       Ast.Compare (left, Ast.Neq, parse_value_expr st)
+     | Lexer.RBRACK | Lexer.AND | Lexer.OR | Lexer.RPAREN | Lexer.COMMA -> Ast.Exists left
+     | t -> raise (Parse_error (Format.asprintf "unexpected token %a in predicate" Lexer.pp_token t)))
+
+let parse_preds st =
+  let rec loop acc =
+    if peek st = Lexer.LBRACK then begin
+      advance st;
+      let p = parse_or st in
+      expect st Lexer.RBRACK "]";
+      loop (p :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+let parse_step st axis =
+  match peek st with
+  | Lexer.DOT ->
+    advance st;
+    { Ast.axis = (match axis with Ast.Descendant -> Ast.Descendant | _ -> Ast.Self);
+      test = Ast.Any; preds = [] }
+  | Lexer.DOTDOT ->
+    advance st;
+    { Ast.axis = Ast.Parent; test = Ast.Any; preds = parse_preds st }
+  | Lexer.STAR ->
+    advance st;
+    { Ast.axis = axis; test = Ast.Any; preds = parse_preds st }
+  | Lexer.IDENT name ->
+    advance st;
+    { Ast.axis = axis; test = Ast.Name name; preds = parse_preds st }
+  | t -> raise (Parse_error (Format.asprintf "expected a step, found %a" Lexer.pp_token t))
+
+let parse_query st =
+  let absolute, first_axis =
+    match peek st with
+    | Lexer.SLASH ->
+      advance st;
+      (true, Ast.Child)
+    | Lexer.DSLASH ->
+      advance st;
+      (true, Ast.Descendant)
+    | _ -> (false, Ast.Child)
+  in
+  let first = parse_step st first_axis in
+  let rec more acc =
+    match peek st with
+    | Lexer.SLASH ->
+      advance st;
+      more (parse_step st Ast.Child :: acc)
+    | Lexer.DSLASH ->
+      advance st;
+      more (parse_step st Ast.Descendant :: acc)
+    | Lexer.EOF -> List.rev acc
+    | t -> raise (Parse_error (Format.asprintf "unexpected token %a after step" Lexer.pp_token t))
+  in
+  { Ast.absolute; steps = more [ first ] }
+
+let parse_exn input =
+  let toks =
+    try Lexer.tokenize input
+    with Lexer.Lex_error msg -> raise (Parse_error msg)
+  in
+  parse_query { toks }
+
+let parse input =
+  match parse_exn input with
+  | ast -> Ok ast
+  | exception Parse_error msg -> Error msg

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for ConfPath queries.
+
+    Grammar (informal):
+    {v
+      query  ::= ('/' | '//')? step (('/' | '//') step)*
+      step   ::= '.' | '..' | (name | '*') pred*
+      pred   ::= '[' or-expr ']'
+      or     ::= and ('or' and)*
+      and    ::= atom ('and' atom)*
+      atom   ::= INT | 'last()' | 'not(' or ')'
+               | 'contains(' value ',' value ')'
+               | value (('=' | '!=') value)?
+      value  ::= '@'name | 'kind()' | 'name()' | 'value()' | STRING
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> (Ast.t, string) result
+(** Never raises: lexing and parsing failures are returned as [Error]. *)
+
+val parse_exn : string -> Ast.t
+(** Raises {!Parse_error}. *)

@@ -1,0 +1,1 @@
+lib/conftree/config_set.ml: List Node

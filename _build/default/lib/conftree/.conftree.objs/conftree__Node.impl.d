@@ -1,0 +1,1 @@
+lib/conftree/node.ml: Format List Option Path String

@@ -1,0 +1,1 @@
+lib/conftree/node.mli: Format Path

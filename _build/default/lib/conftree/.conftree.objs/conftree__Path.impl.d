@@ -1,0 +1,1 @@
+lib/conftree/path.ml: Format Int List

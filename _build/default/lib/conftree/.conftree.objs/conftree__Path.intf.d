@@ -1,0 +1,1 @@
+lib/conftree/path.mli: Format

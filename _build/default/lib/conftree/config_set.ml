@@ -1,0 +1,32 @@
+type t = (string * Node.t) list
+
+let empty = []
+
+let add t name node =
+  if List.mem_assoc name t then
+    List.map (fun (n, v) -> if n = name then (n, node) else (n, v)) t
+  else t @ [ (name, node) ]
+
+let of_list bindings = List.fold_left (fun acc (n, v) -> add acc n v) empty bindings
+
+let to_list t = t
+
+let find t name = List.assoc_opt name t
+
+let names t = List.map fst t
+
+let update t name f =
+  match List.assoc_opt name t with
+  | None -> None
+  | Some node ->
+    (match f node with
+     | None -> None
+     | Some node' -> Some (add t name node'))
+
+let map f t = List.map (fun (n, v) -> (n, f n v)) t
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (n1, v1) (n2, v2) -> n1 = n2 && Node.equal v1 v2) a b
+
+let cardinal = List.length

@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Conferr_util Conftree Errgen Fun List Printf String Suts

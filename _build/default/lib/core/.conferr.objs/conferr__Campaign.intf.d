@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Conferr_util Conftree Errgen Suts

@@ -1,0 +1,1 @@
+lib/core/compare.ml: Conferr_util Conftree Engine Errgen Fun List Outcome Printf Suts

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Conftree Errgen Formats List Logs Outcome Printexc Printf Profile Result String Suts

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Conftree Errgen Outcome Profile Suts

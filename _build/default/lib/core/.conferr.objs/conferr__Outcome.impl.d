@@ -1,0 +1,1 @@
+lib/core/outcome.ml: Format String

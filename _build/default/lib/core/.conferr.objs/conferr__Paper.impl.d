@@ -1,0 +1,1 @@
+lib/core/paper.ml: Campaign Compare Conferr_util Dnsmodel Engine Errgen List Outcome Printf Process_bench Profile String Structural_check Suts

@@ -1,0 +1,1 @@
+lib/core/paper.mli: Campaign Compare Dnsmodel Process_bench Profile Structural_check

@@ -1,0 +1,1 @@
+lib/core/process_bench.mli: Conferr_util Suts

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Conferr_util Errgen List Outcome Printf String

@@ -1,0 +1,1 @@
+lib/core/report.ml: Campaign Conferr_util Dnsmodel Engine Errgen List Outcome Printf Profile String Structural_check Suts

@@ -1,0 +1,1 @@
+lib/core/structural_check.ml: Conftree Engine Errgen List Outcome Printf Suts

@@ -1,0 +1,1 @@
+lib/core/structural_check.mli: Conferr_util Errgen Suts

@@ -1,0 +1,1 @@
+lib/core/suggest.ml: Conferr_util Errgen Int List Printf String

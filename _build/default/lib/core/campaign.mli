@@ -1,0 +1,34 @@
+(** The paper's §5.2 typo faultload.
+
+    Three kinds of errors are injected into the default configuration
+    (quoting the paper):
+
+    - deletion of entire directives
+    - typos in directive names — "for each section in the default file,
+      randomly select [n] directives and introduce a typo in each one's
+      name"
+    - typos in directive values — same selection, typo in the value
+
+    Sections are the section nodes of each file's tree; top-level
+    directives of flat formats count as one implicit section. *)
+
+type faultload = {
+  delete_directives : bool;
+  directives_per_section : int;
+      (** how many directives of each section receive typos (the paper
+          uses 10; sections with fewer directives contribute all) *)
+  typos_per_directive : int;
+      (** independent random typos injected per selected directive, for
+          names and for values separately *)
+}
+
+val paper_faultload : faultload
+(** [{ delete_directives = true; directives_per_section = 10;
+      typos_per_directive = 10 }] *)
+
+val typo_scenarios :
+  rng:Conferr_util.Rng.t -> faultload:faultload -> Suts.Sut.t ->
+  Conftree.Config_set.t -> Errgen.Scenario.t list
+
+val plugin : faultload:faultload -> Suts.Sut.t -> Errgen.Plugin.t
+(** The faultload as a ConfErr plugin. *)

@@ -1,0 +1,106 @@
+module Node = Conftree.Node
+module Rng = Conferr_util.Rng
+module Texttable = Conferr_util.Texttable
+module Scenario = Errgen.Scenario
+module Typo = Errgen.Typo
+
+type bin = Poor | Fair | Good | Excellent
+
+let bin_name = function
+  | Poor -> "Poor"
+  | Fair -> "Fair"
+  | Good -> "Good"
+  | Excellent -> "Excellent"
+
+let all_bins = [ Poor; Fair; Good; Excellent ]
+
+let bin_of_rate r =
+  if r <= 0.25 then Poor
+  else if r <= 0.5 then Fair
+  else if r <= 0.75 then Good
+  else Excellent
+
+type directive_result = { directive : string; experiments : int; detected : int }
+
+type t = { sut_name : string; per_directive : directive_result list }
+
+let value_typo_scenario ~sampler ~file ~path rng (node : Node.t) =
+  match node.Node.value with
+  | None -> None
+  | Some w ->
+    (match sampler rng w with
+     | None -> None
+     | Some (mutated, what) ->
+       Some
+         (Scenario.make ~id:"cmp" ~class_name:"compare/value-typo"
+            ~description:(Printf.sprintf "%s in value of %S" what node.name)
+            (Scenario.edit_in_file ~file (fun t ->
+                 Node.replace t path { node with Node.value = Some mutated }))))
+
+let run ~rng ?(experiments = 20) ?(sampler = Typo.random_kind_first ?layout:None) ~sut
+    ~config () =
+  let file, text = config in
+  match Engine.parse_config sut [ (file, text) ] with
+  | Error msg -> Error msg
+  | Ok base ->
+    (match Conftree.Config_set.find base file with
+     | None -> Error (Printf.sprintf "file %S missing after parse" file)
+     | Some tree ->
+       let directives =
+         Node.find_all
+           (fun n -> n.Node.kind = Node.kind_directive && n.Node.value <> None)
+           tree
+       in
+       let per_directive =
+         List.map
+           (fun (path, node) ->
+             let outcomes =
+               List.init experiments (fun _ ->
+                   match value_typo_scenario ~sampler ~file ~path rng node with
+                   | None -> None
+                   | Some scenario ->
+                     Some (Engine.run_scenario ~sut ~base scenario))
+               |> List.filter_map Fun.id
+             in
+             let detected =
+               List.length (List.filter Outcome.detected outcomes)
+             in
+             {
+               directive = node.Node.name;
+               experiments = List.length outcomes;
+               detected;
+             })
+           directives
+       in
+       Ok { sut_name = sut.Suts.Sut.sut_name; per_directive })
+
+let distribution t =
+  let n = List.length t.per_directive in
+  let rate d =
+    if d.experiments = 0 then 0.
+    else float_of_int d.detected /. float_of_int d.experiments
+  in
+  List.map
+    (fun bin ->
+      let count =
+        List.length
+          (List.filter (fun d -> bin_of_rate (rate d) = bin) t.per_directive)
+      in
+      (bin, if n = 0 then 0. else 100. *. float_of_int count /. float_of_int n))
+    all_bins
+
+let render_figure3 results =
+  let header = "detection" :: List.map (fun r -> r.sut_name) results in
+  let distributions = List.map distribution results in
+  let rows =
+    List.map
+      (fun bin ->
+        bin_name bin
+        :: List.map
+             (fun dist ->
+               Printf.sprintf "%5.1f%%  %s" (List.assoc bin dist)
+                 (Texttable.bar ~width:20 (List.assoc bin dist /. 100.)))
+             distributions)
+      (List.rev all_bins)
+  in
+  Texttable.render ~header rows

@@ -1,0 +1,111 @@
+module Config_set = Conftree.Config_set
+
+let src = Logs.Src.create "conferr.engine" ~doc:"ConfErr injection engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let ( let* ) = Result.bind
+
+let parse_config (sut : Suts.Sut.t) files =
+  List.fold_left
+    (fun acc (file, fmt) ->
+      let* set = acc in
+      match List.assoc_opt file files with
+      | None -> Error (Printf.sprintf "no content provided for %S" file)
+      | Some text ->
+        (match fmt.Formats.Registry.parse text with
+         | Ok tree -> Ok (Config_set.add set file tree)
+         | Error e ->
+           Error
+             (Printf.sprintf "parsing %S: %s" file (Formats.Parse_error.to_string e))))
+    (Ok Config_set.empty) sut.Suts.Sut.config_files
+
+let parse_default_config (sut : Suts.Sut.t) =
+  parse_config sut sut.Suts.Sut.default_config
+
+let serialize_config (sut : Suts.Sut.t) set =
+  List.fold_left
+    (fun acc (file, fmt) ->
+      let* files = acc in
+      match Config_set.find set file with
+      | None -> Error (Printf.sprintf "mutated configuration lost file %S" file)
+      | Some tree ->
+        (match fmt.Formats.Registry.serialize tree with
+         | Ok text -> Ok (files @ [ (file, text) ])
+         | Error msg -> Error (Printf.sprintf "serializing %S: %s" file msg)))
+    (Ok []) sut.Suts.Sut.config_files
+
+let boot_and_test (sut : Suts.Sut.t) files =
+  (* A SUT that raises is a SUT that crashed: classify it like the real
+     tool would classify a daemon dying on a faulty configuration,
+     rather than letting the exception kill the whole campaign. *)
+  match sut.Suts.Sut.boot files with
+  | exception exn ->
+    Outcome.Startup_failure
+      (Printf.sprintf "SUT crashed during startup: %s" (Printexc.to_string exn))
+  | Error msg -> Outcome.Startup_failure msg
+  | Ok instance ->
+    (match instance.Suts.Sut.run_tests () with
+     | exception exn ->
+       Outcome.Test_failure
+         [ Printf.sprintf "SUT crashed under test: %s" (Printexc.to_string exn) ]
+     | results ->
+       instance.Suts.Sut.shutdown ();
+       let failures =
+         List.filter_map
+           (fun (r : Suts.Sut.test_result) ->
+             if r.passed then None
+             else Some (Printf.sprintf "%s: %s" r.test_name r.detail))
+           results
+       in
+       if failures = [] then Outcome.Passed else Outcome.Test_failure failures)
+
+let run_scenario ~sut ~base (scenario : Errgen.Scenario.t) =
+  match scenario.apply base with
+  | exception exn ->
+    Outcome.Not_applicable
+      (Printf.sprintf "scenario raised: %s" (Printexc.to_string exn))
+  | Error msg -> Outcome.Not_applicable msg
+  | Ok mutated ->
+    (match serialize_config sut mutated with
+     | Error msg -> Outcome.Not_applicable msg
+     | Ok files -> boot_and_test sut files)
+
+let run_from ~sut ~base ~scenarios =
+  Log.info (fun m ->
+      m "running %d scenarios against %s" (List.length scenarios)
+        sut.Suts.Sut.sut_name);
+  let entries =
+    List.map
+      (fun (s : Errgen.Scenario.t) ->
+        let outcome = run_scenario ~sut ~base s in
+        Log.debug (fun m -> m "%s [%s] %s" s.id (Outcome.label outcome) s.description);
+        {
+          Profile.scenario_id = s.id;
+          class_name = s.class_name;
+          description = s.description;
+          outcome;
+        })
+      scenarios
+  in
+  Profile.make ~sut_name:sut.Suts.Sut.sut_name entries
+
+let run ~sut ~scenarios =
+  match parse_default_config sut with
+  | Error msg ->
+    invalid_arg (Printf.sprintf "default configuration of %s does not parse: %s"
+                   sut.Suts.Sut.sut_name msg)
+  | Ok base -> run_from ~sut ~base ~scenarios
+
+let baseline_ok (sut : Suts.Sut.t) =
+  let* base = parse_default_config sut in
+  let* files = serialize_config sut base in
+  match boot_and_test sut files with
+  | Outcome.Passed -> Ok ()
+  | Outcome.Startup_failure msg ->
+    Error (Printf.sprintf "default configuration fails to start: %s" msg)
+  | Outcome.Test_failure msgs ->
+    Error
+      (Printf.sprintf "default configuration fails functional tests: %s"
+         (String.concat "; " msgs))
+  | Outcome.Not_applicable msg -> Error msg

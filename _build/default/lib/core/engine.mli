@@ -1,0 +1,37 @@
+(** The injection engine: the end-to-end pipeline of Figure 1.
+
+    For each fault scenario: apply the mutation to the abstract
+    representation of the initial configuration, serialize the mutated
+    trees back to the native formats, start the SUT on the faulty files,
+    run the functional tests, and classify the outcome. *)
+
+val parse_default_config : Suts.Sut.t -> (Conftree.Config_set.t, string) result
+(** Parse every default configuration file of the SUT with its declared
+    format. *)
+
+val parse_config :
+  Suts.Sut.t -> (string * string) list -> (Conftree.Config_set.t, string) result
+(** Same, over explicit file contents (used by the comparison benchmark,
+    which starts from a non-default configuration). *)
+
+val serialize_config :
+  Suts.Sut.t -> Conftree.Config_set.t -> ((string * string) list, string) result
+(** Inverse of {!parse_config}; fails when a tree is not expressible in
+    its file's format. *)
+
+val run_scenario :
+  sut:Suts.Sut.t -> base:Conftree.Config_set.t -> Errgen.Scenario.t -> Outcome.t
+
+val run :
+  sut:Suts.Sut.t -> scenarios:Errgen.Scenario.t list -> Profile.t
+(** Runs every scenario against the SUT's default configuration.
+    Raises [Invalid_argument] if the default configuration itself fails
+    to parse — a harness bug, not a SUT behaviour. *)
+
+val run_from :
+  sut:Suts.Sut.t -> base:Conftree.Config_set.t -> scenarios:Errgen.Scenario.t list ->
+  Profile.t
+
+val baseline_ok : Suts.Sut.t -> (unit, string) result
+(** Sanity check: the unmodified default configuration must boot and
+    pass all functional tests. *)

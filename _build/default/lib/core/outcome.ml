@@ -1,0 +1,22 @@
+type t =
+  | Startup_failure of string
+  | Test_failure of string list
+  | Passed
+  | Not_applicable of string
+
+let detected = function
+  | Startup_failure _ | Test_failure _ -> true
+  | Passed | Not_applicable _ -> false
+
+let label = function
+  | Startup_failure _ -> "startup"
+  | Test_failure _ -> "functional"
+  | Passed -> "ignored"
+  | Not_applicable _ -> "n/a"
+
+let pp fmt = function
+  | Startup_failure msg -> Format.fprintf fmt "startup failure: %s" msg
+  | Test_failure msgs ->
+    Format.fprintf fmt "functional-test failure: %s" (String.concat "; " msgs)
+  | Passed -> Format.pp_print_string fmt "passed (mutation ignored or handled)"
+  | Not_applicable msg -> Format.fprintf fmt "not applicable: %s" msg

@@ -1,0 +1,28 @@
+(** Classification of one error-injection experiment (paper §3.1).
+
+    Three outcomes are possible once a faulty configuration reaches the
+    SUT, plus one for scenarios whose mutation cannot be applied or
+    serialized into the native format at all (paper §3.2: "differences in
+    the expressiveness of the two representations can prevent this
+    operation from completing successfully"). *)
+
+type t =
+  | Startup_failure of string
+      (** the SUT refused to start — it detected the configuration error *)
+  | Test_failure of string list
+      (** the SUT started but the functional tests failed (one message
+          per failed test) — the error escaped the parser *)
+  | Passed
+      (** the SUT started and passed all tests: the mutation was either
+          harmless or silently ignored *)
+  | Not_applicable of string
+      (** the scenario could not be expressed in the system's
+          configuration language *)
+
+val detected : t -> bool
+(** Startup or functional-test detection. *)
+
+val label : t -> string
+(** ["startup"], ["functional"], ["ignored"], ["n/a"]. *)
+
+val pp : Format.formatter -> t -> unit

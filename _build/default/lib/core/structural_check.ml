@@ -1,0 +1,58 @@
+module Variations = Errgen.Variations
+
+type support = Supported | Unsupported | Not_applicable
+
+let support_label = function
+  | Supported -> "Yes"
+  | Unsupported -> "No"
+  | Not_applicable -> "n/a"
+
+type row = { class_name : Variations.class_name; support : support }
+
+type t = { sut_name : string; rows : row list; satisfied_percent : float }
+
+let check_class ~rng ~count ~sut ~base class_name =
+  let files = Conftree.Config_set.names base in
+  let scenarios =
+    List.concat_map
+      (fun file -> Variations.scenarios ~rng ~count class_name ~file base)
+      files
+  in
+  if scenarios = [] then Not_applicable
+  else begin
+    let outcomes =
+      List.map (fun s -> Engine.run_scenario ~sut ~base s) scenarios
+    in
+    (* "either all configuration files created with a class of variations
+       are accepted or none is" — we still require all, and treat a
+       mutation the format itself could not express as unsupported. *)
+    if List.for_all (fun o -> o = Outcome.Passed) outcomes then Supported
+    else Unsupported
+  end
+
+let run ~rng ?(count = 10) ?(excluded = []) ~sut () =
+  match Engine.parse_default_config sut with
+  | Error msg ->
+    invalid_arg
+      (Printf.sprintf "default configuration of %s does not parse: %s"
+         sut.Suts.Sut.sut_name msg)
+  | Ok base ->
+    let rows =
+      List.map
+        (fun class_name ->
+          let support =
+            if List.mem class_name excluded then Not_applicable
+            else check_class ~rng ~count ~sut ~base class_name
+          in
+          { class_name; support })
+        Variations.all_classes
+    in
+    let applicable = List.filter (fun r -> r.support <> Not_applicable) rows in
+    let supported = List.filter (fun r -> r.support = Supported) applicable in
+    let satisfied_percent =
+      if applicable = [] then 0.
+      else
+        100. *. float_of_int (List.length supported)
+        /. float_of_int (List.length applicable)
+    in
+    { sut_name = sut.Suts.Sut.sut_name; rows; satisfied_percent }

@@ -1,0 +1,25 @@
+(** The §5.3 structural-variation check (Table 2).
+
+    For each variation class, [count] random semantics-preserving
+    variations of the default configuration are generated and run; the
+    SUT supports the class when every variation starts and passes the
+    functional tests. *)
+
+type support = Supported | Unsupported | Not_applicable
+
+val support_label : support -> string
+(** ["Yes"], ["No"], ["n/a"]. *)
+
+type row = { class_name : Errgen.Variations.class_name; support : support }
+
+type t = { sut_name : string; rows : row list; satisfied_percent : float }
+(** [satisfied_percent] counts [Supported] over applicable classes —
+    the paper's "% of assumptions satisfied" line. *)
+
+val run :
+  rng:Conferr_util.Rng.t -> ?count:int ->
+  ?excluded:Errgen.Variations.class_name list -> sut:Suts.Sut.t -> unit -> t
+(** [count] defaults to 10 (the paper's).  [excluded] classes are
+    reported as [Not_applicable] without running (used for Apache's
+    section ordering, where "sections" are scoping containers rather than
+    file divisions). *)

@@ -1,0 +1,1 @@
+lib/dns/codec.ml: Conferr_util Conftree Formats Hashtbl List Name Option Printf Record Result String

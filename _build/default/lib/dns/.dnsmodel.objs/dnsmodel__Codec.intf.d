@@ -1,0 +1,1 @@
+lib/dns/codec.mli: Conftree Record

@@ -1,0 +1,1 @@
+lib/dns/name.ml: List Printf String

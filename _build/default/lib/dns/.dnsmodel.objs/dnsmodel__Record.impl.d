@@ -1,0 +1,1 @@
+lib/dns/record.ml: Format List Name

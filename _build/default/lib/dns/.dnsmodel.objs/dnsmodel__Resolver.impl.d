@@ -1,0 +1,1 @@
+lib/dns/resolver.ml: Int List Name Record String Zone

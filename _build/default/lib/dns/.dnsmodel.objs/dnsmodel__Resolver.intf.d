@@ -1,0 +1,1 @@
+lib/dns/resolver.mli: Record Zone

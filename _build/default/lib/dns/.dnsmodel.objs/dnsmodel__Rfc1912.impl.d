@@ -1,0 +1,1 @@
+lib/dns/rfc1912.ml: Codec Errgen List Name Option Printf Record

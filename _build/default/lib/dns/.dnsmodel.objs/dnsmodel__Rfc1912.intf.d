@@ -1,0 +1,1 @@
+lib/dns/rfc1912.mli: Codec Conftree Errgen Record

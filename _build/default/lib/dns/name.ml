@@ -1,0 +1,58 @@
+let is_absolute n = n <> "" && n.[String.length n - 1] = '.'
+
+let normalize ?(origin = ".") n =
+  let n = String.lowercase_ascii n and origin = String.lowercase_ascii origin in
+  let origin = if is_absolute origin then origin else origin ^ "." in
+  if n = "@" || n = "" then origin
+  else if is_absolute n then n
+  else if origin = "." then n ^ "."
+  else n ^ "." ^ origin
+
+let in_domain ~domain n =
+  let domain = String.lowercase_ascii domain in
+  n = domain
+  ||
+  let suffix = "." ^ domain in
+  String.length n > String.length suffix
+  && String.sub n (String.length n - String.length suffix) (String.length suffix)
+     = suffix
+
+let relative_to ~origin n =
+  let origin = String.lowercase_ascii origin in
+  if n = origin then "@"
+  else
+    let suffix = "." ^ origin in
+    if
+      String.length n > String.length suffix
+      && String.sub n (String.length n - String.length suffix) (String.length suffix)
+         = suffix
+    then String.sub n 0 (String.length n - String.length suffix)
+    else n
+
+let dotted_quad ip =
+  match String.split_on_char '.' ip with
+  | [ a; b; c; d ] ->
+    let octet s =
+      match int_of_string_opt s with
+      | Some v when v >= 0 && v <= 255 -> Some v
+      | Some _ | None -> None
+    in
+    (match (octet a, octet b, octet c, octet d) with
+     | Some a, Some b, Some c, Some d -> Some (a, b, c, d)
+     | _, _, _, _ -> None)
+  | _ -> None
+
+let reverse_of_ipv4 ip =
+  match dotted_quad ip with
+  | None -> None
+  | Some (a, b, c, d) -> Some (Printf.sprintf "%d.%d.%d.%d.in-addr.arpa." d c b a)
+
+let ipv4_of_reverse name =
+  match String.split_on_char '.' (String.lowercase_ascii name) with
+  | [ d; c; b; a; "in-addr"; "arpa"; "" ] ->
+    let ip = Printf.sprintf "%s.%s.%s.%s" a b c d in
+    (match dotted_quad ip with Some _ -> Some ip | None -> None)
+  | _ -> None
+
+let labels n =
+  String.split_on_char '.' n |> List.filter (fun l -> l <> "")

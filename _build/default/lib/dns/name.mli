@@ -1,0 +1,29 @@
+(** Domain-name handling.
+
+    Names are normalized to lowercase, absolute form with a trailing dot
+    (["www.example.com."]). *)
+
+val normalize : ?origin:string -> string -> string
+(** [normalize ~origin n] lowercases [n]; relative names (no trailing
+    dot) are suffixed with [origin]; ["@"] denotes the origin itself. *)
+
+val is_absolute : string -> bool
+
+val relative_to : origin:string -> string -> string
+(** Render a normalized name relative to [origin] when possible:
+    ["www.example.com."] under ["example.com."] becomes ["www"]; the
+    origin itself becomes ["@"]; names outside the origin stay
+    absolute. *)
+
+val in_domain : domain:string -> string -> bool
+(** [in_domain ~domain n]: [n] equals [domain] or is below it. *)
+
+val reverse_of_ipv4 : string -> string option
+(** ["10.0.0.1"] becomes [Some "1.0.0.10.in-addr.arpa."]; [None] for a
+    malformed dotted quad. *)
+
+val ipv4_of_reverse : string -> string option
+(** Inverse of {!reverse_of_ipv4}. *)
+
+val labels : string -> string list
+(** Labels of a normalized name, most-specific first. *)

@@ -1,0 +1,74 @@
+type t = { origin : string; records : Record.t list }
+
+let make ~origin records = { origin = Name.normalize origin; records }
+
+let find t ~owner =
+  let owner = Name.normalize owner in
+  List.filter (fun (r : Record.t) -> r.owner = owner) t.records
+
+let find_rtype t ~owner ~rtype =
+  List.filter (fun r -> Record.rtype r = rtype) (find t ~owner)
+
+let owners t =
+  List.fold_left
+    (fun acc (r : Record.t) -> if List.mem r.owner acc then acc else r.owner :: acc)
+    [] t.records
+  |> List.rev
+
+let soa t =
+  List.find_opt (fun (r : Record.t) -> Record.rtype r = "SOA") t.records
+
+let add t r = { t with records = t.records @ [ r ] }
+
+let remove t r =
+  { t with records = List.filter (fun x -> not (Record.equal x r)) t.records }
+
+let replace t ~old_record r =
+  {
+    t with
+    records = List.map (fun x -> if Record.equal x old_record then r else x) t.records;
+  }
+
+type problem =
+  | Cname_and_other_data of string
+  | Mx_target_is_alias of string * string
+  | Ns_target_is_alias of string * string
+  | Missing_soa
+
+let validate t =
+  let cname_owners =
+    List.filter_map
+      (fun (r : Record.t) ->
+        match r.rdata with Record.Cname _ -> Some r.owner | _ -> None)
+      t.records
+  in
+  let has_alias name = List.mem (Name.normalize name) cname_owners in
+  let collisions =
+    owners t
+    |> List.filter (fun o ->
+           List.mem o cname_owners
+           && List.exists
+                (fun (r : Record.t) -> r.owner = o && Record.rtype r <> "CNAME")
+                t.records)
+    |> List.map (fun o -> Cname_and_other_data o)
+  in
+  let alias_targets =
+    List.filter_map
+      (fun (r : Record.t) ->
+        match r.rdata with
+        | Record.Mx (_, x) when has_alias x -> Some (Mx_target_is_alias (r.owner, x))
+        | Record.Ns n when has_alias n -> Some (Ns_target_is_alias (r.owner, n))
+        | _ -> None)
+      t.records
+  in
+  let soa_problem = match soa t with Some _ -> [] | None -> [ Missing_soa ] in
+  collisions @ alias_targets @ soa_problem
+
+let pp_problem fmt = function
+  | Cname_and_other_data o ->
+    Format.fprintf fmt "%s has a CNAME and other data" o
+  | Mx_target_is_alias (owner, x) ->
+    Format.fprintf fmt "MX for %s points at alias %s" owner x
+  | Ns_target_is_alias (owner, n) ->
+    Format.fprintf fmt "NS for %s points at alias %s" owner n
+  | Missing_soa -> Format.pp_print_string fmt "zone has no SOA record"

@@ -1,0 +1,39 @@
+(** A zone: an origin plus the records at or below it. *)
+
+type t = { origin : string; records : Record.t list }
+
+val make : origin:string -> Record.t list -> t
+(** Origin is normalized; records outside the origin are kept (useful
+    for glue) but flagged by {!validate}. *)
+
+val find : t -> owner:string -> Record.t list
+(** Records whose owner equals the (normalized) name. *)
+
+val find_rtype : t -> owner:string -> rtype:string -> Record.t list
+
+val owners : t -> string list
+(** Distinct owner names, in first-appearance order. *)
+
+val soa : t -> Record.t option
+
+val add : t -> Record.t -> t
+
+val remove : t -> Record.t -> t
+(** Removes every record equal (modulo tags) to the argument. *)
+
+val replace : t -> old_record:Record.t -> Record.t -> t
+
+(** {1 Consistency} *)
+
+type problem =
+  | Cname_and_other_data of string
+      (** a name owns a CNAME and records of other types (RFC 1034 §3.6.2) *)
+  | Mx_target_is_alias of string * string    (** mx owner, exchange *)
+  | Ns_target_is_alias of string * string
+  | Missing_soa
+
+val validate : t -> problem list
+(** The checks BIND performs when loading a zone (paper Table 3 rows 3
+    and 4 are detected through these). *)
+
+val pp_problem : Format.formatter -> problem -> unit

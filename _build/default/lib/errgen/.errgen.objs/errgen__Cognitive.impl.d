@@ -1,0 +1,1 @@
+lib/errgen/cognitive.ml: Conferr_util Float

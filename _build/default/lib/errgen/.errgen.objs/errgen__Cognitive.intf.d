@@ -1,0 +1,1 @@
+lib/errgen/cognitive.mli: Conferr_util Scenario

@@ -1,0 +1,1 @@
+lib/errgen/plugin.ml: Conferr_util Conftree Scenario

@@ -1,0 +1,1 @@
+lib/errgen/plugin.mli: Conferr_util Conftree Scenario

@@ -1,0 +1,1 @@
+lib/errgen/scenario.ml: Conftree List Printf String

@@ -1,0 +1,1 @@
+lib/errgen/scenario.mli: Conftree

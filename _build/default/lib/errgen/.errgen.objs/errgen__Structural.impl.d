@@ -1,0 +1,1 @@
+lib/errgen/structural.ml: Conftree Printf Template

@@ -1,0 +1,1 @@
+lib/errgen/structural.mli: Conftree Scenario

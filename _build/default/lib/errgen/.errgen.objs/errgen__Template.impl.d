@@ -1,0 +1,1 @@
+lib/errgen/template.ml: Conferr_util Confpath Conftree List Option Printf Result Scenario

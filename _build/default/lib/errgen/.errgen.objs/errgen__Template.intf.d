@@ -1,0 +1,1 @@
+lib/errgen/template.mli: Conferr_util Confpath Conftree Scenario

@@ -1,0 +1,1 @@
+lib/errgen/typo.ml: Conferr_util Conftree Fun Hashtbl Keyboard List Option Printf Scenario String Template Wordview

@@ -1,0 +1,1 @@
+lib/errgen/typo.mli: Conferr_util Conftree Keyboard Scenario Template

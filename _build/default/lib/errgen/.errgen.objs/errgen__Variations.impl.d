@@ -1,0 +1,1 @@
+lib/errgen/variations.ml: Char Conferr_util Conftree List Printf Scenario String

@@ -1,0 +1,1 @@
+lib/errgen/variations.mli: Conferr_util Conftree Scenario

@@ -1,0 +1,1 @@
+lib/errgen/wordview.ml: Conftree List Option Result String

@@ -1,0 +1,1 @@
+lib/errgen/wordview.mli: Conftree

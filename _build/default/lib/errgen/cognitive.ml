@@ -1,0 +1,28 @@
+module Strutil = Conferr_util.Strutil
+module Rng = Conferr_util.Rng
+
+type level = Skill_based | Rule_based | Knowledge_based
+
+let name = function
+  | Skill_based -> "skill-based"
+  | Rule_based -> "rule-based"
+  | Knowledge_based -> "knowledge-based"
+
+let gems_share = function
+  | Skill_based -> 0.6
+  | Rule_based -> 0.3
+  | Knowledge_based -> 0.1
+
+let of_class_name class_name =
+  let has prefix = Strutil.is_prefix ~prefix class_name in
+  if has "typo/" || has "compare/" || has "process-bench/" then Some Skill_based
+  else if has "structural/borrow" then Some Rule_based
+  else if has "structural/" then Some Skill_based
+  else if has "variation/" then Some Rule_based
+  else if has "semantic/" then Some Knowledge_based
+  else None
+
+let weighted_mix ~rng ~total ~skill ~rule ~knowledge =
+  let quota level = int_of_float (Float.round (gems_share level *. float_of_int total)) in
+  let draw pool level = Rng.sample rng (quota level) pool in
+  draw skill Skill_based @ draw rule Rule_based @ draw knowledge Knowledge_based

@@ -1,0 +1,32 @@
+(** GEMS cognitive levels (paper §2).
+
+    The Generic Error-Modeling System distinguishes three levels of
+    cognitive processing; ConfErr's error classes map onto them, and the
+    framework can weight a mixed faultload by the GEMS error-share
+    figures (roughly 60% skill-based slips, 30% rule-based mistakes, 10%
+    knowledge-based mistakes). *)
+
+type level = Skill_based | Rule_based | Knowledge_based
+
+val name : level -> string
+
+val gems_share : level -> float
+(** The approximate share of general human errors GEMS attributes to the
+    level: 0.6 / 0.3 / 0.1. *)
+
+val of_class_name : string -> level option
+(** Classify a scenario class name: [typo/*] and the skill-based
+    structural classes are {!Skill_based}; borrowed-directive and
+    variation classes are {!Rule_based}; [semantic/*] is
+    {!Knowledge_based}.  Unknown prefixes map to [None]. *)
+
+val weighted_mix :
+  rng:Conferr_util.Rng.t ->
+  total:int ->
+  skill:Scenario.t list ->
+  rule:Scenario.t list ->
+  knowledge:Scenario.t list ->
+  Scenario.t list
+(** Draw a faultload of [total] scenarios with the GEMS proportions
+    (without replacement within each pool; pools smaller than their
+    quota contribute everything they have). *)

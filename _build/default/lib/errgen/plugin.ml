@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  describe : string;
+  generate : rng:Conferr_util.Rng.t -> Conftree.Config_set.t -> Scenario.t list;
+}
+
+let make ~name ~describe generate = { name; describe; generate }
+
+let generate t ~rng set =
+  Scenario.relabel_ids ~prefix:t.name (t.generate ~rng set)

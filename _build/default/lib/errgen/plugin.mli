@@ -1,0 +1,20 @@
+(** Error-generator plugin interface.
+
+    A plugin bundles a named error model: given the initial configuration
+    set it synthesizes the fault scenarios to inject (paper §4).  The
+    engine is oblivious to how scenarios were produced, so new error
+    models are added by providing new values of this type. *)
+
+type t = {
+  name : string;
+  describe : string;
+  generate : rng:Conferr_util.Rng.t -> Conftree.Config_set.t -> Scenario.t list;
+}
+
+val make :
+  name:string -> describe:string ->
+  (rng:Conferr_util.Rng.t -> Conftree.Config_set.t -> Scenario.t list) -> t
+
+val generate : t -> rng:Conferr_util.Rng.t -> Conftree.Config_set.t -> Scenario.t list
+(** Runs the plugin and assigns stable scenario ids prefixed with the
+    plugin name. *)

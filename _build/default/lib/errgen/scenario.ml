@@ -1,0 +1,30 @@
+type t = {
+  id : string;
+  class_name : string;
+  description : string;
+  apply : Conftree.Config_set.t -> (Conftree.Config_set.t, string) result;
+}
+
+let make ~id ~class_name ~description apply = { id; class_name; description; apply }
+
+let edit_in_file ~file edit set =
+  match Conftree.Config_set.update set file edit with
+  | Some set' -> Ok set'
+  | None ->
+    (match Conftree.Config_set.find set file with
+     | None -> Error (Printf.sprintf "configuration file %S is not in the set" file)
+     | Some _ -> Error "the edit no longer applies to this configuration")
+
+let relabel_ids ~prefix scenarios =
+  List.mapi
+    (fun i s -> { s with id = Printf.sprintf "%s-%04d" prefix (i + 1) })
+    scenarios
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let manifest_csv scenarios =
+  let line s = String.concat "," (List.map csv_field [ s.id; s.class_name; s.description ]) in
+  String.concat "\n" (("id,class,description" :: List.map line scenarios) @ [ "" ])

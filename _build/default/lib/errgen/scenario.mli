@@ -1,0 +1,32 @@
+(** Fault scenarios.
+
+    A fault scenario (paper §3.1) is a function that mutates a set of
+    abstract configuration representations, together with enough metadata
+    to report it in the resilience profile. *)
+
+type t = {
+  id : string;            (** stable unique identifier within a campaign *)
+  class_name : string;    (** fault class, e.g. ["typo/omission"] *)
+  description : string;   (** human-readable account of the mutation *)
+  apply : Conftree.Config_set.t -> (Conftree.Config_set.t, string) result;
+}
+
+val make :
+  id:string -> class_name:string -> description:string ->
+  (Conftree.Config_set.t -> (Conftree.Config_set.t, string) result) -> t
+
+val edit_in_file :
+  file:string ->
+  (Conftree.Node.t -> Conftree.Node.t option) ->
+  Conftree.Config_set.t ->
+  (Conftree.Config_set.t, string) result
+(** Helper: apply a tree edit to one file of the set; a missing file or a
+    failing edit becomes [Error]. *)
+
+val relabel_ids : prefix:string -> t list -> t list
+(** Re-number scenario ids as [prefix-0001], [prefix-0002], ... *)
+
+val manifest_csv : t list -> string
+(** Record of a generated faultload: one CSV line per scenario
+    ([id,class,description]) so a campaign can be archived and compared
+    across versions. *)

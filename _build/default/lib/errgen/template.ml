@@ -1,0 +1,121 @@
+module Node = Conftree.Node
+module Path = Conftree.Path
+module Config_set = Conftree.Config_set
+
+type target = { file : string; query : Confpath.query }
+
+let target ~file q = { file; query = Confpath.compile_exn q }
+
+let select_in set { file; query } =
+  match Config_set.find set file with
+  | None -> []
+  | Some tree -> List.map (fun (p, n) -> (file, p, n)) (Confpath.select query tree)
+
+let describe_node (n : Node.t) =
+  match n.value with
+  | Some v when n.name <> "" -> Printf.sprintf "%s %S (=%S)" n.kind n.name v
+  | Some v -> Printf.sprintf "%s (=%S)" n.kind v
+  | None -> Printf.sprintf "%s %S" n.kind n.name
+
+let delete ~class_name tgt set =
+  select_in set tgt
+  |> List.map (fun (file, path, node) ->
+         Scenario.make ~id:"" ~class_name
+           ~description:
+             (Printf.sprintf "delete %s at %s:%s" (describe_node node) file
+                (Path.to_string path))
+           (Scenario.edit_in_file ~file (fun tree -> Node.delete tree path)))
+
+let duplicate ~class_name tgt set =
+  select_in set tgt
+  |> List.map (fun (file, path, node) ->
+         Scenario.make ~id:"" ~class_name
+           ~description:
+             (Printf.sprintf "duplicate %s at %s:%s" (describe_node node) file
+                (Path.to_string path))
+           (Scenario.edit_in_file ~file (fun tree -> Node.duplicate tree path)))
+
+let modify ~class_name ~mutate tgt set =
+  select_in set tgt
+  |> List.concat_map (fun (file, path, node) ->
+         mutate node
+         |> List.map (fun (variant, what) ->
+                Scenario.make ~id:"" ~class_name
+                  ~description:
+                    (Printf.sprintf "%s in %s at %s:%s" what (describe_node node) file
+                       (Path.to_string path))
+                  (Scenario.edit_in_file ~file (fun tree ->
+                       Node.replace tree path variant))))
+
+let move ~class_name ~src ~dst set =
+  let sources = select_in set src in
+  let destinations = select_in set dst in
+  List.concat_map
+    (fun (sfile, spath, snode) ->
+      let current_parent = Option.map fst (Path.parent spath) in
+      destinations
+      |> List.filter (fun (dfile, dpath, _) ->
+             not (dfile = sfile && Path.is_prefix ~prefix:spath dpath)
+             && not (dfile = sfile && Some dpath = Option.map (fun p -> p) current_parent))
+      |> List.map (fun (dfile, dpath, dnode) ->
+             let description =
+               Printf.sprintf "move %s from %s:%s into %s at %s:%s"
+                 (describe_node snode) sfile (Path.to_string spath)
+                 (describe_node dnode) dfile (Path.to_string dpath)
+             in
+             Scenario.make ~id:"" ~class_name ~description (fun set ->
+                 if sfile = dfile then
+                   Scenario.edit_in_file ~file:sfile
+                     (fun tree -> Node.move tree ~src:spath ~dst_parent:dpath ~index:0)
+                     set
+                 else
+                   (* Cross-file: delete from the source, insert into the
+                      destination. *)
+                   let ( let* ) = Result.bind in
+                   let* set =
+                     Scenario.edit_in_file ~file:sfile
+                       (fun tree -> Node.delete tree spath)
+                       set
+                   in
+                   Scenario.edit_in_file ~file:dfile
+                     (fun tree -> Node.insert_child tree ~parent:dpath ~index:0 snode)
+                     set)))
+    sources
+
+let copy_into ~class_name ~src ~dst set =
+  let sources = select_in set src in
+  let destinations = select_in set dst in
+  List.concat_map
+    (fun (sfile, spath, snode) ->
+      destinations
+      |> List.filter (fun (dfile, dpath, _) ->
+             not (dfile = sfile && Path.is_prefix ~prefix:spath dpath))
+      |> List.map (fun (dfile, dpath, dnode) ->
+             let description =
+               Printf.sprintf "copy %s from %s:%s into %s at %s:%s"
+                 (describe_node snode) sfile (Path.to_string spath)
+                 (describe_node dnode) dfile (Path.to_string dpath)
+             in
+             Scenario.make ~id:"" ~class_name ~description (fun set ->
+                 Scenario.edit_in_file ~file:dfile
+                   (fun tree -> Node.insert_child tree ~parent:dpath ~index:0 snode)
+                   set)))
+    sources
+
+let insert_foreign ~class_name ~node ~description ~dst set =
+  select_in set dst
+  |> List.map (fun (dfile, dpath, dnode) ->
+         Scenario.make ~id:"" ~class_name
+           ~description:
+             (Printf.sprintf "%s into %s at %s:%s" description (describe_node dnode)
+                dfile (Path.to_string dpath))
+           (fun set ->
+             Scenario.edit_in_file ~file:dfile
+               (fun tree -> Node.append_child tree ~parent:dpath node)
+               set))
+
+let union = List.concat
+
+let sample rng n scenarios = Conferr_util.Rng.sample rng n scenarios
+
+let limit n scenarios = List.filteri (fun i _ -> i < n) scenarios

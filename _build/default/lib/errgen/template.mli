@@ -1,0 +1,63 @@
+(** Error templates (paper §3.3).
+
+    Templates describe parameterized transformations of configuration
+    trees; instantiating a template against an initial configuration set
+    yields concrete {!Scenario.t} values, one per applicable target.
+
+    Simple templates (delete, duplicate, modify, move, copy) take a
+    ConfPath query designating the candidate nodes.  Complex templates
+    (union, sample, limit) combine the scenario sets produced by other
+    templates. *)
+
+type target = { file : string; query : Confpath.query }
+
+val target : file:string -> string -> target
+(** [target ~file q] compiles the query text; raises
+    [Confpath.Parser.Parse_error] on a malformed query. *)
+
+(** {1 Simple templates} *)
+
+val delete : class_name:string -> target -> Conftree.Config_set.t -> Scenario.t list
+(** One scenario per node matched by the query: remove that node. *)
+
+val duplicate : class_name:string -> target -> Conftree.Config_set.t -> Scenario.t list
+(** One scenario per match: insert a copy right after the original. *)
+
+val modify :
+  class_name:string ->
+  mutate:(Conftree.Node.t -> (Conftree.Node.t * string) list) ->
+  target -> Conftree.Config_set.t -> Scenario.t list
+(** The abstract modify template.  [mutate node] returns the list of
+    mutated variants with a description each; one scenario per (target,
+    variant). *)
+
+val move :
+  class_name:string -> src:target -> dst:target ->
+  Conftree.Config_set.t -> Scenario.t list
+(** One scenario per (source node, destination parent) pair with the
+    destination not inside the source and different from the source's
+    current parent.  Source and destination may be in different files of
+    the set (cross-file errors). *)
+
+val copy_into :
+  class_name:string -> src:target -> dst:target ->
+  Conftree.Config_set.t -> Scenario.t list
+(** Like {!move} but the original stays (copy-paste errors); the current
+    parent is also a valid destination (duplicating into the same
+    section). *)
+
+val insert_foreign :
+  class_name:string -> node:Conftree.Node.t -> description:string ->
+  dst:target -> Conftree.Config_set.t -> Scenario.t list
+(** Insert a node "borrowed" from another program's configuration under
+    each destination parent (rule-based errors, paper §2.2). *)
+
+(** {1 Complex templates} *)
+
+val union : Scenario.t list list -> Scenario.t list
+
+val sample : Conferr_util.Rng.t -> int -> Scenario.t list -> Scenario.t list
+(** Random subset of a given size (without replacement). *)
+
+val limit : int -> Scenario.t list -> Scenario.t list
+(** First [n] scenarios. *)

@@ -1,0 +1,246 @@
+module Node = Conftree.Node
+module Strutil = Conferr_util.Strutil
+module Rng = Conferr_util.Rng
+module Layout = Keyboard.Layout
+
+type kind = Omission | Insertion | Substitution | Case_alteration | Transposition
+
+let all_kinds = [ Omission; Insertion; Substitution; Case_alteration; Transposition ]
+
+let kind_name = function
+  | Omission -> "omission"
+  | Insertion -> "insertion"
+  | Substitution -> "substitution"
+  | Case_alteration -> "case-alteration"
+  | Transposition -> "transposition"
+
+let default_layout = Layout.us_qwerty
+
+let dedup_variants word variants =
+  let seen = Hashtbl.create 8 in
+  Hashtbl.add seen word ();
+  List.filter
+    (fun (w, _) ->
+      if Hashtbl.mem seen w then false
+      else begin
+        Hashtbl.add seen w ();
+        true
+      end)
+    variants
+
+let omission_variants word =
+  List.init (String.length word) (fun i ->
+      ( Strutil.delete_char word i,
+        Printf.sprintf "omit %C at position %d" word.[i] i ))
+
+let insertion_variants ?(include_doubling = false) layout word =
+  (* The spurious character comes from a key adjacent to the character
+     being typed when the slip happens (paper §4.1).  Same-key doubling
+     is a realistic extension beyond the paper's model, available
+     opt-in. *)
+  List.concat
+    (List.init (String.length word) (fun i ->
+         let doubled =
+           if include_doubling then
+             [
+               ( Strutil.insert_char word i word.[i],
+                 Printf.sprintf "double %C at position %d" word.[i] i );
+             ]
+           else []
+         in
+         doubled
+         @ (Layout.neighbors layout word.[i]
+           |> List.concat_map (fun c ->
+                  [
+                    ( Strutil.insert_char word i c,
+                      Printf.sprintf "insert %C before position %d" c i );
+                    ( Strutil.insert_char word (i + 1) c,
+                      Printf.sprintf "insert %C after position %d" c i );
+                  ]))))
+
+let substitution_variants layout word =
+  List.concat
+    (List.init (String.length word) (fun i ->
+         Layout.neighbors layout word.[i]
+         |> List.map (fun c ->
+                ( Strutil.replace_char word i c,
+                  Printf.sprintf "substitute %C for %C at position %d" c word.[i] i ))))
+
+(* Ablation variant: substitutions drawn from the whole layout instead of
+   the adjacent keys — what a keyboard-oblivious fuzzer would inject. *)
+let uniform_substitution_variants layout word =
+  let chars = Layout.all_chars layout in
+  List.concat
+    (List.init (String.length word) (fun i ->
+         chars
+         |> List.filter (fun c -> c <> word.[i])
+         |> List.map (fun c ->
+                ( Strutil.replace_char word i c,
+                  Printf.sprintf "substitute %C for %C at position %d (uniform)" c
+                    word.[i] i ))))
+
+let case_alteration_variants layout word =
+  List.concat
+    (List.init (String.length word) (fun i ->
+         let c = word.[i] in
+         if
+           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         then
+           match Layout.shift_variant layout c with
+           | Some flipped when flipped <> c ->
+             [
+               ( Strutil.replace_char word i flipped,
+                 Printf.sprintf "flip case of %C at position %d" c i );
+             ]
+           | Some _ | None -> []
+         else []))
+
+let transposition_variants word =
+  let n = String.length word in
+  List.concat
+    (List.init (max 0 (n - 1)) (fun i ->
+         if word.[i] = word.[i + 1] then []
+         else
+           [
+             ( Strutil.swap_chars word i,
+               Printf.sprintf "transpose positions %d and %d" i (i + 1) );
+           ]))
+
+let uniform_substitutions ?(layout = default_layout) word =
+  dedup_variants word (uniform_substitution_variants layout word)
+
+let variants ?(layout = default_layout) ?(include_doubling = false) kind word =
+  let raw =
+    match kind with
+    | Omission -> if String.length word <= 1 then [] else omission_variants word
+    | Insertion -> insertion_variants ~include_doubling layout word
+    | Substitution -> substitution_variants layout word
+    | Case_alteration -> case_alteration_variants layout word
+    | Transposition -> transposition_variants word
+  in
+  dedup_variants word raw
+
+let random_variant ?(layout = default_layout) rng kind word =
+  Rng.pick_opt rng (variants ~layout kind word)
+
+let random_any ?(layout = default_layout) rng word =
+  (* Uniform over the whole one-letter typo space: kinds with more
+     concrete slips (substitutions, insertions) are proportionally more
+     likely, as when drawing a random subset of typos (paper §4.1). *)
+  let pool =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun (w, d) -> (w, Printf.sprintf "%s: %s" (kind_name kind) d))
+          (variants ~layout kind word))
+      all_kinds
+  in
+  Rng.pick_opt rng pool
+
+let random_kind_first ?(layout = default_layout) rng word =
+  (* Uniform over kinds first, then over that kind's variants: each
+     submodel is equally represented regardless of how many concrete
+     slips it has (used by the §5.5 benchmark, which draws exactly one
+     typo per experiment). *)
+  let non_empty = List.filter (fun k -> variants ~layout k word <> []) all_kinds in
+  match Rng.pick_opt rng non_empty with
+  | None -> None
+  | Some kind ->
+    Option.map
+      (fun (w, d) -> (w, Printf.sprintf "%s: %s" (kind_name kind) d))
+      (random_variant ~layout rng kind word)
+
+type part = Name | Value
+
+let directive_only (n : Node.t) = n.kind = Node.kind_directive
+
+let mutate_part layout ~class_suffix part make_variants (n : Node.t) =
+  if not (directive_only n) then []
+  else
+    match part with
+    | Name ->
+      make_variants layout n.name
+      |> List.map (fun (w, d) ->
+             ({ n with Node.name = w }, Printf.sprintf "%s in name: %s" class_suffix d))
+    | Value ->
+      (match n.value with
+       | None -> []
+       | Some v ->
+         make_variants layout v
+         |> List.map (fun (w, d) ->
+                ( { n with Node.value = Some w },
+                  Printf.sprintf "%s in value: %s" class_suffix d )))
+
+let scenarios ?(layout = default_layout) ~class_prefix ~part ~kinds tgt set =
+  kinds
+  |> List.concat_map (fun kind ->
+         let class_name = Printf.sprintf "%s/%s" class_prefix (kind_name kind) in
+         Template.modify ~class_name
+           ~mutate:
+             (mutate_part layout ~class_suffix:(kind_name kind) part
+                (fun layout w -> variants ~layout kind w))
+           tgt set)
+
+(* The paper's two-stage pipeline (§3.2 / Figure 2.c): map the
+   structural tree to the word-token view, mutate tokens there, and let
+   the stored back-references rewrite the original tree.  Functionally
+   equivalent to the direct path above — asserted by tests — but
+   demonstrates the representation-mapping architecture end to end. *)
+let wordview_scenarios ?(layout = default_layout) ~class_prefix ~word_type ~kinds ~file
+    set =
+  match Conftree.Config_set.find set file with
+  | None -> []
+  | Some tree ->
+    let view = Wordview.of_tree tree in
+    Wordview.words ~word_type view
+    |> List.concat_map (fun (token_path, (token : Node.t)) ->
+           let text = Node.value_or ~default:"" token in
+           kinds
+           |> List.concat_map (fun kind ->
+                  variants ~layout kind text
+                  |> List.map (fun (mutated, what) ->
+                         Scenario.make ~id:""
+                           ~class_name:
+                             (Printf.sprintf "%s/%s" class_prefix (kind_name kind))
+                           ~description:
+                             (Printf.sprintf "%s: %s in %s token %S of %s"
+                                (kind_name kind) what word_type text file)
+                           (fun set ->
+                             match Conftree.Config_set.find set file with
+                             | None -> Error (Printf.sprintf "file %S missing" file)
+                             | Some tree ->
+                               let view = Wordview.of_tree tree in
+                               (match
+                                  Node.update view token_path (fun w ->
+                                      { w with Node.value = Some mutated })
+                                with
+                                | None -> Error "word token vanished from the view"
+                                | Some view' ->
+                                  (match Wordview.apply_to_tree ~word_view:view' tree with
+                                   | Error msg -> Error msg
+                                   | Ok tree' ->
+                                     Ok (Conftree.Config_set.add set file tree')))))))
+
+let sampled_scenarios ?(layout = default_layout) ~rng ~per_target ~class_prefix ~part tgt
+    set =
+  let mutate (n : Node.t) =
+    if not (directive_only n) then []
+    else begin
+      let word =
+        match part with Name -> Some n.name | Value -> n.value
+      in
+      match word with
+      | None -> []
+      | Some w ->
+        List.init per_target (fun _ -> random_any ~layout rng w)
+        |> List.filter_map Fun.id
+        |> List.map (fun (mutated, descr) ->
+               let node =
+                 match part with
+                 | Name -> { n with Node.name = mutated }
+                 | Value -> { n with Node.value = Some mutated }
+               in
+               (node, descr))
+    end
+  in
+  Template.modify ~class_name:(Printf.sprintf "%s/sampled" class_prefix) ~mutate tgt set

@@ -1,0 +1,160 @@
+module Node = Conftree.Node
+module Rng = Conferr_util.Rng
+module Strutil = Conferr_util.Strutil
+
+type class_name =
+  | Reorder_sections
+  | Reorder_directives
+  | Separator_spacing
+  | Mixed_case_names
+  | Truncated_names
+
+let all_classes =
+  [ Reorder_sections; Reorder_directives; Separator_spacing; Mixed_case_names;
+    Truncated_names ]
+
+let class_title = function
+  | Reorder_sections -> "Order of sections"
+  | Reorder_directives -> "Order of directives"
+  | Separator_spacing -> "Spaces near separators"
+  | Mixed_case_names -> "Mixed-case directive names"
+  | Truncated_names -> "Truncatable directive names"
+
+let is_section (n : Node.t) = n.kind = Node.kind_section
+
+let is_directive (n : Node.t) = n.kind = Node.kind_directive
+
+(* Shuffle only the given kind of child, leaving comments and blanks in
+   place so the variation is purely about ordering. *)
+let shuffle_children rng pred (n : Node.t) =
+  let targets = List.filter pred n.children in
+  if List.length targets < 2 then n
+  else begin
+    let shuffled = ref (Rng.shuffle rng targets) in
+    let take () =
+      match !shuffled with
+      | [] -> assert false
+      | x :: rest ->
+        shuffled := rest;
+        x
+    in
+    { n with children = List.map (fun c -> if pred c then take () else c) n.children }
+  end
+
+let reorder_sections rng tree = shuffle_children rng is_section tree
+
+let reorder_directives rng tree =
+  let shuffle_in n = shuffle_children rng is_directive n in
+  (* Directives can sit at top level (flat formats) or inside sections. *)
+  Node.map_nodes
+    (fun n -> if is_section n || n.Node.kind = Node.kind_root then shuffle_in n else n)
+    (shuffle_in tree)
+
+let equals_spacings = [ "="; " = "; "  =  "; " ="; "= "; "\t=\t" ]
+
+let whitespace_spacings = [ " "; "  "; "\t"; "   " ]
+
+let vary_spacing rng tree =
+  let spacings_for n =
+    (* Formats with an '=' separator keep it; whitespace-separated
+       formats (Apache) only vary the blank run. *)
+    match Node.attr n "sep" with
+    | Some s when String.contains s '=' -> equals_spacings
+    | Some _ -> whitespace_spacings
+    | None -> whitespace_spacings
+  in
+  Node.map_nodes
+    (fun n ->
+      if is_directive n && n.Node.value <> None then
+        Node.set_attr n "sep" (Rng.pick rng (spacings_for n))
+      else n)
+    tree
+
+let mix_case rng s =
+  String.map
+    (fun c ->
+      if Rng.bool rng then
+        if c >= 'a' && c <= 'z' then Char.uppercase_ascii c
+        else if c >= 'A' && c <= 'Z' then Char.lowercase_ascii c
+        else c
+      else c)
+    s
+
+let mixed_case rng tree =
+  Node.map_nodes
+    (fun n -> if is_directive n then { n with Node.name = mix_case rng n.name } else n)
+    tree
+
+let shortest_unambiguous_prefix name ~among =
+  let others = List.filter (fun o -> o <> name) among in
+  let len = String.length name in
+  let rec try_len l =
+    if l >= len then None
+    else begin
+      let prefix = String.sub name 0 l in
+      if List.exists (fun o -> Strutil.is_prefix ~prefix o) others then try_len (l + 1)
+      else Some l
+    end
+  in
+  if len <= 1 then None else try_len 1
+
+let directive_names tree =
+  Node.find_all is_directive tree |> List.map (fun (_, n) -> n.Node.name)
+
+let truncate_names rng tree =
+  let names = directive_names tree in
+  Node.map_nodes
+    (fun n ->
+      if is_directive n then
+        match shortest_unambiguous_prefix n.Node.name ~among:names with
+        | None -> n
+        | Some min_len ->
+          let len = String.length n.Node.name in
+          (* Random cut between the shortest safe prefix and full length;
+             cutting at full length leaves the name intact, which keeps
+             some directives untouched in each variation. *)
+          let cut = min_len + Rng.int rng (len - min_len + 1) in
+          { n with Node.name = String.sub n.Node.name 0 cut }
+      else n)
+    tree
+
+let applies class_ tree =
+  match class_ with
+  | Reorder_sections ->
+    List.length (List.filter is_section tree.Node.children) >= 2
+  | Reorder_directives ->
+    Node.fold
+      (fun _ n acc ->
+        acc
+        || List.length (List.filter is_directive n.Node.children) >= 2)
+      tree false
+  | Separator_spacing ->
+    Node.fold (fun _ n acc -> acc || (is_directive n && n.Node.value <> None)) tree false
+  | Mixed_case_names | Truncated_names ->
+    Node.fold (fun _ n acc -> acc || is_directive n) tree false
+
+let transform class_ rng tree =
+  match class_ with
+  | Reorder_sections -> reorder_sections rng tree
+  | Reorder_directives -> reorder_directives rng tree
+  | Separator_spacing -> vary_spacing rng tree
+  | Mixed_case_names -> mixed_case rng tree
+  | Truncated_names -> truncate_names rng tree
+
+let scenarios ~rng ~count class_ ~file set =
+  match Conftree.Config_set.find set file with
+  | None -> []
+  | Some tree when not (applies class_ tree) -> []
+  | Some _ ->
+    List.init count (fun i ->
+        (* Each scenario owns an independent RNG stream so applying one
+           scenario does not perturb the others. *)
+        let stream = Rng.split rng in
+        Scenario.make
+          ~id:(Printf.sprintf "variation-%d" i)
+          ~class_name:(Printf.sprintf "variation/%s" (class_title class_))
+          ~description:(Printf.sprintf "%s (random variation %d)" (class_title class_) i)
+          (fun set ->
+            Scenario.edit_in_file ~file
+              (fun tree -> Some (transform class_ (Rng.copy stream) tree))
+              set))

@@ -1,0 +1,37 @@
+(** Semantics-preserving structural variations (paper §5.3).
+
+    These are not faults: an ideal system accepts every configuration in
+    a variation class.  ConfErr generates random members of each class
+    and checks whether the SUT still starts and passes its functional
+    tests, yielding the "Resilience to structural errors" table.
+
+    Classes (paper's list):
+    - any ordering of sections
+    - any ordering of directives within a section
+    - redundant whitespace between names, separators and values
+    - mixed-case directive names
+    - truncated (but unambiguous) directive names *)
+
+type class_name =
+  | Reorder_sections
+  | Reorder_directives
+  | Separator_spacing
+  | Mixed_case_names
+  | Truncated_names
+
+val all_classes : class_name list
+
+val class_title : class_name -> string
+
+val scenarios :
+  rng:Conferr_util.Rng.t -> count:int -> class_name -> file:string ->
+  Conftree.Config_set.t -> Scenario.t list
+(** [count] random whole-file variations of the class.  Classes that do
+    not apply to the file's shape (e.g. section reordering on a file with
+    fewer than two sections) yield an empty list — reported as "n/a" in
+    the results table. *)
+
+val shortest_unambiguous_prefix : string -> among:string list -> int option
+(** [shortest_unambiguous_prefix name ~among] is the length of the
+    shortest proper prefix of [name] that is not a prefix of any other
+    element of [among]; [None] when no proper prefix is unambiguous. *)

@@ -1,0 +1,80 @@
+module Node = Conftree.Node
+module Path = Conftree.Path
+
+let attr_ref = "ref"
+let attr_type = "type"
+
+let word ~word_type ~ref_path text =
+  Node.make ~value:text
+    ~attrs:[ (attr_type, word_type); (attr_ref, Path.to_string ref_path) ]
+    Node.kind_word
+
+let line children = Node.make ~children Node.kind_line
+
+let of_tree tree =
+  let lines =
+    Node.fold
+      (fun path (n : Node.t) acc ->
+        if n.kind = Node.kind_directive then
+          let name_word = word ~word_type:"directive-name" ~ref_path:path n.name in
+          let value_words =
+            match n.value with
+            | None -> []
+            | Some v -> [ word ~word_type:"directive-value" ~ref_path:path v ]
+          in
+          line (name_word :: value_words) :: acc
+        else if n.kind = Node.kind_section && n.name <> "" then
+          line [ word ~word_type:"section-name" ~ref_path:path n.name ] :: acc
+        else acc)
+      tree []
+    |> List.rev
+  in
+  Node.root lines
+
+let parse_ref s =
+  if s = "/" then Some []
+  else
+    String.split_on_char '/' s
+    |> List.filter (fun x -> x <> "")
+    |> List.map int_of_string_opt
+    |> fun parts -> if List.mem None parts then None else Some (List.map Option.get parts)
+
+let apply_word original (w : Node.t) =
+  let ( let* ) = Option.bind in
+  let resolve () =
+    let* ref_text = Node.attr w attr_ref in
+    let* word_type = Node.attr w attr_type in
+    let* path = parse_ref ref_text in
+    let* text = w.value in
+    let* tree =
+      Node.update original path (fun n ->
+          match word_type with
+          | "directive-name" | "section-name" -> { n with Node.name = text }
+          | "directive-value" -> { n with Node.value = Some text }
+          | _ -> n)
+    in
+    Some tree
+  in
+  match resolve () with
+  | Some tree -> Ok tree
+  | None -> Error "word token has a dangling ref or missing type"
+
+let apply_to_tree ~word_view original =
+  let word_nodes =
+    Node.fold
+      (fun _ n acc -> if n.Node.kind = Node.kind_word then n :: acc else acc)
+      word_view []
+  in
+  List.fold_left
+    (fun acc w -> Result.bind acc (fun tree -> apply_word tree w))
+    (Ok original) word_nodes
+
+let words ?word_type view =
+  Node.find_all
+    (fun n ->
+      n.Node.kind = Node.kind_word
+      &&
+      match word_type with
+      | None -> true
+      | Some t -> Node.attr n attr_type = Some t)
+    view

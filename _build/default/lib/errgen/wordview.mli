@@ -1,0 +1,25 @@
+(** The typo-plugin representation of a configuration (paper Figure 2.c).
+
+    Maps a structural tree (sections of directives) into a flat tree of
+    lines whose children are typed word tokens, and back.  The mapping
+    stores the originating node's path in a [ref] attribute — the
+    "additional information that complements the representation" the
+    paper uses to enable the reverse transformation (§3.2).
+
+    Word tokens carry a [type] attribute: [directive-name],
+    [directive-value], or [section-name]; plugins use it to restrict
+    injection to a part of the configuration. *)
+
+val of_tree : Conftree.Node.t -> Conftree.Node.t
+(** Forward transformation to the word view. *)
+
+val apply_to_tree : word_view:Conftree.Node.t -> Conftree.Node.t ->
+  (Conftree.Node.t, string) result
+(** [apply_to_tree ~word_view original] maps an (edited) word view back
+    onto the original structural tree.  Fails when a [ref] no longer
+    resolves (e.g. the word view was edited structurally rather than
+    textually). *)
+
+val words : ?word_type:string -> Conftree.Node.t ->
+  (Conftree.Path.t * Conftree.Node.t) list
+(** All word tokens of a word view, optionally filtered by type. *)

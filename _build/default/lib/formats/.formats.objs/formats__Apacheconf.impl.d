@@ -1,0 +1,1 @@
+lib/formats/apacheconf.ml: Buffer Conferr_util Conftree List Option Parse_error Printf String

@@ -1,0 +1,1 @@
+lib/formats/apacheconf.mli: Conftree Parse_error

@@ -1,0 +1,1 @@
+lib/formats/bindzone.ml: Buffer Conferr_util Conftree List Parse_error Printf String

@@ -1,0 +1,1 @@
+lib/formats/bindzone.mli: Conftree Parse_error

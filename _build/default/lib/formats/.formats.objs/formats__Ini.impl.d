@@ -1,0 +1,1 @@
+lib/formats/ini.ml: Buffer Conferr_util Conftree List Option Printf String

@@ -1,0 +1,1 @@
+lib/formats/ini.mli: Conftree Parse_error

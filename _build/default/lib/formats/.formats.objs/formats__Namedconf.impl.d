@@ -1,0 +1,1 @@
+lib/formats/namedconf.ml: Buffer Conferr_util Conftree List Parse_error Printf String

@@ -1,0 +1,1 @@
+lib/formats/namedconf.mli: Conftree Parse_error

@@ -1,0 +1,1 @@
+lib/formats/pgconf.ml: Buffer Conferr_util Conftree List Printf String

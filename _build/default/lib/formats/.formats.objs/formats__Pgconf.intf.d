@@ -1,0 +1,1 @@
+lib/formats/pgconf.mli: Conftree Parse_error

@@ -1,0 +1,1 @@
+lib/formats/registry.ml: Apacheconf Bindzone Conftree Ini List Namedconf Parse_error Pgconf Tinydns Xmlconf

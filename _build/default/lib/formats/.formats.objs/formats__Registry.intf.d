@@ -1,0 +1,1 @@
+lib/formats/registry.mli: Conftree Parse_error

@@ -1,0 +1,1 @@
+lib/formats/tinydns.mli: Conftree Parse_error

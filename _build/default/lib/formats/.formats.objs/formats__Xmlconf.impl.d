@@ -1,0 +1,1 @@
+lib/formats/xmlconf.ml: Buffer Conftree List Parse_error Printf String

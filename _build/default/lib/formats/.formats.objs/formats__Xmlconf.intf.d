@@ -1,0 +1,1 @@
+lib/formats/xmlconf.mli: Conftree Parse_error

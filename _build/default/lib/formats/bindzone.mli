@@ -1,0 +1,23 @@
+(** BIND master zone files (RFC 1035 presentation format).
+
+    Supported: [$TTL] and [$ORIGIN] directives, [;] comments, records
+    [owner ttl? class? type rdata], blank owner inheriting the previous
+    owner, [@] for the origin, and multi-line records grouped by
+    parentheses (typical for SOA).
+
+    The parsed tree is
+
+    {v root > (directive | record | comment | blank)* v}
+
+    where a record node has [name] = owner as written, attributes [type],
+    and optionally [ttl] and [class], and [value] = the rdata text.
+    Owner inheritance is resolved at parse time and recorded in the
+    [owner] attribute so plugins can reason about fully-specified
+    records while serialization reproduces the original shorthand. *)
+
+val parse : string -> (Conftree.Node.t, Parse_error.t) result
+
+val serialize : Conftree.Node.t -> (string, string) result
+
+val record : ?ttl:string -> name:string -> rtype:string -> string -> Conftree.Node.t
+(** [record ~name ~rtype rdata] builds a record node as this parser would. *)

@@ -1,0 +1,99 @@
+module Node = Conftree.Node
+module Strutil = Conferr_util.Strutil
+
+let attr_implicit = "implicit"
+let attr_sep = "sep"
+
+let parse_line line =
+  let trimmed = Strutil.trim line in
+  if trimmed = "" then Node.blank
+  else if trimmed.[0] = '#' || trimmed.[0] = ';' then Node.comment line
+  else if trimmed.[0] = '[' && trimmed.[String.length trimmed - 1] = ']' then
+    Node.section (String.sub trimmed 1 (String.length trimmed - 2)) []
+  else
+    match String.index_opt line '=' with
+    | None -> Node.directive (Strutil.trim line)
+    | Some i ->
+      let name = Strutil.trim (String.sub line 0 i) in
+      let value = String.sub line (i + 1) (String.length line - i - 1) in
+      (* Keep the spacing around '=' for faithful re-serialization. *)
+      let sep =
+        let before = String.sub line 0 i in
+        let trailing =
+          let j = ref (String.length before) in
+          while !j > 0 && (before.[!j - 1] = ' ' || before.[!j - 1] = '\t') do
+            decr j
+          done;
+          String.sub before !j (String.length before - !j)
+        in
+        let leading =
+          let k = ref 0 in
+          let rest = value in
+          while !k < String.length rest && (rest.[!k] = ' ' || rest.[!k] = '\t') do
+            incr k
+          done;
+          String.sub rest 0 !k
+        in
+        trailing ^ "=" ^ leading
+      in
+      Node.directive ~attrs:[ (attr_sep, sep) ] ~value:(Strutil.trim value) name
+
+let parse text =
+  let nodes = List.map parse_line (Strutil.lines text) in
+  (* Group directives under the preceding section header. *)
+  let implicit = Node.section ~attrs:[ (attr_implicit, "true") ] "" [] in
+  let flush acc current = { current with Node.children = List.rev current.Node.children } :: acc in
+  let sections, current =
+    List.fold_left
+      (fun (acc, current) node ->
+        if node.Node.kind = Node.kind_section then (flush acc current, node)
+        else
+          (acc, { current with Node.children = node :: current.Node.children }))
+      ([], implicit) nodes
+  in
+  let sections = List.rev (flush sections current) in
+  (* Drop the implicit section when empty. *)
+  let sections =
+    List.filter
+      (fun (s : Node.t) ->
+        not (Node.attr s attr_implicit = Some "true" && s.children = []))
+      sections
+  in
+  Ok (Node.root sections)
+
+let serialize_directive buf (d : Node.t) =
+  match d.kind with
+  | k when k = Node.kind_blank -> Buffer.add_char buf '\n'
+  | k when k = Node.kind_comment ->
+    Buffer.add_string buf (Node.value_or ~default:"#" d);
+    Buffer.add_char buf '\n'
+  | k when k = Node.kind_directive ->
+    Buffer.add_string buf d.name;
+    (match d.value with
+     | None -> ()
+     | Some v ->
+       let sep = Option.value ~default:" = " (Node.attr d attr_sep) in
+       Buffer.add_string buf sep;
+       Buffer.add_string buf v);
+    Buffer.add_char buf '\n';
+    ()
+  | k -> raise (Failure (Printf.sprintf "INI sections cannot contain %s nodes" k))
+
+let serialize (tree : Node.t) =
+  let buf = Buffer.create 256 in
+  try
+    List.iter
+      (fun (s : Node.t) ->
+        if s.kind <> Node.kind_section then
+          raise
+            (Failure
+               (Printf.sprintf "INI files contain only sections at top level, found %s"
+                  s.kind));
+        if List.exists (fun (c : Node.t) -> c.kind = Node.kind_section) s.children then
+          raise (Failure "INI format does not support nested sections");
+        if not (Node.attr s attr_implicit = Some "true") then
+          Buffer.add_string buf (Printf.sprintf "[%s]\n" s.name);
+        List.iter (serialize_directive buf) s.children)
+      tree.children;
+    Ok (Buffer.contents buf)
+  with Failure msg -> Error msg

@@ -1,0 +1,17 @@
+(** INI-style configuration files (the MySQL [my.cnf] family).
+
+    Syntax: [\[section\]] headers, [name = value] or bare [name]
+    directives, [#] and [;] comments.  The parsed tree is
+
+    {v root > section* > (directive | comment | blank)* v}
+
+    Directives appearing before the first header land in an implicit
+    section (name [""], attribute [implicit=true]).  The original
+    separator text around [=] is preserved in the [sep] attribute so a
+    parse/serialize round-trip is byte-faithful. *)
+
+val parse : string -> (Conftree.Node.t, Parse_error.t) result
+
+val serialize : Conftree.Node.t -> (string, string) result
+(** Fails ([Error]) on trees the format cannot express: nested sections,
+    or non-directive nodes where directives are expected. *)

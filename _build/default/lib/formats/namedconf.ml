@@ -1,0 +1,167 @@
+module Node = Conftree.Node
+module Strutil = Conferr_util.Strutil
+
+let attr_arg = "arg"
+
+(* Tokenize into statements and block delimiters, line-oriented enough to
+   keep comments attached. *)
+type tok =
+  | Open_block of string * string   (* keyword, argument text *)
+  | Close_block
+  | Statement of string * string    (* name, argument text *)
+  | Comment_line of string
+  | Blank_line
+
+let strip_inline_comment line =
+  let n = String.length line in
+  let rec scan i in_quote =
+    if i >= n then line
+    else
+      match line.[i] with
+      | '"' -> scan (i + 1) (not in_quote)
+      | '/' when (not in_quote) && i + 1 < n && line.[i + 1] = '/' ->
+        String.sub line 0 i
+      | '#' when not in_quote -> String.sub line 0 i
+      | _ -> scan (i + 1) in_quote
+  in
+  scan 0 false
+
+let unquote s =
+  let s = Strutil.trim s in
+  if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"' then
+    String.sub s 1 (String.length s - 2)
+  else s
+
+let split_first_word s =
+  match Strutil.split_on_first ' ' (Strutil.trim s) with
+  | Some (w, rest) -> (w, Strutil.trim rest)
+  | None -> (Strutil.trim s, "")
+
+let tokenize_line lineno raw =
+  let trimmed = Strutil.trim raw in
+  if trimmed = "" then Ok [ Blank_line ]
+  else if
+    Strutil.is_prefix ~prefix:"//" trimmed
+    || Strutil.is_prefix ~prefix:"#" trimmed
+    || (Strutil.is_prefix ~prefix:"/*" trimmed
+       && String.length trimmed >= 4
+       && String.sub trimmed (String.length trimmed - 2) 2 = "*/")
+  then Ok [ Comment_line raw ]
+  else begin
+    let code = Strutil.trim (strip_inline_comment trimmed) in
+    if code = "" then Ok [ Comment_line raw ]
+    else if code = "};" || code = "}" then Ok [ Close_block ]
+    else if String.length code >= 1 && code.[String.length code - 1] = '{' then begin
+      let head = Strutil.trim (String.sub code 0 (String.length code - 1)) in
+      let keyword, arg = split_first_word head in
+      (* drop a trailing class token like IN from `zone "x" IN {` *)
+      let arg =
+        match String.index_opt arg '"' with
+        | Some _ -> unquote (Strutil.trim (String.concat "\"" (
+            match String.split_on_char '"' arg with
+            | _ :: inner :: _ -> [ inner ]
+            | other -> other)))
+        | None -> Strutil.trim arg
+      in
+      Ok [ Open_block (keyword, arg) ]
+    end
+    else if code.[String.length code - 1] = ';' then begin
+      let body = Strutil.trim (String.sub code 0 (String.length code - 1)) in
+      let name, arg = split_first_word body in
+      Ok [ Statement (name, arg) ]
+    end
+    else
+      Error
+        (Parse_error.make ~line:lineno
+           (Printf.sprintf "statement does not end with ';': %S" code))
+  end
+
+type frame = { keyword : string; argument : string; mutable nodes : Node.t list }
+
+let parse text =
+  let root = { keyword = ""; argument = ""; nodes = [] } in
+  let stack = ref [ root ] in
+  let error = ref None in
+  let fail e = if !error = None then error := Some e in
+  let push node =
+    match !stack with f :: _ -> f.nodes <- node :: f.nodes | [] -> ()
+  in
+  List.iteri
+    (fun i raw ->
+      if !error = None then
+        match tokenize_line (i + 1) raw with
+        | Error e -> fail e
+        | Ok toks ->
+          List.iter
+            (fun tok ->
+              match tok with
+              | Blank_line -> push Node.blank
+              | Comment_line text -> push (Node.comment text)
+              | Statement (name, arg) ->
+                push
+                  (if arg = "" then Node.directive name
+                   else Node.directive ~value:arg name)
+              | Open_block (keyword, argument) ->
+                stack := { keyword; argument; nodes = [] } :: !stack
+              | Close_block ->
+                (match !stack with
+                 | frame :: (parent :: _ as rest) ->
+                   stack := rest;
+                   parent.nodes <-
+                     Node.section
+                       ~attrs:
+                         (if frame.argument = "" then []
+                          else [ (attr_arg, frame.argument) ])
+                       frame.keyword
+                       (List.rev frame.nodes)
+                     :: parent.nodes
+                 | [ _ ] | [] ->
+                   fail (Parse_error.make ~line:(i + 1) "unbalanced '}'")))
+            toks)
+    (Strutil.lines text);
+  match !error with
+  | Some e -> Error e
+  | None ->
+    (match !stack with
+     | [ r ] -> Ok (Node.root (List.rev r.nodes))
+     | f :: _ ->
+       Error (Parse_error.make (Printf.sprintf "block %S is never closed" f.keyword))
+     | [] -> Error (Parse_error.make "internal parser error"))
+
+let needs_quotes keyword =
+  List.mem keyword [ "zone"; "include"; "key"; "view" ]
+
+let serialize (tree : Node.t) =
+  let buf = Buffer.create 512 in
+  let rec emit indent (n : Node.t) =
+    let pad = String.make (2 * indent) ' ' in
+    match n.kind with
+    | k when k = Node.kind_blank -> Buffer.add_char buf '\n'
+    | k when k = Node.kind_comment ->
+      Buffer.add_string buf (Node.value_or ~default:"//" n);
+      Buffer.add_char buf '\n'
+    | k when k = Node.kind_directive ->
+      Buffer.add_string buf pad;
+      Buffer.add_string buf n.name;
+      (match n.value with
+       | None -> ()
+       | Some v ->
+         Buffer.add_char buf ' ';
+         Buffer.add_string buf v);
+      Buffer.add_string buf ";\n"
+    | k when k = Node.kind_section ->
+      Buffer.add_string buf pad;
+      (match Node.attr n attr_arg with
+       | Some arg when needs_quotes n.name ->
+         Buffer.add_string buf (Printf.sprintf "%s \"%s\" {\n" n.name arg)
+       | Some arg -> Buffer.add_string buf (Printf.sprintf "%s %s {\n" n.name arg)
+       | None -> Buffer.add_string buf (Printf.sprintf "%s {\n" n.name));
+      List.iter (emit (indent + 1)) n.children;
+      Buffer.add_string buf pad;
+      Buffer.add_string buf "};\n"
+    | k -> raise (Failure (Printf.sprintf "named.conf cannot express %s nodes" k))
+  in
+  try
+    List.iter (emit 0) tree.children;
+    Ok (Buffer.contents buf)
+  with Failure msg -> Error msg

@@ -1,0 +1,28 @@
+(** BIND's [named.conf] configuration format (braces-and-semicolons).
+
+    Supported subset:
+
+    {v
+      options {
+        directory "/var/named";
+        recursion no;
+      };
+      zone "example.com" IN {
+        type master;
+        file "example.com.zone";
+      };
+    v}
+
+    The parsed tree is
+
+    {v root > (section | comment | blank)*
+       section > (directive | section | comment | blank)* v}
+
+    with the block keyword as the section [name] and the quoted argument
+    (e.g. the zone name) in the [arg] attribute; statements become
+    directives whose [value] is the argument text without the closing
+    [;].  Comments: [//], [#], and [/* ... */] on one line. *)
+
+val parse : string -> (Conftree.Node.t, Parse_error.t) result
+
+val serialize : Conftree.Node.t -> (string, string) result

@@ -1,0 +1,9 @@
+type t = { line : int; message : string }
+
+let make ?(line = 0) message = { line; message }
+
+let pp fmt { line; message } =
+  if line = 0 then Format.pp_print_string fmt message
+  else Format.fprintf fmt "line %d: %s" line message
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,10 @@
+(** Parse failures reported by format parsers. *)
+
+type t = { line : int; message : string }
+(** [line] is 1-based; 0 means "whole file". *)
+
+val make : ?line:int -> string -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

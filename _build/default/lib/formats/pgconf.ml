@@ -1,0 +1,100 @@
+module Node = Conftree.Node
+module Strutil = Conferr_util.Strutil
+
+let attr_sep = "sep"
+let attr_quoted = "quoted"
+
+let split_name_value trimmed =
+  (* name, optionally '=', then the value; names are identifier-like.
+     The whitespace around the separator is preserved for byte-faithful
+     re-serialization. *)
+  match String.index_opt trimmed '=' with
+  | Some i ->
+    let before = String.sub trimmed 0 i in
+    let after = String.sub trimmed (i + 1) (String.length trimmed - i - 1) in
+    let name = Strutil.trim before in
+    let value = Strutil.trim after in
+    let trailing_ws =
+      let j = ref (String.length before) in
+      while !j > 0 && (before.[!j - 1] = ' ' || before.[!j - 1] = '\t') do
+        decr j
+      done;
+      String.sub before !j (String.length before - !j)
+    in
+    let leading_ws =
+      let k = ref 0 in
+      while !k < String.length after && (after.[!k] = ' ' || after.[!k] = '\t') do
+        incr k
+      done;
+      String.sub after 0 !k
+    in
+    (name, Some value, trailing_ws ^ "=" ^ leading_ws)
+  | None ->
+    (match Strutil.split_on_first ' ' trimmed with
+     | Some (name, rest) -> (Strutil.trim name, Some (Strutil.trim rest), " ")
+     | None -> (trimmed, None, "="))
+
+let strip_inline_comment s =
+  (* A '#' outside quotes starts a comment. *)
+  let n = String.length s in
+  let rec scan i in_quote =
+    if i >= n then s
+    else
+      match s.[i] with
+      | '\'' -> scan (i + 1) (not in_quote)
+      | '#' when not in_quote -> Strutil.trim (String.sub s 0 i)
+      | _ -> scan (i + 1) in_quote
+  in
+  scan 0 false
+
+let parse_line line =
+  let trimmed = Strutil.trim line in
+  if trimmed = "" then Node.blank
+  else if trimmed.[0] = '#' then Node.comment line
+  else begin
+    let trimmed = strip_inline_comment trimmed in
+    let name, value, sep = split_name_value trimmed in
+    match value with
+    | Some v when String.length v >= 2 && v.[0] = '\'' && v.[String.length v - 1] = '\'' ->
+      Node.directive
+        ~attrs:[ (attr_sep, sep); (attr_quoted, "true") ]
+        ~value:(String.sub v 1 (String.length v - 2))
+        name
+    | Some v -> Node.directive ~attrs:[ (attr_sep, sep) ] ~value:v name
+    | None -> Node.directive name
+  end
+
+let parse text = Ok (Node.root (List.map parse_line (Strutil.lines text)))
+
+let serialize (tree : Node.t) =
+  let buf = Buffer.create 256 in
+  try
+    List.iter
+      (fun (n : Node.t) ->
+        match n.kind with
+        | k when k = Node.kind_blank -> Buffer.add_char buf '\n'
+        | k when k = Node.kind_comment ->
+          Buffer.add_string buf (Node.value_or ~default:"#" n);
+          Buffer.add_char buf '\n'
+        | k when k = Node.kind_directive ->
+          Buffer.add_string buf n.name;
+          (match n.value with
+           | None -> ()
+           | Some v ->
+             let sep =
+               match Node.attr n attr_sep with
+               | Some " " -> " "
+               | Some s when String.contains s '=' -> s
+               | Some _ | None -> " = "
+             in
+             Buffer.add_string buf sep;
+             if Node.attr n attr_quoted = Some "true" then
+               Buffer.add_string buf (Printf.sprintf "'%s'" v)
+             else Buffer.add_string buf v);
+          Buffer.add_char buf '\n'
+        | k when k = Node.kind_section ->
+          raise (Failure "the flat key=value format has no sections")
+        | k -> raise (Failure (Printf.sprintf "cannot express %s nodes" k)))
+      tree.children;
+    Ok (Buffer.contents buf)
+  with Failure msg -> Error msg

@@ -1,0 +1,16 @@
+(** Flat [name = value] configuration files (the PostgreSQL
+    [postgresql.conf] family).
+
+    PostgreSQL configurations have a single main section (paper §5.1), so
+    the parsed tree is
+
+    {v root > (directive | comment | blank)* v}
+
+    The [=] is optional in the native format; whether it was present is
+    preserved in the [sep] attribute.  Values may be single-quoted; the
+    quoting is preserved in the [quoted] attribute. *)
+
+val parse : string -> (Conftree.Node.t, Parse_error.t) result
+
+val serialize : Conftree.Node.t -> (string, string) result
+(** Fails on trees with section nodes: the format has no sections. *)

@@ -1,0 +1,31 @@
+type t = {
+  name : string;
+  parse : string -> (Conftree.Node.t, Parse_error.t) result;
+  serialize : Conftree.Node.t -> (string, string) result;
+}
+
+let ini = { name = "ini"; parse = Ini.parse; serialize = Ini.serialize }
+
+let pgconf = { name = "pgconf"; parse = Pgconf.parse; serialize = Pgconf.serialize }
+
+let apacheconf =
+  { name = "apacheconf"; parse = Apacheconf.parse; serialize = Apacheconf.serialize }
+
+let xmlconf = { name = "xmlconf"; parse = Xmlconf.parse; serialize = Xmlconf.serialize }
+
+let bindzone =
+  { name = "bindzone"; parse = Bindzone.parse; serialize = Bindzone.serialize }
+
+let tinydns = { name = "tinydns"; parse = Tinydns.parse; serialize = Tinydns.serialize }
+
+let namedconf =
+  { name = "namedconf"; parse = Namedconf.parse; serialize = Namedconf.serialize }
+
+let all = [ ini; pgconf; apacheconf; xmlconf; bindzone; tinydns; namedconf ]
+
+let find name = List.find_opt (fun t -> t.name = name) all
+
+let round_trip fmt text =
+  match fmt.parse text with
+  | Error e -> Error (Parse_error.to_string e)
+  | Ok tree -> fmt.serialize tree

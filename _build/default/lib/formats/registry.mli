@@ -1,0 +1,28 @@
+(** First-class format handles: a parser/serializer pair under a name.
+
+    The engine is format-agnostic; SUT descriptions reference formats
+    through this registry (mirroring the paper's pluggable
+    parser/serializer components). *)
+
+type t = {
+  name : string;
+  parse : string -> (Conftree.Node.t, Parse_error.t) result;
+  serialize : Conftree.Node.t -> (string, string) result;
+}
+
+val ini : t
+val pgconf : t
+val apacheconf : t
+val xmlconf : t
+val bindzone : t
+val tinydns : t
+val namedconf : t
+
+val all : t list
+
+val find : string -> t option
+(** Lookup by name. *)
+
+val round_trip : t -> string -> (string, string) result
+(** [round_trip fmt text] parses and re-serializes; useful for format
+    conformance tests. *)

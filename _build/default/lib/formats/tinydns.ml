@@ -1,0 +1,69 @@
+module Node = Conftree.Node
+module Strutil = Conferr_util.Strutil
+
+let attr_op = "op"
+
+let known_ops = [ '='; '+'; '^'; 'C'; '@'; '.'; '&'; '\''; 'Z' ]
+
+let entry ~op ~name fields =
+  let attrs =
+    (attr_op, String.make 1 op)
+    :: List.mapi (fun i f -> (Printf.sprintf "f%d" (i + 1), f)) fields
+  in
+  Node.make ~name ~attrs Node.kind_record
+
+let fields (n : Node.t) =
+  let rec collect i acc =
+    match Node.attr n (Printf.sprintf "f%d" i) with
+    | None -> List.rev acc
+    | Some f -> collect (i + 1) (f :: acc)
+  in
+  collect 1 []
+
+let parse_line lineno line =
+  if Strutil.trim line = "" then Ok Node.blank
+  else
+    let op = line.[0] in
+    let rest = String.sub line 1 (String.length line - 1) in
+    if op = '#' || op = '-' then Ok (Node.comment line)
+    else if not (List.mem op known_ops) then
+      Error (Parse_error.make ~line:lineno (Printf.sprintf "unknown operator %C" op))
+    else
+      match String.split_on_char ':' rest with
+      | [] -> Error (Parse_error.make ~line:lineno "entry is missing its name")
+      | name :: fs -> Ok (entry ~op ~name fs)
+
+let parse text =
+  let rec go acc lineno = function
+    | [] -> Ok (Node.root (List.rev acc))
+    | line :: rest ->
+      (match parse_line lineno line with
+       | Error e -> Error e
+       | Ok node -> go (node :: acc) (lineno + 1) rest)
+  in
+  go [] 1 (Strutil.lines text)
+
+let serialize (tree : Node.t) =
+  let buf = Buffer.create 256 in
+  try
+    List.iter
+      (fun (n : Node.t) ->
+        match n.kind with
+        | k when k = Node.kind_blank -> Buffer.add_char buf '\n'
+        | k when k = Node.kind_comment ->
+          Buffer.add_string buf (Node.value_or ~default:"#" n);
+          Buffer.add_char buf '\n'
+        | k when k = Node.kind_record ->
+          let op =
+            match Node.attr n attr_op with
+            | Some op when String.length op = 1 -> op
+            | Some op -> raise (Failure (Printf.sprintf "invalid operator %S" op))
+            | None -> raise (Failure "record node is missing its operator")
+          in
+          Buffer.add_string buf op;
+          Buffer.add_string buf (String.concat ":" (n.name :: fields n));
+          Buffer.add_char buf '\n'
+        | k -> raise (Failure (Printf.sprintf "tinydns-data cannot express %s nodes" k)))
+      tree.children;
+    Ok (Buffer.contents buf)
+  with Failure msg -> Error msg

@@ -1,0 +1,34 @@
+(** The djbdns / tinydns-data configuration format.
+
+    Each line is one entry: a single-character operator followed by
+    colon-separated fields.  The operators this module understands:
+
+    - [=fqdn:ip:ttl]      — A record {e and} the matching PTR (the
+                            combined directive the paper's §5.4 relies on)
+    - [+fqdn:ip:ttl]      — A record only
+    - [^fqdn:p:ttl]       — PTR record only
+    - [Cfqdn:p:ttl]       — CNAME
+    - [@fqdn:ip:x:dist:ttl] — MX (and an A record for [x] when [ip] set)
+    - [.fqdn:ip:x:ttl]    — NS + SOA (+ A for the name server)
+    - [&fqdn:ip:x:ttl]    — NS delegation (+ A)
+    - ['fqdn:s:ttl]       — TXT
+    - [Zfqdn:mname:rname:ser:ref:ret:exp:min:ttl] — explicit SOA
+    - [#...]              — comment
+    - [-...]              — disabled line (kept as a comment)
+
+    The parsed tree is
+
+    {v root > (record | comment | blank)* v}
+
+    with the operator in the [op] attribute, the fqdn as the node [name],
+    and remaining fields as attributes [f1], [f2], ... *)
+
+val parse : string -> (Conftree.Node.t, Parse_error.t) result
+
+val serialize : Conftree.Node.t -> (string, string) result
+
+val entry : op:char -> name:string -> string list -> Conftree.Node.t
+(** [entry ~op ~name fields] builds a record node as this parser would. *)
+
+val fields : Conftree.Node.t -> string list
+(** The [f1..fn] attributes of a record node, in order. *)

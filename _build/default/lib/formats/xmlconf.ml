@@ -1,0 +1,229 @@
+module Node = Conftree.Node
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '&' then begin
+      let entity_end =
+        match String.index_from_opt s i ';' with Some j when j - i <= 6 -> Some j | _ -> None
+      in
+      match entity_end with
+      | None ->
+        Buffer.add_char buf '&';
+        go (i + 1)
+      | Some j ->
+        let name = String.sub s (i + 1) (j - i - 1) in
+        (match name with
+         | "amp" -> Buffer.add_char buf '&'
+         | "lt" -> Buffer.add_char buf '<'
+         | "gt" -> Buffer.add_char buf '>'
+         | "quot" -> Buffer.add_char buf '"'
+         | "apos" -> Buffer.add_char buf '\''
+         | other -> Buffer.add_string buf ("&" ^ other ^ ";"));
+        go (j + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+exception Fail of string
+
+type cursor = { text : string; mutable pos : int }
+
+let peek_char cur = if cur.pos < String.length cur.text then Some cur.text.[cur.pos] else None
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.text
+    && (match cur.text.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let looking_at cur prefix =
+  let lp = String.length prefix in
+  cur.pos + lp <= String.length cur.text && String.sub cur.text cur.pos lp = prefix
+
+let expect cur prefix =
+  if looking_at cur prefix then cur.pos <- cur.pos + String.length prefix
+  else raise (Fail (Printf.sprintf "expected %S at offset %d" prefix cur.pos))
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name cur =
+  let start = cur.pos in
+  while cur.pos < String.length cur.text && is_name_char cur.text.[cur.pos] do
+    cur.pos <- cur.pos + 1
+  done;
+  if cur.pos = start then raise (Fail (Printf.sprintf "expected a name at offset %d" start));
+  String.sub cur.text start (cur.pos - start)
+
+let read_until cur stop =
+  let idx =
+    let rec find i =
+      if i + String.length stop > String.length cur.text then
+        raise (Fail (Printf.sprintf "expected %S before end of input" stop))
+      else if String.sub cur.text i (String.length stop) = stop then i
+      else find (i + 1)
+    in
+    find cur.pos
+  in
+  let content = String.sub cur.text cur.pos (idx - cur.pos) in
+  cur.pos <- idx + String.length stop;
+  content
+
+let read_attrs cur =
+  let rec loop acc =
+    skip_ws cur;
+    match peek_char cur with
+    | Some c when is_name_char c ->
+      let name = read_name cur in
+      skip_ws cur;
+      expect cur "=";
+      skip_ws cur;
+      let quote =
+        match peek_char cur with
+        | Some ('"' as q) | Some ('\'' as q) ->
+          cur.pos <- cur.pos + 1;
+          q
+        | _ -> raise (Fail "attribute value must be quoted")
+      in
+      let stop = String.make 1 quote in
+      let value = read_until cur stop in
+      loop ((name, unescape value) :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let rec read_element cur =
+  expect cur "<";
+  let tag = read_name cur in
+  let attrs = read_attrs cur in
+  skip_ws cur;
+  if looking_at cur "/>" then begin
+    expect cur "/>";
+    Node.make ~name:tag ~attrs Node.kind_element
+  end
+  else begin
+    expect cur ">";
+    let children = read_children cur tag in
+    Node.make ~name:tag ~attrs ~children Node.kind_element
+  end
+
+and read_children cur parent_tag =
+  let close = "</" ^ parent_tag in
+  let rec loop acc =
+    if looking_at cur close then begin
+      cur.pos <- cur.pos + String.length close;
+      skip_ws cur;
+      expect cur ">";
+      List.rev acc
+    end
+    else if looking_at cur "<!--" then begin
+      expect cur "<!--";
+      let body = read_until cur "-->" in
+      loop (Node.comment body :: acc)
+    end
+    else if looking_at cur "</" then
+      raise (Fail (Printf.sprintf "mismatched closing tag inside <%s>" parent_tag))
+    else if looking_at cur "<" then loop (read_element cur :: acc)
+    else begin
+      (* Text run up to the next '<'. *)
+      let start = cur.pos in
+      while cur.pos < String.length cur.text && cur.text.[cur.pos] <> '<' do
+        cur.pos <- cur.pos + 1
+      done;
+      if cur.pos >= String.length cur.text then
+        raise (Fail (Printf.sprintf "element <%s> is never closed" parent_tag));
+      let raw = String.sub cur.text start (cur.pos - start) in
+      let trimmed = String.trim raw in
+      if trimmed = "" then loop acc
+      else loop (Node.make ~value:(unescape trimmed) Node.kind_text :: acc)
+    end
+  in
+  loop []
+
+let skip_prolog cur =
+  let rec loop () =
+    skip_ws cur;
+    if looking_at cur "<?" then begin
+      ignore (read_until cur "?>");
+      loop ()
+    end
+    else if looking_at cur "<!--" then begin
+      expect cur "<!--";
+      ignore (read_until cur "-->");
+      loop ()
+    end
+  in
+  loop ()
+
+let parse text =
+  let cur = { text; pos = 0 } in
+  try
+    skip_prolog cur;
+    let element = read_element cur in
+    skip_ws cur;
+    if cur.pos < String.length cur.text then
+      Error (Parse_error.make "trailing content after the root element")
+    else Ok (Node.root [ element ])
+  with Fail msg -> Error (Parse_error.make msg)
+
+let serialize (tree : Node.t) =
+  let buf = Buffer.create 512 in
+  let rec emit indent (n : Node.t) =
+    let pad = String.make (2 * indent) ' ' in
+    match n.kind with
+    | k when k = Node.kind_element ->
+      Buffer.add_string buf pad;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf n.name;
+      List.iter
+        (fun (a, v) -> Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" a (escape v)))
+        n.attrs;
+      if n.children = [] then Buffer.add_string buf "/>\n"
+      else begin
+        Buffer.add_string buf ">\n";
+        List.iter (emit (indent + 1)) n.children;
+        Buffer.add_string buf pad;
+        Buffer.add_string buf (Printf.sprintf "</%s>\n" n.name)
+      end
+    | k when k = Node.kind_text ->
+      Buffer.add_string buf pad;
+      Buffer.add_string buf (escape (Node.value_or ~default:"" n));
+      Buffer.add_char buf '\n'
+    | k when k = Node.kind_comment ->
+      Buffer.add_string buf pad;
+      Buffer.add_string buf (Printf.sprintf "<!--%s-->\n" (Node.value_or ~default:"" n));
+      Buffer.add_char buf '\n'
+    | k -> raise (Failure (Printf.sprintf "XML cannot express %s nodes" k))
+  in
+  match tree.children with
+  | [ element ] when element.kind = Node.kind_element ->
+    (try
+       emit 0 element;
+       Ok (Buffer.contents buf)
+     with Failure msg -> Error msg)
+  | _ -> Error "an XML document has exactly one root element"

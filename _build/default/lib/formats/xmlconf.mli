@@ -1,0 +1,25 @@
+(** Generic XML configuration files.
+
+    A deliberately small XML subset sufficient for configuration files:
+    elements with attributes, text content, comments, and self-closing
+    tags.  Processing instructions and the XML declaration are skipped;
+    DTDs, namespaces and CDATA are not supported.
+
+    The parsed tree is
+
+    {v root > element
+       element > (element | text | comment)* v}
+
+    with XML attributes mapped directly onto node attributes and the
+    standard five entities decoded in text and attribute values. *)
+
+val parse : string -> (Conftree.Node.t, Parse_error.t) result
+
+val serialize : Conftree.Node.t -> (string, string) result
+(** Fails when the root does not contain exactly one element, or when a
+    node kind has no XML equivalent. *)
+
+val escape : string -> string
+(** Entity-encode ["&<>\"'"]. *)
+
+val unescape : string -> string

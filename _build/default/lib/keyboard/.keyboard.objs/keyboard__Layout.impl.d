@@ -1,0 +1,1 @@
+lib/keyboard/layout.ml: Char Float List String

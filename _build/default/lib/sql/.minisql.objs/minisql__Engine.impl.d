@@ -1,0 +1,1 @@
+lib/sql/engine.ml: Ast Hashtbl List Printf Result Sql_parser Value

@@ -1,0 +1,1 @@
+lib/sql/sql_parser.ml: Ast Buffer List Printf String Value

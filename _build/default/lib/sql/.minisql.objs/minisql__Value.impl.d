@@ -1,0 +1,1 @@
+lib/sql/value.ml: Format String

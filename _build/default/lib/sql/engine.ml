@@ -1,0 +1,165 @@
+type table = { columns : (string * Value.coltype) list; mutable rows : Value.t list list }
+
+type database = (string, table) Hashtbl.t
+
+type t = { databases : (string, database) Hashtbl.t; mutable current : string option }
+
+type result_set = { columns : string list; rows : Value.t list list }
+
+type outcome = Done | Rows of result_set | Sql_error of string
+
+let create () = { databases = Hashtbl.create 4; current = None }
+
+let database_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.databases [] |> List.sort compare
+
+let current_db t =
+  match t.current with
+  | None -> Error "no database selected (USE <db> first)"
+  | Some name ->
+    (match Hashtbl.find_opt t.databases name with
+     | None -> Error (Printf.sprintf "database %S no longer exists" name)
+     | Some db -> Ok db)
+
+let find_table (db : database) name : (table, string) result =
+  match Hashtbl.find_opt db name with
+  | None -> Error (Printf.sprintf "table %S does not exist" name)
+  | Some tbl -> Ok tbl
+
+let column_index (tbl : table) column =
+  let rec go i = function
+    | [] -> Error (Printf.sprintf "column %S does not exist" column)
+    | (c, _) :: _ when c = column -> Ok i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 tbl.columns
+
+let row_matches (tbl : table) where row =
+  match where with
+  | None -> Ok true
+  | Some { Ast.column; value } ->
+    Result.map (fun i -> Value.equal (List.nth row i) value) (column_index tbl column)
+
+let ( let* ) = Result.bind
+
+let select db ~columns ~table ~where =
+  let* tbl = find_table db table in
+  let* projection =
+    match columns with
+    | None -> Ok (List.mapi (fun i (c, _) -> (c, i)) tbl.columns)
+    | Some cs ->
+      List.fold_left
+        (fun acc c ->
+          let* acc = acc in
+          let* i = column_index tbl c in
+          Ok ((c, i) :: acc))
+        (Ok []) cs
+      |> Result.map List.rev
+  in
+  let* rows =
+    List.fold_left
+      (fun acc row ->
+        let* acc = acc in
+        let* keep = row_matches tbl where row in
+        if keep then Ok (List.map (fun (_, i) -> List.nth row i) projection :: acc)
+        else Ok acc)
+      (Ok []) tbl.rows
+    |> Result.map List.rev
+  in
+  Ok { columns = List.map fst projection; rows }
+
+let insert db ~table ~values =
+  let* tbl = find_table db table in
+  if List.length values <> List.length tbl.columns then
+    Error
+      (Printf.sprintf "table %S has %d columns but %d values were supplied" table
+         (List.length tbl.columns) (List.length values))
+  else if
+    not (List.for_all2 (fun (_, ct) v -> Value.type_matches ct v) tbl.columns values)
+  then Error (Printf.sprintf "type mismatch inserting into %S" table)
+  else begin
+    tbl.rows <- tbl.rows @ [ values ];
+    Ok ()
+  end
+
+let delete db ~table ~where =
+  let* tbl = find_table db table in
+  let* kept =
+    List.fold_left
+      (fun acc row ->
+        let* acc = acc in
+        let* matches = row_matches tbl where row in
+        if matches then Ok acc else Ok (row :: acc))
+      (Ok []) tbl.rows
+    |> Result.map List.rev
+  in
+  tbl.rows <- kept;
+  Ok ()
+
+let execute t stmt =
+  let as_outcome = function Ok () -> Done | Error msg -> Sql_error msg in
+  match stmt with
+  | Ast.Create_database name ->
+    if Hashtbl.mem t.databases name then
+      Sql_error (Printf.sprintf "database %S already exists" name)
+    else begin
+      Hashtbl.add t.databases name (Hashtbl.create 4);
+      if t.current = None then t.current <- Some name;
+      Done
+    end
+  | Ast.Drop_database name ->
+    if not (Hashtbl.mem t.databases name) then
+      Sql_error (Printf.sprintf "database %S does not exist" name)
+    else begin
+      Hashtbl.remove t.databases name;
+      if t.current = Some name then t.current <- None;
+      Done
+    end
+  | Ast.Use name ->
+    if Hashtbl.mem t.databases name then begin
+      t.current <- Some name;
+      Done
+    end
+    else Sql_error (Printf.sprintf "database %S does not exist" name)
+  | Ast.Create_table { table; columns } ->
+    as_outcome
+      (let* db = current_db t in
+       if Hashtbl.mem db table then
+         Error (Printf.sprintf "table %S already exists" table)
+       else if columns = [] then Error "a table needs at least one column"
+       else begin
+         Hashtbl.add db table { columns; rows = [] };
+         Ok ()
+       end)
+  | Ast.Drop_table table ->
+    as_outcome
+      (let* db = current_db t in
+       let* _ = find_table db table in
+       Hashtbl.remove db table;
+       Ok ())
+  | Ast.Insert { table; values } ->
+    as_outcome (Result.bind (current_db t) (fun db -> insert db ~table ~values))
+  | Ast.Delete { table; where } ->
+    as_outcome (Result.bind (current_db t) (fun db -> delete db ~table ~where))
+  | Ast.Select { columns; table; where } ->
+    (match Result.bind (current_db t) (fun db -> select db ~columns ~table ~where) with
+     | Ok rs -> Rows rs
+     | Error msg -> Sql_error msg)
+
+let run t input =
+  match Sql_parser.parse input with
+  | Error msg -> Sql_error (Printf.sprintf "parse error: %s" msg)
+  | Ok stmt -> execute t stmt
+
+let run_script t input =
+  match Sql_parser.parse_script input with
+  | Error msg -> Error (Printf.sprintf "parse error: %s" msg)
+  | Ok stmts ->
+    let rec go n = function
+      | [] -> Ok n
+      | stmt :: rest ->
+        (match execute t stmt with
+         | Done | Rows _ -> go (n + 1) rest
+         | Sql_error msg -> Error msg)
+    in
+    go 0 stmts

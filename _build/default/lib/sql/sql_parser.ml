@@ -1,0 +1,185 @@
+type token = Word of string | Str of string | Num of int | Punct of char
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+exception Fail of string
+
+let tokenize input =
+  let n = String.length input in
+  let rec scan i acc =
+    if i >= n then List.rev acc
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1) acc
+      | '\'' ->
+        let rec find j buf =
+          if j >= n then raise (Fail "unterminated string literal")
+          else if input.[j] = '\'' && j + 1 < n && input.[j + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            find (j + 2) buf
+          end
+          else if input.[j] = '\'' then (j, Buffer.contents buf)
+          else begin
+            Buffer.add_char buf input.[j];
+            find (j + 1) buf
+          end
+        in
+        let close, s = find (i + 1) (Buffer.create 8) in
+        scan (close + 1) (Str s :: acc)
+      | c when c >= '0' && c <= '9' ->
+        let rec span j = if j < n && input.[j] >= '0' && input.[j] <= '9' then span (j + 1) else j in
+        let stop = span i in
+        scan stop (Num (int_of_string (String.sub input i (stop - i))) :: acc)
+      | '-' when i + 1 < n && input.[i + 1] >= '0' && input.[i + 1] <= '9' ->
+        let rec span j = if j < n && input.[j] >= '0' && input.[j] <= '9' then span (j + 1) else j in
+        let stop = span (i + 1) in
+        scan stop (Num (-int_of_string (String.sub input (i + 1) (stop - i - 1))) :: acc)
+      | c when is_word_char c ->
+        let rec span j = if j < n && is_word_char input.[j] then span (j + 1) else j in
+        let stop = span i in
+        scan stop (Word (String.sub input i (stop - i)) :: acc)
+      | ('(' | ')' | ',' | '=' | '*' | ';') as c -> scan (i + 1) (Punct c :: acc)
+      | c -> raise (Fail (Printf.sprintf "unexpected character %C" c))
+  in
+  scan 0 []
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let next st =
+  match st.toks with
+  | [] -> raise (Fail "unexpected end of statement")
+  | t :: rest ->
+    st.toks <- rest;
+    t
+
+let keyword st expected =
+  match next st with
+  | Word w when String.uppercase_ascii w = expected -> ()
+  | _ -> raise (Fail (Printf.sprintf "expected keyword %s" expected))
+
+let identifier st =
+  match next st with
+  | Word w -> w
+  | _ -> raise (Fail "expected an identifier")
+
+let punct st c =
+  match next st with
+  | Punct p when p = c -> ()
+  | _ -> raise (Fail (Printf.sprintf "expected %C" c))
+
+let literal st =
+  match next st with
+  | Str s -> Value.Text s
+  | Num n -> Value.Int n
+  | Word w when String.uppercase_ascii w = "NULL" -> Value.Null
+  | _ -> raise (Fail "expected a literal value")
+
+let where_clause st =
+  match peek st with
+  | Some (Word w) when String.uppercase_ascii w = "WHERE" ->
+    ignore (next st);
+    let column = identifier st in
+    punct st '=';
+    Some { Ast.column; value = literal st }
+  | _ -> None
+
+let comma_separated st parse_item =
+  let rec loop acc =
+    let item = parse_item st in
+    match peek st with
+    | Some (Punct ',') ->
+      ignore (next st);
+      loop (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  loop []
+
+let column_def st =
+  let name = identifier st in
+  let tname = identifier st in
+  match Value.coltype_of_name tname with
+  | Some t -> (name, t)
+  | None -> raise (Fail (Printf.sprintf "unknown column type %S" tname))
+
+let statement st =
+  match next st with
+  | Word w ->
+    (match String.uppercase_ascii w with
+     | "CREATE" ->
+       (match String.uppercase_ascii (identifier st) with
+        | "DATABASE" -> Ast.Create_database (identifier st)
+        | "TABLE" ->
+          let table = identifier st in
+          punct st '(';
+          let columns = comma_separated st column_def in
+          punct st ')';
+          Ast.Create_table { table; columns }
+        | other -> raise (Fail (Printf.sprintf "cannot CREATE %s" other)))
+     | "DROP" ->
+       (match String.uppercase_ascii (identifier st) with
+        | "DATABASE" -> Ast.Drop_database (identifier st)
+        | "TABLE" -> Ast.Drop_table (identifier st)
+        | other -> raise (Fail (Printf.sprintf "cannot DROP %s" other)))
+     | "INSERT" ->
+       keyword st "INTO";
+       let table = identifier st in
+       keyword st "VALUES";
+       punct st '(';
+       let values = comma_separated st literal in
+       punct st ')';
+       Ast.Insert { table; values }
+     | "SELECT" ->
+       let columns =
+         match peek st with
+         | Some (Punct '*') ->
+           ignore (next st);
+           None
+         | _ -> Some (comma_separated st identifier)
+       in
+       keyword st "FROM";
+       let table = identifier st in
+       let where = where_clause st in
+       Ast.Select { columns; table; where }
+     | "DELETE" ->
+       keyword st "FROM";
+       let table = identifier st in
+       Ast.Delete { table; where = where_clause st }
+     | "USE" -> Ast.Use (identifier st)
+     | other -> raise (Fail (Printf.sprintf "unknown statement %S" other)))
+  | _ -> raise (Fail "a statement starts with a keyword")
+
+let finish st stmt =
+  (match peek st with
+   | Some (Punct ';') -> ignore (next st)
+   | _ -> ());
+  match peek st with
+  | None -> stmt
+  | Some _ -> raise (Fail "trailing tokens after statement")
+
+let parse input =
+  match
+    let st = { toks = tokenize input } in
+    finish st (statement st)
+  with
+  | stmt -> Ok stmt
+  | exception Fail msg -> Error msg
+
+let parse_script input =
+  match
+    let st = { toks = tokenize input } in
+    let rec loop acc =
+      match peek st with
+      | None -> List.rev acc
+      | Some (Punct ';') ->
+        ignore (next st);
+        loop acc
+      | Some _ -> loop (statement st :: acc)
+    in
+    loop []
+  with
+  | stmts -> Ok stmts
+  | exception Fail msg -> Error msg

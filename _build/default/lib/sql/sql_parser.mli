@@ -1,0 +1,7 @@
+(** SQL tokenizer and statement parser. *)
+
+val parse : string -> (Ast.statement, string) result
+(** Parses a single statement; a trailing [;] is accepted. *)
+
+val parse_script : string -> (Ast.statement list, string) result
+(** Parses [;]-separated statements. *)

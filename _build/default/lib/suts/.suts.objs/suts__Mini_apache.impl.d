@@ -1,0 +1,1 @@
+lib/suts/mini_apache.ml: Conferr_util Conftree Filename Formats List Option Printf String Sut

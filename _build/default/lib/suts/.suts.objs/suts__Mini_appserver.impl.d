@@ -1,0 +1,1 @@
+lib/suts/mini_appserver.ml: Conftree Formats List Printf Result String Sut

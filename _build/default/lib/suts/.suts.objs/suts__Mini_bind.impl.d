@@ -1,0 +1,1 @@
+lib/suts/mini_bind.ml: Conferr_util Conftree Dnsmodel Format Formats List Option Printf Result String Sut

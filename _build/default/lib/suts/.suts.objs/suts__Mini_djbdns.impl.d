@@ -1,0 +1,1 @@
+lib/suts/mini_djbdns.ml: Conftree Dnsmodel Formats List Printf String Sut

@@ -1,0 +1,1 @@
+lib/suts/mini_mysql.ml: Char Conferr_util Formats Hashtbl Int64 List Minisql Option Printf String Sut

@@ -1,0 +1,1 @@
+lib/suts/mini_mysql.mli: Sut

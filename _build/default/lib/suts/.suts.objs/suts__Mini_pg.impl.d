@@ -1,0 +1,1 @@
+lib/suts/mini_pg.ml: Conferr_util Formats Hashtbl List Minisql Option Printf Result String Sut

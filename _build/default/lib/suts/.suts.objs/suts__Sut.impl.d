@@ -1,0 +1,1 @@
+lib/suts/sut.ml: Formats List

@@ -1,0 +1,1 @@
+lib/suts/sut.mli: Formats

@@ -1,0 +1,1 @@
+lib/suts/vocabulary.mli: Sut

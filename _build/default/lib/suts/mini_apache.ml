@@ -1,0 +1,675 @@
+module Strutil = Conferr_util.Strutil
+
+(* ------------------------------------------------------------------ *)
+(* Module registry: module identifier -> canonical shared-object path   *)
+(* ------------------------------------------------------------------ *)
+
+let modules =
+  [
+    ("authz_host_module", "modules/mod_authz_host.so");
+    ("auth_basic_module", "modules/mod_auth_basic.so");
+    ("authn_file_module", "modules/mod_authn_file.so");
+    ("include_module", "modules/mod_include.so");
+    ("log_config_module", "modules/mod_log_config.so");
+    ("env_module", "modules/mod_env.so");
+    ("expires_module", "modules/mod_expires.so");
+    ("headers_module", "modules/mod_headers.so");
+    ("setenvif_module", "modules/mod_setenvif.so");
+    ("mime_module", "modules/mod_mime.so");
+    ("status_module", "modules/mod_status.so");
+    ("autoindex_module", "modules/mod_autoindex.so");
+    ("info_module", "modules/mod_info.so");
+    ("dir_module", "modules/mod_dir.so");
+    ("alias_module", "modules/mod_alias.so");
+    ("rewrite_module", "modules/mod_rewrite.so");
+    ("negotiation_module", "modules/mod_negotiation.so");
+    ("userdir_module", "modules/mod_userdir.so");
+    ("actions_module", "modules/mod_actions.so");
+    ("speling_module", "modules/mod_speling.so");
+    ("vhost_alias_module", "modules/mod_vhost_alias.so");
+    ("deflate_module", "modules/mod_deflate.so");
+    ("cgi_module", "modules/mod_cgi.so");
+    ("dav_module", "modules/mod_dav.so");
+    ("dav_fs_module", "modules/mod_dav_fs.so");
+    ("proxy_module", "modules/mod_proxy.so");
+    ("proxy_http_module", "modules/mod_proxy_http.so");
+    ("ssl_module", "modules/mod_ssl.so");
+    ("cache_module", "modules/mod_cache.so");
+    ("disk_cache_module", "modules/mod_disk_cache.so");
+  ]
+
+let known_module name = List.mem_assoc name modules
+
+(* Which module provides each non-core directive. *)
+let directive_modules =
+  [
+    ("order", "authz_host_module");
+    ("allow", "authz_host_module");
+    ("deny", "authz_host_module");
+    ("authtype", "auth_basic_module");
+    ("authname", "auth_basic_module");
+    ("authuserfile", "authn_file_module");
+    ("customlog", "log_config_module");
+    ("logformat", "log_config_module");
+    ("setenv", "env_module");
+    ("expiresactive", "expires_module");
+    ("header", "headers_module");
+    ("setenvif", "setenvif_module");
+    ("browsermatch", "setenvif_module");
+    ("addtype", "mime_module");
+    ("addencoding", "mime_module");
+    ("addhandler", "mime_module");
+    ("typesconfig", "mime_module");
+    ("extendedstatus", "status_module");
+    ("indexoptions", "autoindex_module");
+    ("addicon", "autoindex_module");
+    ("addiconbytype", "autoindex_module");
+    ("defaulticon", "autoindex_module");
+    ("readmename", "autoindex_module");
+    ("headername", "autoindex_module");
+    ("addinfo", "info_module");
+    ("directoryindex", "dir_module");
+    ("alias", "alias_module");
+    ("scriptalias", "alias_module");
+    ("redirect", "alias_module");
+    ("rewriteengine", "rewrite_module");
+    ("rewriterule", "rewrite_module");
+    ("languagepriority", "negotiation_module");
+    ("addlanguage", "negotiation_module");
+    ("forcelanguagepriority", "negotiation_module");
+    ("userdir", "userdir_module");
+    ("action", "actions_module");
+    ("checkspelling", "speling_module");
+    ("deflatecompressionlevel", "deflate_module");
+    ("scriptsock", "cgi_module");
+    ("davlockdb", "dav_fs_module");
+    ("proxyrequests", "proxy_module");
+    ("sslengine", "ssl_module");
+    ("sslcertificatefile", "ssl_module");
+    ("cacheenable", "cache_module");
+    ("cacheroot", "disk_cache_module");
+  ]
+
+let directive_module name =
+  List.assoc_opt (String.lowercase_ascii name) directive_modules
+
+(* Core directives: name -> value validator.  Most accept anything —
+   the laxity the paper criticizes. *)
+
+let existing_dirs =
+  [ "/etc/httpd"; "/var/www/html"; "/var/www/cgi-bin"; "/var/www/error";
+    "/var/www/icons"; "/var/log/httpd"; "/var/run"; "/home" ]
+
+let existing_files = [ "/etc/mime.types"; "/etc/httpd/conf/magic" ]
+
+let known_users = [ "apache"; "www-data"; "daemon"; "nobody" ]
+
+let known_groups = known_users
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let parse_port s =
+  (* "80" or "1.2.3.4:80" or "[::]:80" *)
+  let port_text =
+    match String.rindex_opt s ':' with
+    | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+    | None -> s
+  in
+  if is_digits port_text then
+    let p = int_of_string port_text in
+    if p >= 1 && p <= 65535 then Ok p
+    else Error (Printf.sprintf "port %d is out of range" p)
+  else Error (Printf.sprintf "Invalid port in %S" s)
+
+let dir_of_path p =
+  match String.rindex_opt p '/' with
+  | Some 0 -> "/"
+  | Some i -> String.sub p 0 i
+  | None -> "."
+
+type validator =
+  | Anything                 (* the flaw: freeform strings accepted *)
+  | Number
+  | On_off
+  | On_off_or of string list
+  | Enum of string list
+  | Port_list
+  | Existing_dir
+  | Log_path                 (* parent directory must exist; '|' pipes ok *)
+  | Existing_file
+  | User_name
+  | Group_name
+  | Options_list
+  | Override_list
+  | Order_arg
+  | From_list
+  | Min_args of int
+
+let core_directives =
+  [
+    ("serverroot", Existing_dir);
+    ("listen", Port_list);
+    ("user", User_name);
+    ("group", Group_name);
+    ("serveradmin", Anything) (* flaw: should be a URL or email address *);
+    ("servername", Anything) (* flaw: should be a DNS host name *);
+    ("usecanonicalname", On_off_or [ "dns" ]);
+    ("documentroot", Anything) (* checked at request time, not startup *);
+    ("errorlog", Log_path);
+    ("loglevel", Enum [ "debug"; "info"; "notice"; "warn"; "error"; "crit"; "alert"; "emerg" ]);
+    ("pidfile", Log_path);
+    ("timeout", Number);
+    ("keepalive", On_off);
+    ("maxkeepaliverequests", Number);
+    ("keepalivetimeout", Number);
+    ("startservers", Number);
+    ("minspareservers", Number);
+    ("maxspareservers", Number);
+    ("serverlimit", Number);
+    ("maxclients", Number);
+    ("maxrequestsperchild", Number);
+    ("defaulttype", Anything) (* flaw: should be type/subtype per RFC 2045 *);
+    ("hostnamelookups", On_off_or [ "double" ]);
+    ("servertokens", Enum [ "prod"; "major"; "minor"; "min"; "os"; "full" ]);
+    ("serversignature", On_off_or [ "email" ]);
+    ("adddefaultcharset", Anything);
+    ("enablemmap", On_off);
+    ("enablesendfile", On_off);
+    ("accessfilename", Anything);
+    ("namevirtualhost", Port_list);
+    ("options", Options_list);
+    ("allowoverride", Override_list);
+    ("errordocument", Min_args 2);
+    ("include", Existing_file);
+    ("traceenable", On_off_or [ "extended" ]);
+  ]
+
+let option_tokens =
+  [ "indexes"; "includes"; "followsymlinks"; "symlinksifownermatch"; "execcgi";
+    "multiviews"; "none"; "all" ]
+
+let override_tokens =
+  [ "authconfig"; "fileinfo"; "indexes"; "limit"; "options"; "none"; "all" ]
+
+(* Directives owned by loadable modules still need their values checked
+   once the module is present. *)
+let module_directive_validators =
+  [
+    ("order", Order_arg);
+    ("allow", From_list);
+    ("deny", From_list);
+    ("customlog", Min_args 2);
+    ("logformat", Min_args 1);
+    ("addtype", Min_args 2) (* flaw: the type itself is not validated *);
+    ("addencoding", Min_args 2);
+    ("addhandler", Min_args 2);
+    ("typesconfig", Existing_file);
+    ("extendedstatus", On_off);
+    ("directoryindex", Min_args 1);
+    ("alias", Min_args 2);
+    ("scriptalias", Min_args 2);
+    ("redirect", Min_args 1);
+    ("rewriteengine", On_off);
+    ("languagepriority", Min_args 1);
+    ("addlanguage", Min_args 2);
+    ("forcelanguagepriority", Min_args 1);
+    ("userdir", Min_args 1);
+    ("setenvif", Min_args 2);
+    ("browsermatch", Min_args 2);
+    ("setenv", Min_args 1);
+    ("indexoptions", Min_args 1);
+    ("addicon", Min_args 2);
+    ("addiconbytype", Min_args 2);
+    ("defaulticon", Min_args 1);
+    ("readmename", Min_args 1);
+    ("headername", Min_args 1);
+  ]
+
+let fields s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun f -> f <> "")
+
+type state = {
+  mutable listeners : int list;
+  mutable document_root : string;
+  mutable loaded : string list;    (* module identifiers *)
+  mutable directory_index : string list;
+  mutable vhost_roots : (int * string) list;
+}
+
+let strip_quotes s =
+  if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"' then
+    String.sub s 1 (String.length s - 2)
+  else s
+
+let validate_value state name validator value =
+  let args = fields value in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match validator with
+  | Anything -> Ok ()
+  | Number ->
+    (match args with
+     | [ v ] when is_digits v -> Ok ()
+     | _ -> fail "%s takes one numeric argument" name)
+  | On_off ->
+    (match List.map String.lowercase_ascii args with
+     | [ "on" ] | [ "off" ] -> Ok ()
+     | _ -> fail "%s must be On or Off" name)
+  | On_off_or extra ->
+    (match List.map String.lowercase_ascii args with
+     | [ v ] when v = "on" || v = "off" || List.mem v extra -> Ok ()
+     | _ -> fail "%s must be On, Off%s" name
+              (String.concat "" (List.map (fun e -> " or " ^ e) extra)))
+  | Enum allowed ->
+    (match List.map String.lowercase_ascii args with
+     | [ v ] when List.mem v allowed -> Ok ()
+     | _ -> fail "%s must be one of %s" name (String.concat "|" allowed))
+  | Port_list ->
+    (match args with
+     | [ spec ] ->
+       (match parse_port spec with
+        | Ok p ->
+          if name = "listen" then state.listeners <- state.listeners @ [ p ];
+          Ok ()
+        | Error msg -> Error msg)
+     | _ -> fail "%s takes one address or port argument" name)
+  | Existing_dir ->
+    (match args with
+     | [ d ] when List.mem d existing_dirs -> Ok ()
+     | [ d ] ->
+       (* the shipped configs quote paths; unquote before checking *)
+       let unq = strip_quotes d in
+       if List.mem unq existing_dirs then Ok ()
+       else fail "%s: could not open directory %s" name d
+     | _ -> fail "%s takes one directory argument" name)
+  | Existing_file ->
+    (match args with
+     | [ f ] when List.mem (strip_quotes f) existing_files -> Ok ()
+     | [ f ] -> fail "%s: could not open file %s" name f
+     | _ -> fail "%s takes one file argument" name)
+  | Log_path ->
+    (match args with
+     | [ p ] ->
+       let p = strip_quotes p in
+       if String.length p > 0 && p.[0] = '|' then Ok ()
+       else if List.mem (dir_of_path p) existing_dirs then Ok ()
+       else fail "%s: could not open log file %s" name p
+     | _ -> fail "%s takes one argument" name)
+  | User_name ->
+    (match args with
+     | [ u ] when List.mem u known_users -> Ok ()
+     | [ u ] -> fail "bad user name %s" u
+     | _ -> fail "User takes one argument")
+  | Group_name ->
+    (match args with
+     | [ g ] when List.mem g known_groups -> Ok ()
+     | [ g ] -> fail "bad group name %s" g
+     | _ -> fail "Group takes one argument")
+  | Options_list ->
+    let bad =
+      List.find_opt
+        (fun a ->
+          let a = String.lowercase_ascii a in
+          let a =
+            if String.length a > 0 && (a.[0] = '+' || a.[0] = '-') then
+              String.sub a 1 (String.length a - 1)
+            else a
+          in
+          not (List.mem a option_tokens))
+        args
+    in
+    (match bad with
+     | Some a -> fail "Illegal option %s" a
+     | None -> Ok ())
+  | Override_list ->
+    let bad =
+      List.find_opt
+        (fun a -> not (List.mem (String.lowercase_ascii a) override_tokens))
+        args
+    in
+    (match bad with
+     | Some a -> fail "Illegal override option %s" a
+     | None -> Ok ())
+  | Order_arg ->
+    (match List.map String.lowercase_ascii args with
+     | [ "allow,deny" ] | [ "deny,allow" ] | [ "mutual-failure" ] -> Ok ()
+     | _ -> fail "unknown order")
+  | From_list ->
+    (match List.map String.lowercase_ascii args with
+     | "from" :: _ :: _ -> Ok ()
+     | _ -> fail "%s takes 'from <host>' arguments" name)
+  | Min_args n ->
+    if List.length args >= n then Ok ()
+    else fail "%s takes at least %d argument(s)" name n
+
+(* ------------------------------------------------------------------ *)
+(* Config processing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type item =
+  | Directive of string * string      (* name, raw argument text *)
+  | Section of string * string * item list
+
+let parse_config text =
+  (* The SUT's own reader; same grammar as the injector's format module
+     but with Apache's error messages. *)
+  match Formats.Apacheconf.parse text with
+  | Error e -> Error (Printf.sprintf "Syntax error: %s" (Formats.Parse_error.to_string e))
+  | Ok tree ->
+    let rec items (n : Conftree.Node.t) =
+      n.children
+      |> List.filter_map (fun (c : Conftree.Node.t) ->
+             if c.kind = Conftree.Node.kind_directive then
+               Some (Directive (c.name, Conftree.Node.value_or ~default:"" c))
+             else if c.kind = Conftree.Node.kind_section then
+               Some
+                 (Section
+                    ( c.name,
+                      Option.value ~default:"" (Conftree.Node.attr c "arg"),
+                      items c ))
+             else None)
+    in
+    Ok (items tree)
+
+let load_module state args =
+  match fields args with
+  | [ name; path ] ->
+    (match List.assoc_opt name modules with
+     | Some canonical when strip_quotes path = canonical ->
+       state.loaded <- name :: state.loaded;
+       Ok ()
+     | Some canonical ->
+       Error
+         (Printf.sprintf
+            "Cannot load %s into server: %s: cannot open shared object file (expected \
+             %s)"
+            path path canonical)
+     | None ->
+       Error
+         (Printf.sprintf "Cannot load %s into server: undefined module %s" path name))
+  | _ -> Error "LoadModule takes two arguments"
+
+let handle_directive state ~vhost_port name args =
+  let lname = String.lowercase_ascii name in
+  if lname = "loadmodule" then load_module state args
+  else
+    match List.assoc_opt lname core_directives with
+    | Some validator ->
+      let r = validate_value state lname validator args in
+      (match r with
+       | Ok () ->
+         if lname = "documentroot" then begin
+           let root = strip_quotes (List.nth_opt (fields args) 0 |> Option.value ~default:"") in
+           (match vhost_port with
+            | None -> state.document_root <- root
+            | Some p -> state.vhost_roots <- (p, root) :: state.vhost_roots)
+         end;
+         Ok ()
+       | Error _ -> r)
+    | None ->
+      (match directive_module lname with
+       | Some m when List.mem m state.loaded ->
+         let validator =
+           Option.value ~default:Anything (List.assoc_opt lname module_directive_validators)
+         in
+         let r = validate_value state lname validator args in
+         if r = Ok () && lname = "directoryindex" then
+           state.directory_index <- fields args;
+         r
+       | Some _ | None ->
+         Error
+           (Printf.sprintf
+              "Invalid command '%s', perhaps misspelled or defined by a module not \
+               included in the server configuration"
+              name))
+
+let rec process state ~vhost_port items =
+  match items with
+  | [] -> Ok ()
+  | Directive (name, args) :: rest ->
+    (match handle_directive state ~vhost_port name args with
+     | Ok () -> process state ~vhost_port rest
+     | Error msg -> Error msg)
+  | Section (name, arg, children) :: rest ->
+    let lname = String.lowercase_ascii name in
+    let continue_with result =
+      match result with
+      | Ok () -> process state ~vhost_port rest
+      | Error _ -> result
+    in
+    (match lname with
+     | "ifmodule" ->
+       let mod_name =
+         let a = Strutil.trim arg in
+         let a =
+           if String.length a > 0 && a.[0] = '!' then String.sub a 1 (String.length a - 1)
+           else a
+         in
+         (* <IfModule mod_userdir.c> names the source file; map it to the
+            module identifier used by LoadModule. *)
+         match Strutil.drop_prefix ~prefix:"mod_" a with
+         | Some rest when Filename.check_suffix rest ".c" ->
+           Filename.chop_suffix rest ".c" ^ "_module"
+         | Some _ | None -> a
+       in
+       let negated = String.length (Strutil.trim arg) > 0 && (Strutil.trim arg).[0] = '!' in
+       let present = List.mem mod_name state.loaded in
+       if (present && not negated) || ((not present) && negated) then
+         continue_with (process state ~vhost_port children)
+       else (* body skipped entirely: even invalid commands are ignored *)
+         process state ~vhost_port rest
+     | "virtualhost" ->
+       (match parse_port (Strutil.trim arg) with
+        | Ok p -> continue_with (process state ~vhost_port:(Some p) children)
+        | Error _ when Strutil.trim arg = "*" ->
+          continue_with (process state ~vhost_port:(Some 80) children)
+        | Error msg -> Error (Printf.sprintf "VirtualHost: %s" msg))
+     | "directory" | "files" | "location" | "limit" ->
+       continue_with (process state ~vhost_port children)
+     | other ->
+       Error
+         (Printf.sprintf
+            "Invalid command '<%s', perhaps misspelled or defined by a module not \
+             included in the server configuration"
+            other))
+
+(* ------------------------------------------------------------------ *)
+(* Functional test: an HTTP GET, like the paper's diagnosis script       *)
+(* ------------------------------------------------------------------ *)
+
+let docroot_has_index root = root = "/var/www/html"
+
+let functional_tests state () =
+  let expected_port = 80 in
+  if not (List.mem expected_port state.listeners) then
+    [
+      Sut.failed "http-get"
+        (Printf.sprintf "connection refused on port %d (listening on: %s)" expected_port
+           (String.concat "," (List.map string_of_int state.listeners)));
+    ]
+  else begin
+    let root =
+      match List.assoc_opt expected_port state.vhost_roots with
+      | Some r -> r
+      | None -> state.document_root
+    in
+    if not (docroot_has_index root) then
+      [ Sut.failed "http-get" (Printf.sprintf "404 Not Found (DocumentRoot %s)" root) ]
+    else if not (List.mem "index.html" state.directory_index) then
+      [ Sut.failed "http-get" "403 Forbidden (no DirectoryIndex maps /)" ]
+    else [ Sut.passed "http-get" ]
+  end
+
+(* httpd resolves LoadModule before the bulk of the configuration is
+   interpreted (the shipped configs rely on this), so module loading is a
+   separate first pass over the whole tree. *)
+let rec preload_modules state items =
+  match items with
+  | [] -> Ok ()
+  | Directive (name, args) :: rest when String.lowercase_ascii name = "loadmodule" ->
+    (match load_module state args with
+     | Ok () -> preload_modules state rest
+     | Error _ as e -> e)
+  | Directive _ :: rest -> preload_modules state rest
+  | Section (_, _, children) :: rest ->
+    (match preload_modules state children with
+     | Ok () -> preload_modules state rest
+     | Error _ as e -> e)
+
+let boot configs =
+  match List.assoc_opt "httpd.conf" configs with
+  | None -> Error "httpd.conf not found"
+  | Some main_text ->
+    (* httpd.conf ends with an Include of ssl.conf; the two files form
+       one configuration (the paper's multi-file Apache example). *)
+    let text =
+      match List.assoc_opt "ssl.conf" configs with
+      | Some ssl -> main_text ^ "\n" ^ ssl
+      | None -> main_text
+    in
+    (match parse_config text with
+     | Error msg -> Error msg
+     | Ok items ->
+       let state =
+         {
+           listeners = [];
+           document_root = "";
+           loaded = [];
+           directory_index = [];
+           vhost_roots = [];
+         }
+       in
+       (match
+          match preload_modules state items with
+          | Ok () -> process state ~vhost_port:None items
+          | Error _ as e -> e
+        with
+        | Error msg -> Error msg
+        | Ok () ->
+          if state.listeners = [] then
+            Error "no listening sockets available, shutting down"
+          else
+            Ok
+              {
+                Sut.run_tests = functional_tests state;
+                shutdown = (fun () -> ());
+              }))
+
+let default_config =
+  let load (name, path) = Printf.sprintf "LoadModule %s %s" name path in
+  String.concat "\n"
+    ([
+       "# Apache HTTP Server main configuration";
+       "ServerRoot /etc/httpd";
+       "Listen 80";
+       "PidFile /var/run/httpd.pid";
+       "Timeout 120";
+       "KeepAlive Off";
+       "MaxKeepAliveRequests 100";
+       "KeepAliveTimeout 15";
+       "StartServers 8";
+       "MinSpareServers 5";
+       "MaxSpareServers 20";
+       "ServerLimit 256";
+       "MaxClients 256";
+       "MaxRequestsPerChild 4000";
+     ]
+    @ List.map load modules
+    @ [
+        "User apache";
+        "Group apache";
+        "ServerAdmin root@localhost";
+        "ServerName www.example.com";
+        "UseCanonicalName Off";
+        "DocumentRoot /var/www/html";
+        "DirectoryIndex index.html index.html.var";
+        "AccessFileName .htaccess";
+        "TypesConfig /etc/mime.types";
+        "DefaultType text/plain";
+        "HostnameLookups Off";
+        "ErrorLog /var/log/httpd/error_log";
+        "LogLevel warn";
+        "LogFormat \"%h %l %u %t\" common";
+        "CustomLog /var/log/httpd/access_log common";
+        "ServerTokens OS";
+        "ServerSignature On";
+        "Alias /icons/ /var/www/icons/";
+        "ScriptAlias /cgi-bin/ /var/www/cgi-bin/";
+        "IndexOptions FancyIndexing VersionSort NameWidth=*";
+        "AddIconByType (TXT,/icons/text.gif) text/*";
+        "DefaultIcon /icons/unknown.gif";
+        "ReadmeName README.html";
+        "HeaderName HEADER.html";
+        "AddLanguage en .en";
+        "AddLanguage fr .fr";
+        "LanguagePriority en fr";
+        "ForceLanguagePriority Prefer Fallback";
+        "AddDefaultCharset UTF-8";
+        "AddType application/x-compress .Z";
+        "AddType application/x-gzip .gz .tgz";
+        "AddHandler type-map var";
+        "AddEncoding x-compress .Z";
+        "AddEncoding x-gzip .gz .tgz";
+        "BrowserMatch \"Mozilla/2\" nokeepalive";
+        "BrowserMatch \"MSIE 4\\.0b2;\" nokeepalive downgrade-1.0";
+        "SetEnvIf Request_URI \"\\.gif$\" object-is-image";
+        "SetEnv APP_ENV production";
+        "<Directory />";
+        "  Options FollowSymLinks";
+        "  AllowOverride None";
+        "</Directory>";
+        "<Directory \"/var/www/html\">";
+        "  Options Indexes FollowSymLinks";
+        "  AllowOverride None";
+        "  Order allow,deny";
+        "  Allow from all";
+        "</Directory>";
+        "<Directory \"/var/www/cgi-bin\">";
+        "  AllowOverride None";
+        "  Options None";
+        "  Order allow,deny";
+        "  Allow from all";
+        "</Directory>";
+        "<IfModule mod_userdir.c>";
+        "  UserDir disabled";
+        "</IfModule>";
+        "<VirtualHost *:80>";
+        "  ServerName www.example.com";
+        "  DocumentRoot /var/www/html";
+        "  ErrorLog /var/log/httpd/vhost_error_log";
+        "  CustomLog /var/log/httpd/vhost_access_log common";
+        "</VirtualHost>";
+        "";
+      ])
+
+let ssl_config =
+  String.concat "\n"
+    [
+      "# SSL virtual host configuration";
+      "Listen 8443";
+      "AddType application/x-x509-ca-cert .crt";
+      "AddType application/x-pkcs7-crl .crl";
+      "<VirtualHost *:8443>";
+      "  ServerName www.example.com";
+      "  DocumentRoot /var/www/html";
+      "  ErrorLog /var/log/httpd/ssl_error_log";
+      "  CustomLog /var/log/httpd/ssl_access_log common";
+      "  SSLEngine on";
+      "  SSLCertificateFile /etc/httpd/conf/magic";
+      "</VirtualHost>";
+      "";
+    ]
+
+let sut =
+  {
+    Sut.sut_name = "apache";
+    version = "Apache httpd 2.2.6 (simulated)";
+    config_files =
+      [
+        ("httpd.conf", Formats.Registry.apacheconf);
+        ("ssl.conf", Formats.Registry.apacheconf);
+      ];
+    default_config = [ ("httpd.conf", default_config); ("ssl.conf", ssl_config) ];
+    boot;
+  }

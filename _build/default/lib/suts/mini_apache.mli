@@ -1,0 +1,28 @@
+(** Simulated Apache HTTP Server 2.2.
+
+    Behaviours reproduced (paper §5.2 and Table 2):
+
+    - directive names are case-insensitive; an unknown name aborts
+      startup with "Invalid command ... perhaps misspelled or defined by
+      a module not included in the server configuration"
+    - directives are provided by modules: deleting (or typo-ing) a
+      [LoadModule] line makes every directive of that module an invalid
+      command — the mechanism behind many startup-detected faults
+    - [AddType]/[DefaultType] accept freeform strings instead of
+      RFC-2045 [type/subtype] values (flaw); [ServerAdmin] and
+      [ServerName] likewise accept anything (flaws)
+    - a typo in [Listen]'s port survives startup and is only caught by
+      the functional HTTP GET (the paper's 5% functional detections)
+    - nested sections ([<VirtualHost>], [<Directory>], [<IfModule>]);
+      [<IfModule>] bodies are skipped when the module is absent
+    - enum-valued directives ([LogLevel], [KeepAlive], [Options], ...)
+      are strictly validated *)
+
+val sut : Sut.t
+
+(** {1 Exposed for white-box unit tests} *)
+
+val known_module : string -> bool
+
+val directive_module : string -> string option
+(** The module a directive comes from ([None] = core). *)

@@ -1,0 +1,169 @@
+module Node = Conftree.Node
+
+let known_elements = [ "server"; "connector"; "logger"; "host"; "realm" ]
+
+let existing_dirs = [ "/srv/webapps"; "/var/log/appserver"; "/etc/appserver" ]
+
+let existing_files = [ "/etc/appserver/users.xml" ]
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+type state = {
+  mutable connector_ports : int list;
+  mutable app_base : string;
+  mutable default_app : string;
+}
+
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let ( let* ) = Result.bind
+
+let rec fold_result f acc = function
+  | [] -> Ok acc
+  | x :: rest ->
+    let* acc = f acc x in
+    fold_result f acc rest
+
+let check_attrs ~element ~allowed (n : Node.t) =
+  fold_result
+    (fun () (key, _) ->
+      if List.mem key allowed then Ok ()
+      else fail "element <%s> has no attribute %S" element key)
+    () n.attrs
+
+let parse_port (n : Node.t) attr_name =
+  match Node.attr n attr_name with
+  | None -> Ok None
+  | Some p when is_digits p ->
+    let port = int_of_string p in
+    if port >= 1 && port <= 65535 then Ok (Some port)
+    else fail "port %d out of range" port
+  | Some p -> fail "invalid port %S" p
+
+let handle_connector state (n : Node.t) =
+  let* () = check_attrs ~element:"connector" ~allowed:[ "protocol"; "port"; "timeout" ] n in
+  let* () =
+    match Node.attr n "protocol" with
+    | None | Some "http" | Some "https" | Some "ajp" -> Ok ()
+    | Some other -> fail "unknown connector protocol %S" other
+  in
+  let* () =
+    match Node.attr n "timeout" with
+    | None -> Ok ()
+    | Some t when is_digits t -> Ok ()
+    | Some t -> fail "invalid connector timeout %S" t
+  in
+  let* port = parse_port n "port" in
+  (match port with
+   | Some p -> state.connector_ports <- state.connector_ports @ [ p ]
+   | None -> ());
+  Ok ()
+
+let handle_logger (n : Node.t) =
+  let* () = check_attrs ~element:"logger" ~allowed:[ "level"; "file" ] n in
+  let* () =
+    match Node.attr n "level" with
+    | None | Some "debug" | Some "info" | Some "warn" | Some "error" -> Ok ()
+    | Some other -> fail "unknown log level %S" other
+  in
+  match Node.attr n "file" with
+  | None -> Ok ()
+  | Some f ->
+    let dir =
+      match String.rindex_opt f '/' with
+      | Some 0 -> "/"
+      | Some i -> String.sub f 0 i
+      | None -> "."
+    in
+    if List.mem dir existing_dirs then Ok ()
+    else fail "cannot open log file %S" f
+
+let handle_host state (n : Node.t) =
+  let* () = check_attrs ~element:"host" ~allowed:[ "name"; "appBase"; "defaultApp" ] n in
+  (match Node.attr n "appBase" with
+   | Some base -> state.app_base <- base
+   | None -> ());
+  (match Node.attr n "defaultApp" with
+   | Some app -> state.default_app <- app
+   | None -> ());
+  Ok ()
+
+let handle_realm (n : Node.t) =
+  let* () = check_attrs ~element:"realm" ~allowed:[ "users" ] n in
+  match Node.attr n "users" with
+  | None -> Ok ()
+  | Some f when List.mem f existing_files -> Ok ()
+  | Some f -> fail "realm user database %S not found" f
+
+let rec process state (n : Node.t) =
+  if n.kind <> Node.kind_element then Ok ()
+  else
+    match String.lowercase_ascii n.name with
+    | "server" ->
+      let* () = check_attrs ~element:"server" ~allowed:[ "shutdownPort"; "name" ] n in
+      fold_result (fun () c -> process state c) () n.children
+    | "connector" -> handle_connector state n
+    | "logger" -> handle_logger n
+    | "host" ->
+      let* () = handle_host state n in
+      fold_result (fun () c -> process state c) () n.children
+    | "realm" -> handle_realm n
+    | _ ->
+      (* The XML-config flaw: an element this server does not know is
+         skipped without a diagnostic — a typo in an element name makes
+         the whole subtree silently disappear. *)
+      Ok ()
+
+let functional_tests state () =
+  let expected_port = 8080 in
+  if not (List.mem expected_port state.connector_ports) then
+    [
+      Sut.failed "http-get"
+        (Printf.sprintf "connection refused on %d (connectors: %s)" expected_port
+           (String.concat "," (List.map string_of_int state.connector_ports)));
+    ]
+  else if state.app_base <> "/srv/webapps" then
+    [ Sut.failed "http-get" (Printf.sprintf "404: appBase %S has no apps" state.app_base) ]
+  else if state.default_app = "" then
+    [ Sut.failed "http-get" "404: no default application deployed" ]
+  else [ Sut.passed "http-get" ]
+
+let boot configs =
+  match List.assoc_opt "server.xml" configs with
+  | None -> Error "server.xml not found"
+  | Some text ->
+    (match Formats.Xmlconf.parse text with
+     | Error e ->
+       Error (Printf.sprintf "XML parse error: %s" (Formats.Parse_error.to_string e))
+     | Ok tree ->
+       let state = { connector_ports = []; app_base = ""; default_app = "" } in
+       let roots = tree.Node.children in
+       (match fold_result (fun () n -> process state n) () roots with
+        | Error msg -> Error msg
+        | Ok () ->
+          if state.connector_ports = [] then Error "no connectors configured"
+          else Ok { Sut.run_tests = functional_tests state; shutdown = (fun () -> ()) }))
+
+let default_config =
+  String.concat "\n"
+    [
+      "<?xml version=\"1.0\"?>";
+      "<server name=\"appserver\" shutdownPort=\"8005\">";
+      "  <connector protocol=\"http\" port=\"8080\" timeout=\"30\"/>";
+      "  <connector protocol=\"https\" port=\"8443\"/>";
+      "  <logger level=\"info\" file=\"/var/log/appserver/server.log\"/>";
+      "  <host name=\"localhost\" appBase=\"/srv/webapps\" defaultApp=\"root\">";
+      "    <realm users=\"/etc/appserver/users.xml\"/>";
+      "  </host>";
+      "</server>";
+      "";
+    ]
+
+let sut =
+  {
+    Sut.sut_name = "appserver";
+    version = "XML application server (simulated)";
+    config_files = [ ("server.xml", Formats.Registry.xmlconf) ];
+    default_config = [ ("server.xml", default_config) ];
+    boot;
+  }

@@ -1,0 +1,20 @@
+(** Simulated XML-configured application server (Tomcat-style).
+
+    The paper lists generic XML files among the input formats ConfErr
+    handles; this SUT exercises that path end-to-end.  Its configuration
+    behaviour models the failure mode typical of XML-configured servers:
+
+    - {e unknown elements are silently skipped} — a typo in an element
+      name removes the whole subtree from consideration without any
+      diagnostic (the XML analogue of MySQL's silent defaults)
+    - attributes of {e known} elements are strictly validated: unknown
+      attribute names, malformed ports, unknown protocols or log levels
+      abort startup
+    - a well-formedness error (broken tag) aborts startup
+    - the functional test performs an HTTP GET against the connector
+      port, so a numeric port typo survives startup and fails the
+      diagnosis, like Apache's [Listen] *)
+
+val sut : Sut.t
+
+val known_elements : string list

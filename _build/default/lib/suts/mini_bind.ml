@@ -1,0 +1,260 @@
+module Config_set = Conftree.Config_set
+
+let forward_origin = "example.com."
+let reverse_origin = "0.0.10.in-addr.arpa."
+let forward_zone_file = "example.com.zone"
+let reverse_zone_file = "0.0.10.in-addr.arpa.zone"
+
+let zones = [ (forward_zone_file, forward_origin); (reverse_zone_file, reverse_origin) ]
+
+let forward_zone_text =
+  String.concat "\n"
+    [
+      "$TTL 86400";
+      "; forward zone for example.com";
+      "@\tIN\tSOA\tns1.example.com. hostmaster.example.com. ( 2008060101 10800 3600 \
+       604800 86400 )";
+      "@\tIN\tNS\tns1.example.com.";
+      "ns1\tIN\tA\t10.0.0.1";
+      "www\tIN\tA\t10.0.0.2";
+      "mail\tIN\tA\t10.0.0.3";
+      "host1\tIN\tA\t10.0.0.4";
+      "host2\tIN\tA\t10.0.0.5";
+      "@\tIN\tMX\t10 mail.example.com.";
+      "@\tIN\tTXT\t\"v=spf1 mx -all\"";
+      "@\tIN\tRP\thostmaster.example.com. contact.example.com.";
+      "host1\tIN\tHINFO\t\"PC\" \"Linux\"";
+      "host2\tIN\tHINFO\t\"PC\" \"FreeBSD\"";
+      "contact\tIN\tTXT\t\"ops team, +41 21 000 00 00\"";
+      "ftp\tIN\tCNAME\twww.example.com.";
+      "webmail\tIN\tCNAME\tmail.example.com.";
+      "";
+    ]
+
+let reverse_zone_text =
+  String.concat "\n"
+    [
+      "$TTL 86400";
+      "; reverse zone for 10.0.0.0/24";
+      "@\tIN\tSOA\tns1.example.com. hostmaster.example.com. ( 2008060101 10800 3600 \
+       604800 86400 )";
+      "@\tIN\tNS\tns1.example.com.";
+      "1\tIN\tPTR\tns1.example.com.";
+      "2\tIN\tPTR\twww.example.com.";
+      "3\tIN\tPTR\tmail.example.com.";
+      "4\tIN\tPTR\thost1.example.com.";
+      "5\tIN\tPTR\thost2.example.com.";
+      "";
+    ]
+
+let named_conf_text =
+  String.concat "\n"
+    [
+      "// named.conf";
+      "options {";
+      "  directory \"/var/named\";";
+      "  recursion no;";
+      "  listen-on port 53;";
+      "};";
+      "zone \"example.com\" IN {";
+      "  type master;";
+      "  file \"example.com.zone\";";
+      "};";
+      "zone \"0.0.10.in-addr.arpa\" IN {";
+      "  type master;";
+      "  file \"0.0.10.in-addr.arpa.zone\";";
+      "};";
+      "";
+    ]
+
+let existing_directories = [ "/var/named"; "/etc/named" ]
+
+let known_zone_types = [ "master"; "slave"; "hint"; "forward" ]
+
+(* named.conf processing: named's own reader, with its own checks. *)
+let read_named_conf text =
+  match Formats.Namedconf.parse text with
+  | Error e ->
+    Error
+      (Printf.sprintf "named.conf: %s" (Formats.Parse_error.to_string e))
+  | Ok tree ->
+    let ( let* ) = Result.bind in
+    let unquote v =
+      let v = Conferr_util.Strutil.trim v in
+      if String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"' then
+        String.sub v 1 (String.length v - 2)
+      else v
+    in
+    let check_options (section : Conftree.Node.t) =
+      List.fold_left
+        (fun acc (d : Conftree.Node.t) ->
+          let* () = acc in
+          if d.kind <> Conftree.Node.kind_directive then Ok ()
+          else
+            match (String.lowercase_ascii d.name, d.value) with
+            | "directory", Some dir when List.mem (unquote dir) existing_directories ->
+              Ok ()
+            | "directory", Some dir ->
+              Error (Printf.sprintf "named.conf: directory %s not found" dir)
+            | "recursion", Some ("yes" | "no") -> Ok ()
+            | "recursion", Some other ->
+              Error (Printf.sprintf "named.conf: recursion must be yes or no, got %s" other)
+            | "listen-on", _ | "allow-query", _ | "forwarders", _ | "version", _ ->
+              Ok ()
+            | other, _ -> Error (Printf.sprintf "named.conf: unknown option '%s'" other))
+        (Ok ()) section.children
+    in
+    let read_zone (section : Conftree.Node.t) =
+      let origin =
+        Dnsmodel.Name.normalize
+          (Option.value ~default:"" (Conftree.Node.attr section "arg"))
+      in
+      let find name =
+        List.find_opt
+          (fun (d : Conftree.Node.t) ->
+            d.kind = Conftree.Node.kind_directive
+            && String.lowercase_ascii d.name = name)
+          section.children
+      in
+      let* () =
+        match find "type" with
+        | Some d when List.mem (Conftree.Node.value_or ~default:"" d) known_zone_types ->
+          Ok ()
+        | Some d ->
+          Error
+            (Printf.sprintf "zone %s: unknown type '%s'" origin
+               (Conftree.Node.value_or ~default:"" d))
+        | None -> Error (Printf.sprintf "zone %s: missing 'type'" origin)
+      in
+      let* file =
+        match find "file" with
+        | Some d -> Ok (unquote (Conftree.Node.value_or ~default:"" d))
+        | None -> Error (Printf.sprintf "zone %s: missing 'file'" origin)
+      in
+      Ok (file, origin)
+    in
+    List.fold_left
+      (fun acc (n : Conftree.Node.t) ->
+        let* decls = acc in
+        if n.kind <> Conftree.Node.kind_section then Ok decls
+        else
+          match String.lowercase_ascii n.name with
+          | "options" ->
+            let* () = check_options n in
+            Ok decls
+          | "zone" ->
+            let* decl = read_zone n in
+            Ok (decls @ [ decl ])
+          | other -> Error (Printf.sprintf "named.conf: unknown block '%s'" other))
+      (Ok []) tree.children
+
+let load_zones ~zones configs =
+  (* named's zone loader: parse each master file, build the zone, run the
+     consistency checks BIND performs at load time. *)
+  let parse (file, _origin) =
+    match List.assoc_opt file configs with
+    | None -> Error (Printf.sprintf "zone file %s missing" file)
+    | Some text ->
+      (match Formats.Bindzone.parse text with
+       | Error e ->
+         Error
+           (Printf.sprintf "dns_master_load: %s: %s" file
+              (Formats.Parse_error.to_string e))
+       | Ok tree -> Ok (file, tree))
+  in
+  let rec parse_all acc = function
+    | [] -> Ok (List.rev acc)
+    | z :: rest ->
+      (match parse z with
+       | Error e -> Error e
+       | Ok parsed -> parse_all (parsed :: acc) rest)
+  in
+  match parse_all [] zones with
+  | Error e -> Error e
+  | Ok parsed ->
+    let set = Config_set.of_list parsed in
+    (match (Dnsmodel.Codec.bind ~zones).Dnsmodel.Codec.decode set with
+     | Error msg -> Error (Printf.sprintf "dns_master_load: %s" msg)
+     | Ok records ->
+       let zone_of (file, origin) =
+         Dnsmodel.Zone.make ~origin
+           (List.filter
+              (fun r -> Dnsmodel.Record.tag r Dnsmodel.Codec.tag_file = Some file)
+              records)
+       in
+       let built = List.map zone_of zones in
+       let problems =
+         List.concat_map
+           (fun z ->
+             List.map
+               (fun p -> (z.Dnsmodel.Zone.origin, p))
+               (Dnsmodel.Zone.validate z))
+           built
+       in
+       (* BIND refuses the zone on these; it has no forward/reverse
+          cross-checks, so missing PTRs sail through. *)
+       (match problems with
+        | (origin, p) :: _ ->
+          Error
+            (Format.asprintf "zone %s: %a: not loaded due to errors" origin
+               Dnsmodel.Zone.pp_problem p)
+        | [] -> Ok built))
+
+let functional_tests resolver () =
+  let apex_answers origin =
+    match Dnsmodel.Resolver.query resolver ~name:origin ~rtype:"SOA" with
+    | Dnsmodel.Resolver.Answer _ -> true
+    | _ -> false
+  in
+  let forward =
+    if apex_answers forward_origin then Sut.passed "dns-forward"
+    else Sut.failed "dns-forward" "no answer for the forward zone apex"
+  in
+  let reverse =
+    if apex_answers reverse_origin then Sut.passed "dns-reverse"
+    else Sut.failed "dns-reverse" "no answer for the reverse zone apex"
+  in
+  [ forward; reverse ]
+
+let boot configs =
+  match List.assoc_opt "named.conf" configs with
+  | None -> Error "named.conf not found"
+  | Some conf_text ->
+    (match read_named_conf conf_text with
+     | Error msg -> Error msg
+     | Ok declared_zones ->
+       (* a typo in a zone's file path is a startup failure *)
+       (match
+          List.find_opt
+            (fun (file, _) -> not (List.mem_assoc file configs))
+            declared_zones
+        with
+        | Some (file, origin) ->
+          Error
+            (Printf.sprintf "zone %s: loading from master file %s failed: file not \
+                             found" origin file)
+        | None ->
+          (match load_zones ~zones:declared_zones configs with
+           | Error msg -> Error msg
+           | Ok built ->
+             let resolver = Dnsmodel.Resolver.create built in
+             Ok { Sut.run_tests = functional_tests resolver; shutdown = (fun () -> ()) })))
+
+let sut =
+  {
+    Sut.sut_name = "bind";
+    version = "ISC BIND 9.4.2 (simulated)";
+    config_files =
+      [
+        ("named.conf", Formats.Registry.namedconf);
+        (forward_zone_file, Formats.Registry.bindzone);
+        (reverse_zone_file, Formats.Registry.bindzone);
+      ];
+    default_config =
+      [
+        ("named.conf", named_conf_text);
+        (forward_zone_file, forward_zone_text);
+        (reverse_zone_file, reverse_zone_text);
+      ];
+    boot;
+  }

@@ -1,0 +1,22 @@
+(** Simulated ISC BIND 9.4 name server.
+
+    Behaviours reproduced (paper §5.4 and Table 3):
+
+    - each record is written separately in master zone files, so every
+      RFC-1912 fault is expressible (unlike tinydns-data)
+    - zone-load consistency checks: a CNAME colliding with other data at
+      the same name, or an MX/NS target that is an alias, make the zone
+      refuse to load with an explanatory message (errors 3 and 4
+      "found"); a zone without SOA is refused
+    - no check relates forward and reverse zones: a missing PTR or a PTR
+      pointing at an alias loads fine (errors 1 and 2 "not found") *)
+
+val sut : Sut.t
+
+val forward_zone_file : string
+val reverse_zone_file : string
+val forward_origin : string
+val reverse_origin : string
+
+val zones : (string * string) list
+(** [(file, origin)] pairs, as needed by {!Dnsmodel.Codec.bind}. *)

@@ -1,0 +1,83 @@
+module Config_set = Conftree.Config_set
+
+let data_file = "data"
+let forward_origin = "example.com."
+let reverse_origin = "0.0.10.in-addr.arpa."
+
+let data_text =
+  String.concat "\n"
+    [
+      "# tinydns-data for example.com";
+      ".example.com:10.0.0.1:ns1.example.com";
+      ".0.0.10.in-addr.arpa:10.0.0.1:ns1.example.com";
+      "=www.example.com:10.0.0.2";
+      "=mail.example.com:10.0.0.3";
+      "=host1.example.com:10.0.0.4";
+      "=host2.example.com:10.0.0.5";
+      "@example.com::mail.example.com:10";
+      "'example.com:v=spf1 mx -all";
+      "'contact.example.com:ops team";
+      "Cftp.example.com:www.example.com";
+      "Cwebmail.example.com:mail.example.com";
+      "";
+    ]
+
+let codec = Dnsmodel.Codec.tinydns ~file:data_file
+
+(* tinydns-data: a pure syntax compiler.  Decoding performs exactly the
+   checks it would (operator known, IPv4 well-formed); it builds the cdb
+   without ever cross-checking records. *)
+let compile text =
+  match Formats.Tinydns.parse text with
+  | Error e ->
+    Error (Printf.sprintf "tinydns-data: %s" (Formats.Parse_error.to_string e))
+  | Ok tree ->
+    let set = Config_set.of_list [ (data_file, tree) ] in
+    (match codec.Dnsmodel.Codec.decode set with
+     | Error msg -> Error (Printf.sprintf "tinydns-data: %s" msg)
+     | Ok records -> Ok records)
+
+let zones_of records =
+  let zone origin =
+    Dnsmodel.Zone.make ~origin
+      (List.filter
+         (fun (r : Dnsmodel.Record.t) ->
+           Dnsmodel.Name.in_domain ~domain:origin r.owner)
+         records)
+  in
+  [ zone forward_origin; zone reverse_origin ]
+
+let functional_tests resolver () =
+  let apex_answers origin =
+    match Dnsmodel.Resolver.query resolver ~name:origin ~rtype:"SOA" with
+    | Dnsmodel.Resolver.Answer _ -> true
+    | _ -> false
+  in
+  let forward =
+    if apex_answers forward_origin then Sut.passed "dns-forward"
+    else Sut.failed "dns-forward" "no answer for the forward zone apex"
+  in
+  let reverse =
+    if apex_answers reverse_origin then Sut.passed "dns-reverse"
+    else Sut.failed "dns-reverse" "no answer for the reverse zone apex"
+  in
+  [ forward; reverse ]
+
+let boot configs =
+  match List.assoc_opt data_file configs with
+  | None -> Error "data file not found"
+  | Some text ->
+    (match compile text with
+     | Error msg -> Error msg
+     | Ok records ->
+       let resolver = Dnsmodel.Resolver.create (zones_of records) in
+       Ok { Sut.run_tests = functional_tests resolver; shutdown = (fun () -> ()) })
+
+let sut =
+  {
+    Sut.sut_name = "djbdns";
+    version = "djbdns 1.05 (simulated)";
+    config_files = [ (data_file, Formats.Registry.tinydns) ];
+    default_config = [ (data_file, data_text) ];
+    boot;
+  }

@@ -1,0 +1,19 @@
+(** Simulated djbdns (tinydns) 1.05.
+
+    Behaviours reproduced (paper §5.4 and Table 3):
+
+    - a single [data] file in the tinydns-data format, where the ["="]
+      directive defines an A record and its PTR together — the
+      constructive safety the paper credits djbdns with: a "missing PTR"
+      or "PTR to alias" fault cannot even be written down (the injection
+      engine reports those scenarios as not applicable)
+    - [tinydns-data] performs syntax checks only: no referential
+      consistency checking of the published records, so expressible
+      semantic faults (CNAME/NS collision, MX to alias) go undetected *)
+
+val sut : Sut.t
+
+val data_file : string
+
+val forward_origin : string
+val reverse_origin : string

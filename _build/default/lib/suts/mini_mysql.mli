@@ -1,0 +1,50 @@
+(** Simulated MySQL 5.1 server.
+
+    The configuration surface reproduces the behaviours the paper
+    documents for MySQL (§5.2 and Table 2):
+
+    - one shared file ([my.cnf]) holds the daemon section plus sections
+      for auxiliary tools; {e only} [\[mysqld\]] (and, at functional-test
+      time, [\[client\]]) is parsed when the daemon starts — typos in
+      [\[mysqldump\]] or [\[mysqld_safe\]] stay latent
+    - numeric values accept K/M/G multipliers but parsing stops at the
+      first multiplier symbol: ["1M0"] is accepted as 1M
+    - numeric values that {e start} with a multiplier are silently
+      replaced by the default
+    - out-of-bounds numeric values are silently ignored (default used)
+    - directives without a value are accepted and defaulted
+    - directive names are case-sensitive, but unambiguous prefixes are
+      accepted, and ['-'] and ['_'] are interchangeable
+    - unknown directives in [\[mysqld\]] abort startup *)
+
+val sut : Sut.t
+
+val full_config : string
+(** A [\[mysqld\]] configuration with most variables set to their default
+    values — the §5.5 comparison benchmark's starting file (flags and
+    booleans excluded, as in the paper). *)
+
+val shared_tools_config : string
+(** The default configuration extended with [\[mysqldump\]] and
+    [\[mysqld_safe\]] sections: the shared file whose tool sections the
+    daemon never parses (the latent-error flaw of §5.2). *)
+
+val run_mysqldump : string -> (unit, string) result
+(** Simulate a later run of the [mysqldump] auxiliary tool against the
+    shared configuration file: it parses only its own section, so this is
+    where errors that the daemon never saw finally surface (the paper's
+    latent-error scenario — "some of these auxiliary tools run
+    unattended, launched by cron jobs during the night"). *)
+
+(** {1 Exposed for white-box unit tests} *)
+
+type parsed = Accepted of int64 | Defaulted | Rejected of string
+
+val parse_size : default:int64 -> min:int64 -> max:int64 -> string -> parsed
+(** The quirky size parser (multiplier suffixes). *)
+
+val parse_int : default:int64 -> min:int64 -> max:int64 -> string -> parsed
+
+val resolve_name : string -> [ `Known of string | `Ambiguous | `Unknown ]
+(** Variable-name resolution over the [\[mysqld\]] namespace: exact,
+    dash/underscore-folded, or unambiguous-prefix match. *)

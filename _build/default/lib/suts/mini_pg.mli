@@ -1,0 +1,26 @@
+(** Simulated PostgreSQL 8.2 server.
+
+    Behaviours reproduced (paper §5.2 and Table 2):
+
+    - every parameter is typed and strictly validated: unknown names,
+      malformed values and out-of-range values all abort startup with a
+      FATAL message
+    - cross-parameter constraints are enforced; in particular
+      [max_fsm_pages >= 16 * max_fsm_relations] (the paper's example)
+    - parameter names are case-insensitive, truncated names are rejected
+    - the file is one flat section; values may be single-quoted
+    - memory and time parameters require a {e complete} unit suffix —
+      trailing junk after the unit is an error (contrast with
+      mini-MySQL's stop-at-first-multiplier flaw) *)
+
+val sut : Sut.t
+
+val full_config : string
+(** A configuration with most available directives set to their default
+    values — the §5.5 comparison benchmark's starting file (booleans and
+    defaultless parameters excluded, as in the paper). *)
+
+(** {1 Exposed for white-box unit tests} *)
+
+val validate_text : string -> (unit, string) result
+(** Run only the configuration validation phase of [boot]. *)

@@ -1,0 +1,22 @@
+type test_result = { test_name : string; passed : bool; detail : string }
+
+type instance = { run_tests : unit -> test_result list; shutdown : unit -> unit }
+
+type t = {
+  sut_name : string;
+  version : string;
+  config_files : (string * Formats.Registry.t) list;
+  default_config : (string * string) list;
+  boot : (string * string) list -> (instance, string) result;
+}
+
+let passed test_name = { test_name; passed = true; detail = "" }
+
+let failed test_name detail = { test_name; passed = false; detail }
+
+let all_passed results = List.for_all (fun r -> r.passed) results
+
+let default_config_text t file =
+  match List.assoc_opt file t.default_config with
+  | Some text -> text
+  | None -> raise Not_found

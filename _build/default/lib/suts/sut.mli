@@ -1,0 +1,42 @@
+(** The system-under-test interface.
+
+    The paper's harness needs three system-specific components (§5.1):
+    initial configuration files, configuration parsers/serializers, and
+    scripts to start/stop the system plus a diagnostic suite.  This
+    record is the OCaml rendering of that contract.
+
+    The real SUTs are replaced by in-process simulators (see DESIGN.md
+    §2); [boot] plays the role of the start script — it parses the
+    serialized configuration bytes with the {e system's own} parser
+    (quirks included) and either refuses to start (returning the error
+    message an administrator would see) or yields a running instance on
+    which the functional tests can be run. *)
+
+type test_result = { test_name : string; passed : bool; detail : string }
+
+type instance = {
+  run_tests : unit -> test_result list;
+      (** the domain-specific diagnostic suite (create/populate/query a
+          database, HTTP GET, forward+reverse DNS lookups) *)
+  shutdown : unit -> unit;
+}
+
+type t = {
+  sut_name : string;
+  version : string;     (** e.g. ["MySQL 5.1.22 (simulated)"] *)
+  config_files : (string * Formats.Registry.t) list;
+      (** file name -> format used by the {e injector} to parse and
+          re-serialize this file *)
+  default_config : (string * string) list;
+      (** file name -> pristine configuration text *)
+  boot : (string * string) list -> (instance, string) result;
+}
+
+val passed : string -> test_result
+
+val failed : string -> string -> test_result
+
+val all_passed : test_result list -> bool
+
+val default_config_text : t -> string -> string
+(** Raises [Not_found] for an unknown file name. *)

@@ -1,0 +1,45 @@
+let mysql =
+  [
+    "port"; "socket"; "datadir"; "key_buffer_size"; "max_allowed_packet";
+    "table_open_cache"; "sort_buffer_size"; "net_buffer_length"; "read_buffer_size";
+    "read_rnd_buffer_size"; "myisam_sort_buffer_size"; "thread_cache_size";
+    "max_connections"; "skip_external_locking"; "old_passwords";
+    "low_priority_updates";
+  ]
+
+let postgres =
+  [
+    "max_connections"; "shared_buffers"; "max_fsm_pages"; "max_fsm_relations";
+    "datestyle"; "lc_messages"; "log_timezone"; "listen_addresses"; "port"; "work_mem";
+    "maintenance_work_mem"; "temp_buffers"; "wal_buffers"; "checkpoint_segments";
+    "checkpoint_timeout"; "deadlock_timeout"; "statement_timeout"; "vacuum_cost_delay";
+    "bgwriter_delay"; "effective_cache_size"; "random_page_cost"; "cpu_tuple_cost";
+    "cpu_index_tuple_cost"; "seq_page_cost"; "geqo_threshold";
+    "default_statistics_target"; "log_rotation_size"; "log_min_duration_statement";
+    "max_prepared_transactions"; "max_locks_per_transaction"; "fsync"; "autovacuum";
+    "enable_seqscan"; "log_connections";
+  ]
+
+let apache =
+  [
+    "ServerRoot"; "Listen"; "User"; "Group"; "ServerAdmin"; "ServerName";
+    "UseCanonicalName"; "DocumentRoot"; "ErrorLog"; "LogLevel"; "PidFile"; "Timeout";
+    "KeepAlive"; "MaxKeepAliveRequests"; "KeepAliveTimeout"; "StartServers";
+    "MinSpareServers"; "MaxSpareServers"; "ServerLimit"; "MaxClients";
+    "MaxRequestsPerChild"; "DefaultType"; "HostnameLookups"; "ServerTokens";
+    "ServerSignature"; "AddDefaultCharset"; "EnableMMAP"; "EnableSendfile";
+    "AccessFileName"; "NameVirtualHost"; "Options"; "AllowOverride"; "ErrorDocument";
+    "Include"; "TraceEnable"; "LoadModule"; "Order"; "Allow"; "Deny"; "CustomLog";
+    "LogFormat"; "AddType"; "AddEncoding"; "AddHandler"; "TypesConfig";
+    "DirectoryIndex"; "Alias"; "ScriptAlias"; "Redirect"; "LanguagePriority";
+    "AddLanguage"; "ForceLanguagePriority"; "UserDir"; "SetEnvIf"; "BrowserMatch";
+    "SetEnv"; "IndexOptions"; "AddIcon"; "AddIconByType"; "DefaultIcon"; "ReadmeName";
+    "HeaderName";
+  ]
+
+let for_sut (sut : Sut.t) =
+  match sut.sut_name with
+  | "mysql" -> mysql
+  | "postgres" -> postgres
+  | "apache" -> apache
+  | _ -> []

@@ -1,0 +1,109 @@
+let is_prefix ~prefix s =
+  let lp = String.length prefix in
+  String.length s >= lp && String.sub s 0 lp = prefix
+
+let drop_prefix ~prefix s =
+  if is_prefix ~prefix s then
+    Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  else None
+
+let split_on_first c s =
+  match String.index_opt s c with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let trim = String.trim
+
+let lowercase = String.lowercase_ascii
+
+let insert_char s i c =
+  if i < 0 || i > String.length s then invalid_arg "Strutil.insert_char";
+  String.sub s 0 i ^ String.make 1 c ^ String.sub s i (String.length s - i)
+
+let delete_char s i =
+  if i < 0 || i >= String.length s then invalid_arg "Strutil.delete_char";
+  String.sub s 0 i ^ String.sub s (i + 1) (String.length s - i - 1)
+
+let replace_char s i c =
+  if i < 0 || i >= String.length s then invalid_arg "Strutil.replace_char";
+  String.mapi (fun j ch -> if j = i then c else ch) s
+
+let swap_chars s i =
+  if i < 0 || i + 1 >= String.length s then invalid_arg "Strutil.swap_chars";
+  String.mapi
+    (fun j ch -> if j = i then s.[i + 1] else if j = i + 1 then s.[i] else ch)
+    s
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) (fun j -> j) in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <- min (min (prev.(j) + 1) (curr.(j - 1) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let damerau_levenshtein a b =
+  (* optimal string alignment: substitution, insertion, deletion, and
+     adjacent transposition, all unit cost *)
+  let la = String.length a and lb = String.length b in
+  let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      d.(i).(j) <-
+        min (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1)) (d.(i - 1).(j - 1) + cost);
+      if i > 1 && j > 1 && a.[i - 1] = b.[j - 2] && a.[i - 2] = b.[j - 1] then
+        d.(i).(j) <- min d.(i).(j) (d.(i - 2).(j - 2) + 1)
+    done
+  done;
+  d.(la).(lb)
+
+let lines s =
+  match String.split_on_char '\n' s with
+  | [] -> []
+  | parts ->
+    (* Drop the empty fragment produced by a trailing newline. *)
+    let rec strip_last = function
+      | [ "" ] -> []
+      | [] -> []
+      | x :: rest -> x :: strip_last rest
+    in
+    strip_last parts
+
+let unlines = function
+  | [] -> ""
+  | ls -> String.concat "\n" ls ^ "\n"
+
+let pad_right n s =
+  if String.length s >= n then s else s ^ String.make (n - String.length s) ' '
+
+let contains_substring ~needle hay =
+  let ln = String.length needle and lh = String.length hay in
+  if ln = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i <= lh - ln do
+      if String.sub hay !i ln = needle then found := true else incr i
+    done;
+    !found
+  end
+
+let repeat n s =
+  let b = Buffer.create (n * String.length s) in
+  for _ = 1 to n do
+    Buffer.add_string b s
+  done;
+  Buffer.contents b

@@ -1,0 +1,37 @@
+type align = Left | Right
+
+let cell_width rows header col =
+  let width_of row = try String.length (List.nth row col) with _ -> 0 in
+  List.fold_left (fun acc row -> max acc (width_of row)) (width_of header) rows
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render ?(aligns = []) ~header rows =
+  let ncols =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length header) rows
+  in
+  let widths = List.init ncols (cell_width rows header) in
+  let align_of i = try List.nth aligns i with _ -> Left in
+  let cell row i = try List.nth row i with _ -> "" in
+  let render_row row =
+    List.init ncols (fun i -> pad (align_of i) (List.nth widths i) (cell row i))
+    |> String.concat "  "
+  in
+  let sep = List.map (fun w -> String.make w '-') widths |> String.concat "  " in
+  let body = List.map render_row rows in
+  String.concat "\n" ((render_row header :: sep :: body) @ [ "" ])
+
+let bar ~width fraction =
+  let f = if fraction < 0. then 0. else if fraction > 1. then 1. else fraction in
+  let n = int_of_float (Float.round (f *. float_of_int width)) in
+  String.make n '#'
+
+let percentage ~count ~total =
+  if total = 0 then "0 (0%)"
+  else Printf.sprintf "%d (%d%%)" count (int_of_float (Float.round (100. *. float_of_int count /. float_of_int total)))

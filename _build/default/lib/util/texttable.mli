@@ -1,0 +1,18 @@
+(** Plain-text table and histogram rendering for resilience reports.
+
+    All paper tables are regenerated as aligned ASCII tables; Figure 3 is
+    rendered as a horizontal bar chart. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out a table with a separator line under the
+    header.  Missing cells render empty; [aligns] defaults to all
+    [Left]. *)
+
+val bar : width:int -> float -> string
+(** [bar ~width fraction] renders a bar of ['#'] of proportional length
+    for [fraction] in [\[0, 1\]]. *)
+
+val percentage : count:int -> total:int -> string
+(** Renders ["42 (13%)"]; total 0 renders ["0 (0%)"]. *)

@@ -1,0 +1,1 @@
+test/gen.ml: Conftree Dnsmodel List Printf QCheck2 String

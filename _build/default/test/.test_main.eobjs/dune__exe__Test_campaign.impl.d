@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest Conferr Conferr_util Errgen List Suts

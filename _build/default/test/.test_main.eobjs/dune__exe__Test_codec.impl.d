@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Conferr Conferr_util Conftree Dnsmodel List Result Suts

@@ -1,0 +1,1 @@
+test/test_codec_prop.ml: Conftree Dnsmodel Formats Gen List QCheck2 QCheck_alcotest Result

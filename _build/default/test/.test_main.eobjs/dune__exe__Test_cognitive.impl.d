@@ -1,0 +1,1 @@
+test/test_cognitive.ml: Alcotest Conferr Conferr_util Errgen List Printf

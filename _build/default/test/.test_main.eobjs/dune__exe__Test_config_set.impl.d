@@ -1,0 +1,1 @@
+test/test_config_set.ml: Alcotest Conftree

@@ -1,0 +1,1 @@
+test/test_confpath.ml: Alcotest Confpath Conftree List Printf

@@ -1,0 +1,1 @@
+test/test_dns_name.ml: Alcotest Dnsmodel Printf QCheck2 QCheck_alcotest

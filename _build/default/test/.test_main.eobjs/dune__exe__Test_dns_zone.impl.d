@@ -1,0 +1,1 @@
+test/test_dns_zone.ml: Alcotest Dnsmodel List

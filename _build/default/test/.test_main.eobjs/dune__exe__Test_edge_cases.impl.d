@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Conferr Conferr_util Conftree Errgen Formats Gen List Minisql Printf QCheck2 QCheck_alcotest String Suts

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Conferr Conferr_util Conftree Errgen Formats List Suts

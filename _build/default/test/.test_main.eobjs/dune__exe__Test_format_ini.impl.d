@@ -1,0 +1,1 @@
+test/test_format_ini.ml: Alcotest Conferr_util Conftree Formats Gen List QCheck2 QCheck_alcotest Result

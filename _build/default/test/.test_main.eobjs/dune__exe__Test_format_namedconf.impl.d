@@ -1,0 +1,1 @@
+test/test_format_namedconf.ml: Alcotest Conftree Formats List Result String

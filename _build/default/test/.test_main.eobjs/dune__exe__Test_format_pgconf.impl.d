@@ -1,0 +1,1 @@
+test/test_format_pgconf.ml: Alcotest Conferr_util Conftree Formats List

@@ -1,0 +1,1 @@
+test/test_format_prop.ml: Conftree Formats Gen List Printf QCheck2 QCheck_alcotest String

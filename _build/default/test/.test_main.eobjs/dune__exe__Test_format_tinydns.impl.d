@@ -1,0 +1,1 @@
+test/test_format_tinydns.ml: Alcotest Conftree Formats List Result String

@@ -1,0 +1,1 @@
+test/test_format_xml.ml: Alcotest Conftree Formats List Result

@@ -1,0 +1,1 @@
+test/test_format_zone.ml: Alcotest Conferr_util Conftree Formats List Result String

@@ -1,0 +1,1 @@
+test/test_keyboard.ml: Alcotest Char Keyboard List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mini_apache.ml: Alcotest Conferr_util List Suts

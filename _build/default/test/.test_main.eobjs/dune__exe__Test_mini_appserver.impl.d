@@ -1,0 +1,1 @@
+test/test_mini_appserver.ml: Alcotest Conferr Conferr_util Errgen List Suts

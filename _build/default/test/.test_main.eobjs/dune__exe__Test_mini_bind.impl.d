@@ -1,0 +1,1 @@
+test/test_mini_bind.ml: Alcotest Conferr_util List Suts

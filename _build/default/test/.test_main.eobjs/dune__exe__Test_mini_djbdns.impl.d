@@ -1,0 +1,1 @@
+test/test_mini_djbdns.ml: Alcotest Conferr_util Conftree Dnsmodel Formats List Suts

@@ -1,0 +1,1 @@
+test/test_mini_mysql.ml: Alcotest Conferr_util Format List Result Suts

@@ -1,0 +1,1 @@
+test/test_mini_pg.ml: Alcotest Conferr_util List Result Suts

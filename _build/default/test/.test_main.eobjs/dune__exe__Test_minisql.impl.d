@@ -1,0 +1,1 @@
+test/test_minisql.ml: Alcotest Format List Minisql

@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Conftree Gen List Option QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Conferr Conferr_util Errgen Lazy List Printf String

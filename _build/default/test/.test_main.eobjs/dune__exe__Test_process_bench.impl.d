@@ -1,0 +1,1 @@
+test/test_process_bench.ml: Alcotest Conferr Conferr_util List Suts

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Conferr Conferr_util Dnsmodel Lazy List Suts

@@ -1,0 +1,1 @@
+test/test_resolver.ml: Alcotest Dnsmodel List

@@ -1,0 +1,1 @@
+test/test_rfc1912.ml: Alcotest Conferr Conferr_util Dnsmodel Errgen List Suts

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Conferr_util Fun List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_structural_check.ml: Alcotest Conferr Conferr_util Errgen List Suts

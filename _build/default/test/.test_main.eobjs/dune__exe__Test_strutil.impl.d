@@ -1,0 +1,1 @@
+test/test_strutil.ml: Alcotest Conferr_util QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_suggest.ml: Alcotest Conferr Conferr_util List Printf Suts

@@ -1,0 +1,1 @@
+test/test_template.ml: Alcotest Conferr_util Conftree Errgen List Option Result

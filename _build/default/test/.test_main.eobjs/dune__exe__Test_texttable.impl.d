@@ -1,0 +1,1 @@
+test/test_texttable.ml: Alcotest Conferr_util List String

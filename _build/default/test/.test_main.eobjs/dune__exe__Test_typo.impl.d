@@ -1,0 +1,1 @@
+test/test_typo.ml: Alcotest Conferr_util Conftree Errgen Keyboard List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_variations.ml: Alcotest Conferr_util Conftree Errgen List Option Printf String

@@ -1,0 +1,1 @@
+test/test_wordview.ml: Alcotest Conftree Errgen List Option Result

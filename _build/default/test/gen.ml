@@ -1,0 +1,100 @@
+(* QCheck generators shared across test modules. *)
+
+module Node = Conftree.Node
+
+let name_gen =
+  QCheck2.Gen.(
+    map (String.concat "_")
+      (list_size (int_range 1 3)
+         (oneofl [ "port"; "max"; "buffer"; "size"; "log"; "dir"; "cache" ])))
+
+let value_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map string_of_int (int_range 0 99999);
+        oneofl [ "16M"; "512K"; "/var/lib/data"; "on"; "off"; "localhost" ];
+      ])
+
+let directive_gen =
+  QCheck2.Gen.(
+    map2
+      (fun name value -> Node.directive ?value name)
+      name_gen (option value_gen))
+
+(* A two-level configuration tree: sections of directives with occasional
+   comments and blanks — the INI shape. *)
+let ini_tree_gen =
+  QCheck2.Gen.(
+    let line =
+      frequency
+        [ (6, directive_gen); (1, return (Node.comment "# c")); (1, return Node.blank) ]
+    in
+    let section =
+      map2 (fun name lines -> Node.section name lines) name_gen
+        (list_size (int_range 0 6) line)
+    in
+    map Node.root (list_size (int_range 1 5) section))
+
+(* An arbitrary small tree for structural edit laws. *)
+let tree_gen =
+  QCheck2.Gen.(
+    sized_size (int_range 1 25) @@ fix (fun self n ->
+        if n <= 1 then directive_gen
+        else
+          map2
+            (fun name children -> Node.section name children)
+            name_gen
+            (list_size (int_range 0 4) (self (n / 4)))))
+
+let rooted_tree_gen = QCheck2.Gen.map (fun t -> Node.root [ t ]) tree_gen
+
+(* Random DNS record sets over a fixed origin, for codec properties. *)
+let hostname_gen =
+  QCheck2.Gen.(
+    map
+      (fun (a, b) -> Printf.sprintf "%s%d.example.com." a b)
+      (pair (oneofl [ "www"; "mail"; "host"; "db"; "app" ]) (int_range 0 9)))
+
+let ip_gen =
+  QCheck2.Gen.(
+    map
+      (fun (c, d) -> Printf.sprintf "10.0.%d.%d" c d)
+      (pair (int_range 0 3) (int_range 1 254)))
+
+let record_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2
+          (fun owner ip ->
+            Dnsmodel.Record.make ~tags:[ ("file", "zone") ] owner (Dnsmodel.Record.A ip))
+          hostname_gen ip_gen;
+        map2
+          (fun owner target ->
+            Dnsmodel.Record.make ~tags:[ ("file", "zone") ] owner
+              (Dnsmodel.Record.Cname target))
+          hostname_gen hostname_gen;
+        map2
+          (fun owner target ->
+            Dnsmodel.Record.make ~tags:[ ("file", "zone") ] owner
+              (Dnsmodel.Record.Mx (10, target)))
+          hostname_gen hostname_gen;
+        map2
+          (fun owner text ->
+            Dnsmodel.Record.make ~tags:[ ("file", "zone") ] owner
+              (Dnsmodel.Record.Txt text))
+          hostname_gen (oneofl [ "v=spf1 mx -all"; "hello"; "x y z" ]);
+        map2
+          (fun owner target ->
+            Dnsmodel.Record.make ~tags:[ ("file", "zone") ] owner
+              (Dnsmodel.Record.Ns target))
+          hostname_gen hostname_gen;
+      ])
+
+let record_set_gen = QCheck2.Gen.(list_size (int_range 1 15) record_gen)
+
+(* All paths of a tree, in document order. *)
+let all_paths tree = Conftree.Node.fold (fun p _ acc -> p :: acc) tree [] |> List.rev
+
+let non_root_paths tree = List.filter (fun p -> p <> []) (all_paths tree)

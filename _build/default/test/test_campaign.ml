@@ -1,0 +1,98 @@
+module Campaign = Conferr.Campaign
+module Engine = Conferr.Engine
+module Rng = Conferr_util.Rng
+module Scenario = Errgen.Scenario
+
+let scenarios_for ?(seed = 1) ?(faultload = Campaign.paper_faultload) sut =
+  match Engine.parse_default_config sut with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok base -> Campaign.typo_scenarios ~rng:(Rng.create seed) ~faultload sut base
+
+let count_class prefix scenarios =
+  List.length
+    (List.filter
+       (fun (s : Scenario.t) ->
+         Conferr_util.Strutil.is_prefix ~prefix s.class_name)
+       scenarios)
+
+let test_mysql_counts () =
+  let scenarios = scenarios_for Suts.Mini_mysql.sut in
+  (* the paper-style default my.cnf: 14 directives in [mysqld] *)
+  Alcotest.(check int) "deletions" 14 (count_class "typo/delete" scenarios);
+  (* names: 10 sampled directives x 10 typos *)
+  Alcotest.(check int) "name typos" 100 (count_class "typo/name" scenarios);
+  Alcotest.(check bool) "value typos bounded" true
+    (count_class "typo/value" scenarios <= 100)
+
+let test_pg_counts () =
+  let scenarios = scenarios_for Suts.Mini_pg.sut in
+  Alcotest.(check int) "deletions" 8 (count_class "typo/delete" scenarios);
+  Alcotest.(check int) "name typos" 80 (count_class "typo/name" scenarios);
+  Alcotest.(check int) "value typos" 80 (count_class "typo/value" scenarios)
+
+let test_deterministic_generation () =
+  let a = scenarios_for ~seed:9 Suts.Mini_pg.sut in
+  let b = scenarios_for ~seed:9 Suts.Mini_pg.sut in
+  Alcotest.(check (list string))
+    "same descriptions"
+    (List.map (fun (s : Scenario.t) -> s.description) a)
+    (List.map (fun (s : Scenario.t) -> s.description) b)
+
+let test_seed_changes_faultload () =
+  let a = scenarios_for ~seed:1 Suts.Mini_pg.sut in
+  let b = scenarios_for ~seed:2 Suts.Mini_pg.sut in
+  Alcotest.(check bool) "different draws" true
+    (List.map (fun (s : Scenario.t) -> s.description) a
+    <> List.map (fun (s : Scenario.t) -> s.description) b)
+
+let test_no_deletions_option () =
+  let faultload = { Campaign.paper_faultload with Campaign.delete_directives = false } in
+  let scenarios = scenarios_for ~faultload Suts.Mini_pg.sut in
+  Alcotest.(check int) "no deletions" 0 (count_class "typo/delete" scenarios)
+
+let test_ids_unique () =
+  let scenarios = scenarios_for Suts.Mini_mysql.sut in
+  let ids = List.map (fun (s : Scenario.t) -> s.id) scenarios in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_all_scenarios_apply () =
+  match Engine.parse_default_config Suts.Mini_pg.sut with
+  | Error msg -> Alcotest.fail msg
+  | Ok base ->
+    let scenarios =
+      Campaign.typo_scenarios ~rng:(Rng.create 3)
+        ~faultload:Campaign.paper_faultload Suts.Mini_pg.sut base
+    in
+    List.iter
+      (fun (s : Scenario.t) ->
+        match s.apply base with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "%s failed to apply: %s" s.id msg)
+      scenarios
+
+let test_plugin_wrapper () =
+  let plugin =
+    Campaign.plugin ~faultload:Campaign.paper_faultload Suts.Mini_pg.sut
+  in
+  match Engine.parse_default_config Suts.Mini_pg.sut with
+  | Error msg -> Alcotest.fail msg
+  | Ok base ->
+    let scenarios = Errgen.Plugin.generate plugin ~rng:(Rng.create 1) base in
+    Alcotest.(check bool) "prefixed ids" true
+      (List.for_all
+         (fun (s : Scenario.t) ->
+           Conferr_util.Strutil.is_prefix ~prefix:"typo-postgres" s.id)
+         scenarios)
+
+let suite =
+  [
+    Alcotest.test_case "mysql counts" `Quick test_mysql_counts;
+    Alcotest.test_case "pg counts" `Quick test_pg_counts;
+    Alcotest.test_case "deterministic" `Quick test_deterministic_generation;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_faultload;
+    Alcotest.test_case "no deletions" `Quick test_no_deletions_option;
+    Alcotest.test_case "unique ids" `Quick test_ids_unique;
+    Alcotest.test_case "all apply" `Quick test_all_scenarios_apply;
+    Alcotest.test_case "plugin wrapper" `Quick test_plugin_wrapper;
+  ]

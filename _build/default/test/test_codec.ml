@@ -1,0 +1,181 @@
+module Codec = Dnsmodel.Codec
+module Record = Dnsmodel.Record
+module Config_set = Conftree.Config_set
+
+let bind_codec = Codec.bind ~zones:Suts.Mini_bind.zones
+
+let tinydns_codec = Codec.tinydns ~file:"data"
+
+let bind_base () =
+  match Conferr.Engine.parse_default_config Suts.Mini_bind.sut with
+  | Ok set -> set
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let tinydns_base () =
+  match Conferr.Engine.parse_default_config Suts.Mini_djbdns.sut with
+  | Ok set -> set
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let decode_exn codec set =
+  match codec.Codec.decode set with
+  | Ok records -> records
+  | Error msg -> Alcotest.failf "decode: %s" msg
+
+let encode_exn codec records set =
+  match codec.Codec.encode records set with
+  | Ok set' -> set'
+  | Error msg -> Alcotest.failf "encode: %s" msg
+
+let test_bind_decode_counts () =
+  let records = decode_exn bind_codec (bind_base ()) in
+  let count rtype = List.length (List.filter (fun r -> Record.rtype r = rtype) records) in
+  Alcotest.(check int) "SOA" 2 (count "SOA");
+  Alcotest.(check int) "A" 5 (count "A");
+  Alcotest.(check int) "PTR" 5 (count "PTR");
+  Alcotest.(check int) "CNAME" 2 (count "CNAME");
+  Alcotest.(check int) "MX" 1 (count "MX");
+  Alcotest.(check int) "HINFO" 2 (count "HINFO");
+  Alcotest.(check int) "RP" 1 (count "RP")
+
+let test_bind_records_tagged_with_file () =
+  let records = decode_exn bind_codec (bind_base ()) in
+  Alcotest.(check bool) "every record has a file tag" true
+    (List.for_all (fun r -> Record.tag r Codec.tag_file <> None) records)
+
+let test_bind_owner_qualified () =
+  let records = decode_exn bind_codec (bind_base ()) in
+  Alcotest.(check bool) "all owners absolute" true
+    (List.for_all (fun (r : Record.t) -> Dnsmodel.Name.is_absolute r.owner) records)
+
+let test_bind_roundtrip () =
+  let base = bind_base () in
+  let records = decode_exn bind_codec base in
+  let set' = encode_exn bind_codec records base in
+  let records' = decode_exn bind_codec set' in
+  Alcotest.(check int) "same count" (List.length records) (List.length records');
+  List.iter2
+    (fun a b ->
+      if not (Record.equal a b) then
+        Alcotest.failf "record changed: %s vs %s" (Record.to_string a)
+          (Record.to_string b))
+    records records'
+
+let test_bind_encode_respects_edits () =
+  let base = bind_base () in
+  let records = decode_exn bind_codec base in
+  let without_ptr =
+    List.filter
+      (fun (r : Record.t) ->
+        not (Record.rtype r = "PTR" && Record.target r = Some "www.example.com."))
+      records
+  in
+  let set' = encode_exn bind_codec without_ptr base in
+  let records' = decode_exn bind_codec set' in
+  Alcotest.(check int) "one fewer" (List.length records - 1) (List.length records')
+
+let test_tinydns_decode_combined () =
+  let records = decode_exn tinydns_codec (tinydns_base ()) in
+  let combined =
+    List.filter (fun r -> Record.tag r Codec.tag_combined <> None) records
+  in
+  (* four '=' lines, each yielding an A and a PTR *)
+  Alcotest.(check int) "combined records" 8 (List.length combined);
+  let a = List.filter (fun r -> Record.rtype r = "A") combined in
+  let ptr = List.filter (fun r -> Record.rtype r = "PTR") combined in
+  Alcotest.(check int) "half As" 4 (List.length a);
+  Alcotest.(check int) "half PTRs" 4 (List.length ptr)
+
+let test_tinydns_roundtrip () =
+  let base = tinydns_base () in
+  let records = decode_exn tinydns_codec base in
+  let set' = encode_exn tinydns_codec records base in
+  let records' = decode_exn tinydns_codec set' in
+  let summary rs =
+    List.map (fun (r : Record.t) -> (r.owner, Record.rtype r)) rs
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair string string))) "same records"
+    (summary records) (summary records')
+
+let test_tinydns_missing_ptr_inexpressible () =
+  let base = tinydns_base () in
+  let records = decode_exn tinydns_codec base in
+  let without_one_ptr =
+    let found = ref false in
+    List.filter
+      (fun r ->
+        if (not !found) && Record.rtype r = "PTR" && Record.tag r Codec.tag_combined <> None
+        then begin
+          found := true;
+          false
+        end
+        else true)
+      records
+  in
+  match tinydns_codec.Codec.encode without_one_ptr base with
+  | Ok _ -> Alcotest.fail "a broken '=' pair must not serialize"
+  | Error msg ->
+    Alcotest.(check bool) "explains" true
+      (Conferr_util.Strutil.contains_substring ~needle:"tinydns-data" msg)
+
+let test_tinydns_mutated_ptr_inexpressible () =
+  let base = tinydns_base () in
+  let records = decode_exn tinydns_codec base in
+  let mutated =
+    List.map
+      (fun (r : Record.t) ->
+        match (r.rdata, Record.tag r Codec.tag_combined) with
+        | Record.Ptr _, Some _ -> { r with rdata = Record.Ptr "alias.example.com." }
+        | _ -> r)
+      records
+  in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (tinydns_codec.Codec.encode mutated base))
+
+let test_tinydns_added_record_expressible () =
+  let base = tinydns_base () in
+  let records = decode_exn tinydns_codec base in
+  let extra =
+    Record.make
+      ~tags:[ (Codec.tag_file, "data") ]
+      "example.com." (Record.Cname "www.example.com.")
+  in
+  let set' = encode_exn tinydns_codec (records @ [ extra ]) base in
+  let records' = decode_exn tinydns_codec set' in
+  Alcotest.(check int) "one more" (List.length records + 1) (List.length records')
+
+let test_tinydns_rp_inexpressible () =
+  let base = tinydns_base () in
+  let records = decode_exn tinydns_codec base in
+  let extra =
+    Record.make
+      ~tags:[ (Codec.tag_file, "data") ]
+      "example.com."
+      (Record.Rp ("hm.example.com.", "txt.example.com."))
+  in
+  Alcotest.(check bool) "RP has no tinydns encoding" true
+    (Result.is_error (tinydns_codec.Codec.encode (records @ [ extra ]) base))
+
+let test_decode_missing_file () =
+  Alcotest.(check bool) "bind" true
+    (Result.is_error (bind_codec.Codec.decode Config_set.empty));
+  Alcotest.(check bool) "tinydns" true
+    (Result.is_error (tinydns_codec.Codec.decode Config_set.empty))
+
+let suite =
+  [
+    Alcotest.test_case "bind decode counts" `Quick test_bind_decode_counts;
+    Alcotest.test_case "bind file tags" `Quick test_bind_records_tagged_with_file;
+    Alcotest.test_case "bind owners absolute" `Quick test_bind_owner_qualified;
+    Alcotest.test_case "bind roundtrip" `Quick test_bind_roundtrip;
+    Alcotest.test_case "bind encode edits" `Quick test_bind_encode_respects_edits;
+    Alcotest.test_case "tinydns combined decode" `Quick test_tinydns_decode_combined;
+    Alcotest.test_case "tinydns roundtrip" `Quick test_tinydns_roundtrip;
+    Alcotest.test_case "tinydns missing PTR inexpressible" `Quick
+      test_tinydns_missing_ptr_inexpressible;
+    Alcotest.test_case "tinydns mutated PTR inexpressible" `Quick
+      test_tinydns_mutated_ptr_inexpressible;
+    Alcotest.test_case "tinydns added record" `Quick test_tinydns_added_record_expressible;
+    Alcotest.test_case "tinydns RP inexpressible" `Quick test_tinydns_rp_inexpressible;
+    Alcotest.test_case "decode missing file" `Quick test_decode_missing_file;
+  ]

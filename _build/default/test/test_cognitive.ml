@@ -1,0 +1,103 @@
+module Cognitive = Errgen.Cognitive
+module Scenario = Errgen.Scenario
+module Rng = Conferr_util.Rng
+
+let test_classification () =
+  let check class_name expected =
+    Alcotest.(check bool) class_name true (Cognitive.of_class_name class_name = expected)
+  in
+  check "typo/omission" (Some Cognitive.Skill_based);
+  check "typo/delete-directive" (Some Cognitive.Skill_based);
+  check "structural/omit-directive" (Some Cognitive.Skill_based);
+  check "structural/duplicate-directive" (Some Cognitive.Skill_based);
+  check "structural/borrow-foreign" (Some Cognitive.Rule_based);
+  check "variation/Order of sections" (Some Cognitive.Rule_based);
+  check "semantic/missing-ptr" (Some Cognitive.Knowledge_based);
+  check "custom/value-swap" None
+
+let test_gems_shares () =
+  let total =
+    List.fold_left
+      (fun acc l -> acc +. Cognitive.gems_share l)
+      0.
+      [ Cognitive.Skill_based; Cognitive.Rule_based; Cognitive.Knowledge_based ]
+  in
+  Alcotest.(check bool) "shares sum to 1" true (abs_float (total -. 1.0) < 1e-9)
+
+let dummy prefix n =
+  List.init n (fun i ->
+      Scenario.make
+        ~id:(Printf.sprintf "%s-%d" prefix i)
+        ~class_name:prefix ~description:prefix
+        (fun set -> Ok set))
+
+let test_weighted_mix_proportions () =
+  let rng = Rng.create 3 in
+  let mix =
+    Cognitive.weighted_mix ~rng ~total:100 ~skill:(dummy "typo/x" 200)
+      ~rule:(dummy "variation/x" 200)
+      ~knowledge:(dummy "semantic/x" 200)
+  in
+  let count prefix =
+    List.length
+      (List.filter
+         (fun (s : Scenario.t) -> s.class_name = prefix)
+         mix)
+  in
+  Alcotest.(check int) "60 skill" 60 (count "typo/x");
+  Alcotest.(check int) "30 rule" 30 (count "variation/x");
+  Alcotest.(check int) "10 knowledge" 10 (count "semantic/x")
+
+let test_weighted_mix_small_pools () =
+  let rng = Rng.create 3 in
+  let mix =
+    Cognitive.weighted_mix ~rng ~total:100 ~skill:(dummy "typo/x" 5)
+      ~rule:(dummy "variation/x" 2) ~knowledge:[]
+  in
+  Alcotest.(check int) "takes everything available" 7 (List.length mix)
+
+let test_profile_rendering_by_level () =
+  let entry class_name outcome =
+    { Conferr.Profile.scenario_id = "x"; class_name; description = "d"; outcome }
+  in
+  let profile =
+    Conferr.Profile.make ~sut_name:"demo"
+      [
+        entry "typo/omission" (Conferr.Outcome.Startup_failure "e");
+        entry "typo/omission" Conferr.Outcome.Passed;
+        entry "variation/spacing" Conferr.Outcome.Passed;
+        entry "semantic/missing-ptr" Conferr.Outcome.Passed;
+        entry "custom/thing" Conferr.Outcome.Passed;
+      ]
+  in
+  let text = Conferr.Profile.render_by_cognitive_level profile in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Conferr_util.Strutil.contains_substring ~needle text))
+    [ "skill-based"; "rule-based"; "knowledge-based"; "unclassified" ]
+
+let test_csv_export () =
+  let entry =
+    {
+      Conferr.Profile.scenario_id = "t-1";
+      class_name = "typo/name";
+      description = "substitute 'a', with \"quotes\"";
+      outcome = Conferr.Outcome.Passed;
+    }
+  in
+  let csv = Conferr.Profile.to_csv (Conferr.Profile.make ~sut_name:"x" [ entry ]) in
+  Alcotest.(check bool) "header" true
+    (Conferr_util.Strutil.is_prefix ~prefix:"scenario_id,outcome" csv);
+  Alcotest.(check bool) "quoted field" true
+    (Conferr_util.Strutil.contains_substring ~needle:"\"substitute 'a', with \"\"quotes\"\"\"" csv)
+
+let suite =
+  [
+    Alcotest.test_case "classification" `Quick test_classification;
+    Alcotest.test_case "gems shares" `Quick test_gems_shares;
+    Alcotest.test_case "weighted mix proportions" `Quick test_weighted_mix_proportions;
+    Alcotest.test_case "weighted mix small pools" `Quick test_weighted_mix_small_pools;
+    Alcotest.test_case "profile by level" `Quick test_profile_rendering_by_level;
+    Alcotest.test_case "csv export" `Quick test_csv_export;
+  ]

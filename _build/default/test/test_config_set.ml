@@ -1,0 +1,49 @@
+module Config_set = Conftree.Config_set
+module Node = Conftree.Node
+
+let tree1 = Node.root [ Node.directive "a" ]
+let tree2 = Node.root [ Node.directive "b" ]
+
+let test_of_list_order () =
+  let s = Config_set.of_list [ ("x", tree1); ("y", tree2) ] in
+  Alcotest.(check (list string)) "insertion order" [ "x"; "y" ] (Config_set.names s)
+
+let test_of_list_replaces () =
+  let s = Config_set.of_list [ ("x", tree1); ("x", tree2) ] in
+  Alcotest.(check int) "one binding" 1 (Config_set.cardinal s);
+  Alcotest.(check bool) "last wins" true
+    (match Config_set.find s "x" with Some t -> Node.equal t tree2 | None -> false)
+
+let test_find () =
+  let s = Config_set.of_list [ ("x", tree1) ] in
+  Alcotest.(check bool) "present" true (Config_set.find s "x" <> None);
+  Alcotest.(check bool) "absent" true (Config_set.find s "nope" = None)
+
+let test_update () =
+  let s = Config_set.of_list [ ("x", tree1) ] in
+  (match Config_set.update s "x" (fun t -> Node.delete t [ 0 ]) with
+   | None -> Alcotest.fail "update failed"
+   | Some s' ->
+     (match Config_set.find s' "x" with
+      | Some t -> Alcotest.(check int) "edited" 1 (Node.size t)
+      | None -> Alcotest.fail "lost file"));
+  Alcotest.(check bool) "missing file" true
+    (Config_set.update s "nope" (fun t -> Some t) = None);
+  Alcotest.(check bool) "failing edit" true
+    (Config_set.update s "x" (fun _ -> None) = None)
+
+let test_map_and_equal () =
+  let s = Config_set.of_list [ ("x", tree1); ("y", tree2) ] in
+  let s' = Config_set.map (fun _ t -> t) s in
+  Alcotest.(check bool) "identity map equal" true (Config_set.equal s s');
+  let s'' = Config_set.map (fun _ _ -> Node.root []) s in
+  Alcotest.(check bool) "different trees differ" false (Config_set.equal s s'')
+
+let suite =
+  [
+    Alcotest.test_case "of_list order" `Quick test_of_list_order;
+    Alcotest.test_case "of_list replaces" `Quick test_of_list_replaces;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "update" `Quick test_update;
+    Alcotest.test_case "map/equal" `Quick test_map_and_equal;
+  ]

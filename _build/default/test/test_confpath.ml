@@ -1,0 +1,135 @@
+module Node = Conftree.Node
+
+let tree =
+  Node.root
+    [
+      Node.section "server"
+        [
+          Node.directive ~value:"80" "listen";
+          Node.directive ~value:"/var/www" "root";
+          Node.section "tls" [ Node.directive ~value:"on" "enabled" ];
+        ];
+      Node.section "client" [ Node.directive ~value:"8080" "listen" ];
+      Node.directive ~attrs:[ ("flag", "x") ] "global";
+    ]
+
+let select q = Confpath.select_str_exn q tree
+
+let names q = List.map (fun (_, (n : Node.t)) -> n.name) (select q)
+
+let paths q = List.map fst (select q)
+
+let check_names what q expected = Alcotest.(check (list string)) what expected (names q)
+
+let test_root_children () =
+  check_names "absolute single name" "/server" [ "server" ];
+  check_names "any child" "/*" [ "server"; "client"; "global" ]
+
+let test_descendant () =
+  check_names "all listens" "//listen" [ "listen"; "listen" ];
+  Alcotest.(check (list (list int)))
+    "paths in document order"
+    [ [ 0; 0 ]; [ 1; 0 ] ]
+    (paths "//listen")
+
+let test_nested_path () =
+  check_names "two steps" "/server/tls" [ "tls" ];
+  check_names "three steps" "/server/tls/enabled" [ "enabled" ]
+
+let test_kind_predicate () =
+  Alcotest.(check int) "all directives" 5
+    (List.length (select "//*[kind()='directive']"));
+  Alcotest.(check int) "all sections" 3 (List.length (select "//*[kind()='section']"))
+
+let test_value_predicate () =
+  check_names "by value" "//*[value()='8080']" [ "listen" ];
+  Alcotest.(check (list (list int))) "inside client" [ [ 1; 0 ] ]
+    (paths "//*[value()='8080']")
+
+let test_attr_predicate () =
+  check_names "attr equality" "//*[@flag='x']" [ "global" ];
+  check_names "attr existence" "//*[@flag]" [ "global" ];
+  check_names "attr mismatch" "//*[@flag='y']" []
+
+let test_position_predicates () =
+  check_names "first child" "/*[1]" [ "server" ];
+  check_names "second" "/*[2]" [ "client" ];
+  check_names "last()" "/*[last()]" [ "global" ]
+
+let test_parent_and_self () =
+  check_names "parent of tls" "/server/tls/.." [ "server" ];
+  check_names "self" "/server/." [ "server" ]
+
+let test_boolean_predicates () =
+  check_names "and" "//*[kind()='directive' and value()='80']" [ "listen" ];
+  Alcotest.(check int) "or" 3
+    (List.length (select "//*[value()='80' or value()='8080' or value()='on']"));
+  Alcotest.(check int) "not" 3
+    (List.length (select "//*[kind()='directive' and not(name()='listen')]"))
+
+let test_contains () =
+  check_names "contains on value" "//*[contains(value(),'var')]" [ "root" ];
+  check_names "contains on name" "//*[contains(name(),'lis')]" [ "listen"; "listen" ]
+
+let test_neq () = check_names "!=" "/server/*[name()!='listen' and kind()='directive']" [ "root" ]
+
+let test_starts_with () =
+  check_names "starts-with on name" "//*[starts-with(name(),'lis')]" [ "listen"; "listen" ];
+  check_names "starts-with on value" "//*[starts-with(value(),'/var')]" [ "root" ];
+  check_names "no match" "//*[starts-with(name(),'zzz')]" []
+
+let test_dedup () =
+  (* //* from multiple contexts must not duplicate nodes *)
+  let all = select "//*" in
+  let distinct = List.sort_uniq compare (List.map fst all) in
+  Alcotest.(check int) "no duplicates" (List.length distinct) (List.length all)
+
+let test_parse_errors () =
+  let bad q =
+    match Confpath.compile q with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "dangling bracket" true (bad "//a[");
+  Alcotest.(check bool) "unterminated string" true (bad "//a[@b='x]");
+  Alcotest.(check bool) "stray token" true (bad "//a]b");
+  Alcotest.(check bool) "bad char" true (bad "//a{}")
+
+let test_to_string_roundtrip () =
+  let queries =
+    [ "/server/tls"; "//listen"; "//*[kind()='directive']"; "/*[2]"; "//a[@x='1']" ]
+  in
+  List.iter
+    (fun q ->
+      let ast = Confpath.compile_exn q in
+      let printed = Confpath.to_string ast in
+      let reparsed = Confpath.compile_exn printed in
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "roundtrip %s" q)
+        (List.map fst (Confpath.select ast tree))
+        (List.map fst (Confpath.select reparsed tree)))
+    queries
+
+let test_matches () =
+  let q = Confpath.compile_exn "//listen" in
+  Alcotest.(check bool) "matches" true (Confpath.matches q tree [ 0; 0 ]);
+  Alcotest.(check bool) "does not match" false (Confpath.matches q tree [ 0; 1 ])
+
+let suite =
+  [
+    Alcotest.test_case "root children" `Quick test_root_children;
+    Alcotest.test_case "descendant" `Quick test_descendant;
+    Alcotest.test_case "nested path" `Quick test_nested_path;
+    Alcotest.test_case "kind predicate" `Quick test_kind_predicate;
+    Alcotest.test_case "value predicate" `Quick test_value_predicate;
+    Alcotest.test_case "attr predicate" `Quick test_attr_predicate;
+    Alcotest.test_case "position predicates" `Quick test_position_predicates;
+    Alcotest.test_case "parent and self" `Quick test_parent_and_self;
+    Alcotest.test_case "boolean predicates" `Quick test_boolean_predicates;
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "neq" `Quick test_neq;
+    Alcotest.test_case "starts-with" `Quick test_starts_with;
+    Alcotest.test_case "dedup" `Quick test_dedup;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip;
+    Alcotest.test_case "matches" `Quick test_matches;
+  ]

@@ -1,0 +1,69 @@
+module Name = Dnsmodel.Name
+
+let check_s = Alcotest.(check string)
+
+let test_normalize () =
+  check_s "relative" "www.example.com." (Name.normalize ~origin:"example.com." "www");
+  check_s "absolute untouched" "other.org." (Name.normalize ~origin:"example.com." "other.org.");
+  check_s "at sign" "example.com." (Name.normalize ~origin:"example.com." "@");
+  check_s "lowercased" "www.example.com." (Name.normalize ~origin:"EXAMPLE.COM." "WWW");
+  check_s "origin without dot" "www.example.com." (Name.normalize ~origin:"example.com" "www");
+  check_s "root origin" "host." (Name.normalize "host");
+  check_s "no double dot" "host.example.com." (Name.normalize "host.example.com")
+
+let test_is_absolute () =
+  Alcotest.(check bool) "with dot" true (Name.is_absolute "a.b.");
+  Alcotest.(check bool) "without" false (Name.is_absolute "a.b");
+  Alcotest.(check bool) "empty" false (Name.is_absolute "")
+
+let test_in_domain () =
+  Alcotest.(check bool) "below" true
+    (Name.in_domain ~domain:"example.com." "www.example.com.");
+  Alcotest.(check bool) "itself" true (Name.in_domain ~domain:"example.com." "example.com.");
+  Alcotest.(check bool) "outside" false (Name.in_domain ~domain:"example.com." "example.org.");
+  Alcotest.(check bool) "suffix but not label boundary" false
+    (Name.in_domain ~domain:"example.com." "notexample.com.")
+
+let test_relative_to () =
+  check_s "strips origin" "www" (Name.relative_to ~origin:"example.com." "www.example.com.");
+  check_s "origin itself" "@" (Name.relative_to ~origin:"example.com." "example.com.");
+  check_s "foreign stays absolute" "other.org."
+    (Name.relative_to ~origin:"example.com." "other.org.")
+
+let test_reverse_of_ipv4 () =
+  Alcotest.(check (option string)) "forms in-addr.arpa"
+    (Some "1.0.0.10.in-addr.arpa.")
+    (Name.reverse_of_ipv4 "10.0.0.1");
+  Alcotest.(check (option string)) "octet out of range" None (Name.reverse_of_ipv4 "300.0.0.1");
+  Alcotest.(check (option string)) "not an ip" None (Name.reverse_of_ipv4 "1M0");
+  Alcotest.(check (option string)) "too few octets" None (Name.reverse_of_ipv4 "10.0.0")
+
+let test_ipv4_of_reverse () =
+  Alcotest.(check (option string)) "inverse" (Some "10.0.0.1")
+    (Name.ipv4_of_reverse "1.0.0.10.in-addr.arpa.");
+  Alcotest.(check (option string)) "not reverse" None (Name.ipv4_of_reverse "www.example.com.")
+
+let test_labels () =
+  Alcotest.(check (list string)) "splits" [ "www"; "example"; "com" ]
+    (Name.labels "www.example.com.")
+
+let prop_reverse_roundtrip =
+  QCheck2.Test.make ~name:"dns name: reverse_of_ipv4 roundtrips"
+    QCheck2.Gen.(quad (int_range 0 255) (int_range 0 255) (int_range 0 255) (int_range 0 255))
+    (fun (a, b, c, d) ->
+      let ip = Printf.sprintf "%d.%d.%d.%d" a b c d in
+      match Name.reverse_of_ipv4 ip with
+      | None -> false
+      | Some rev -> Name.ipv4_of_reverse rev = Some ip)
+
+let suite =
+  [
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "is_absolute" `Quick test_is_absolute;
+    Alcotest.test_case "in_domain" `Quick test_in_domain;
+    Alcotest.test_case "relative_to" `Quick test_relative_to;
+    Alcotest.test_case "reverse_of_ipv4" `Quick test_reverse_of_ipv4;
+    Alcotest.test_case "ipv4_of_reverse" `Quick test_ipv4_of_reverse;
+    Alcotest.test_case "labels" `Quick test_labels;
+    QCheck_alcotest.to_alcotest prop_reverse_roundtrip;
+  ]

@@ -1,0 +1,128 @@
+module Ini = Formats.Ini
+module Node = Conftree.Node
+
+let parse_exn text =
+  match Ini.parse text with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" (Formats.Parse_error.to_string e)
+
+let serialize_exn tree =
+  match Ini.serialize tree with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "serialize error: %s" msg
+
+let sample = "# top comment\n[mysqld]\nport = 3306\nskip_locking\n\n[client]\nsocket=/tmp/s\n"
+
+let test_parse_sections () =
+  let t = parse_exn sample in
+  let sections =
+    List.filter (fun (n : Node.t) -> n.kind = Node.kind_section) t.Node.children
+  in
+  Alcotest.(check (list string))
+    "section names"
+    [ ""; "mysqld"; "client" ]
+    (List.map (fun (n : Node.t) -> n.name) sections)
+
+let test_implicit_section () =
+  let t = parse_exn sample in
+  match t.Node.children with
+  | implicit :: _ ->
+    Alcotest.(check (option string)) "implicit" (Some "true") (Node.attr implicit "implicit");
+    Alcotest.(check int) "holds the comment" 1 (List.length implicit.Node.children)
+  | [] -> Alcotest.fail "no sections"
+
+let test_implicit_dropped_when_empty () =
+  let t = parse_exn "[a]\nx = 1\n" in
+  Alcotest.(check int) "single section" 1 (List.length t.Node.children)
+
+let test_directive_fields () =
+  let t = parse_exn sample in
+  match Node.get t [ 1; 0 ] with
+  | Some d ->
+    Alcotest.(check string) "name" "port" d.Node.name;
+    Alcotest.(check (option string)) "value" (Some "3306") d.Node.value;
+    Alcotest.(check (option string)) "separator preserved" (Some " = ") (Node.attr d "sep")
+  | None -> Alcotest.fail "missing directive"
+
+let test_valueless_directive () =
+  let t = parse_exn sample in
+  match Node.get t [ 1; 1 ] with
+  | Some d ->
+    Alcotest.(check string) "name" "skip_locking" d.Node.name;
+    Alcotest.(check (option string)) "no value" None d.Node.value
+  | None -> Alcotest.fail "missing directive"
+
+let test_roundtrip_bytes () =
+  Alcotest.(check string) "byte-faithful" sample (serialize_exn (parse_exn sample))
+
+let test_tight_separator_roundtrip () =
+  let text = "[s]\na=1\nb  =  2\n" in
+  Alcotest.(check string) "spacing kept" text (serialize_exn (parse_exn text))
+
+let test_semicolon_comment () =
+  let t = parse_exn "[s]\n; note\nx = 1\n" in
+  match Node.get t [ 0; 0 ] with
+  | Some c -> Alcotest.(check string) "comment kind" Node.kind_comment c.Node.kind
+  | None -> Alcotest.fail "missing"
+
+let test_nested_section_rejected () =
+  let tree =
+    Node.root [ Node.section "outer" [ Node.section "inner" [] ] ]
+  in
+  match Ini.serialize tree with
+  | Ok _ -> Alcotest.fail "nested sections must not serialize"
+  | Error msg ->
+    Alcotest.(check bool) "mentions nesting" true
+      (Conferr_util.Strutil.contains_substring ~needle:"nested" msg)
+
+let test_non_section_top_level_rejected () =
+  let tree = Node.root [ Node.directive "loose" ] in
+  Alcotest.(check bool) "rejected" true (Result.is_error (Ini.serialize tree))
+
+let test_word_node_in_section_rejected () =
+  let tree =
+    Node.root [ Node.section "s" [ Node.make ~value:"w" Node.kind_word ] ]
+  in
+  Alcotest.(check bool) "rejected" true (Result.is_error (Ini.serialize tree))
+
+let test_empty_input () =
+  let t = parse_exn "" in
+  Alcotest.(check int) "no sections" 0 (List.length t.Node.children)
+
+let test_value_with_equals () =
+  let t = parse_exn "[s]\nopt = a=b\n" in
+  match Node.get t [ 0; 0 ] with
+  | Some d -> Alcotest.(check (option string)) "splits at first '='" (Some "a=b") d.Node.value
+  | None -> Alcotest.fail "missing"
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"ini: parse after serialize is identity on trees"
+    Gen.ini_tree_gen (fun tree ->
+      match Ini.serialize tree with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok text ->
+        (match Ini.parse text with
+         | Error _ -> false
+         | Ok tree' ->
+           (* serialize again: fixpoint after one round *)
+           Ini.serialize tree' = Ok text))
+
+let suite =
+  [
+    Alcotest.test_case "parse sections" `Quick test_parse_sections;
+    Alcotest.test_case "implicit section" `Quick test_implicit_section;
+    Alcotest.test_case "implicit dropped when empty" `Quick
+      test_implicit_dropped_when_empty;
+    Alcotest.test_case "directive fields" `Quick test_directive_fields;
+    Alcotest.test_case "valueless directive" `Quick test_valueless_directive;
+    Alcotest.test_case "roundtrip bytes" `Quick test_roundtrip_bytes;
+    Alcotest.test_case "separator roundtrip" `Quick test_tight_separator_roundtrip;
+    Alcotest.test_case "semicolon comment" `Quick test_semicolon_comment;
+    Alcotest.test_case "nested section rejected" `Quick test_nested_section_rejected;
+    Alcotest.test_case "loose directive rejected" `Quick
+      test_non_section_top_level_rejected;
+    Alcotest.test_case "word node rejected" `Quick test_word_node_in_section_rejected;
+    Alcotest.test_case "empty input" `Quick test_empty_input;
+    Alcotest.test_case "value with equals" `Quick test_value_with_equals;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,96 @@
+module Namedconf = Formats.Namedconf
+module Node = Conftree.Node
+
+let parse_exn text =
+  match Namedconf.parse text with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" (Formats.Parse_error.to_string e)
+
+let sample =
+  String.concat "\n"
+    [
+      "// main configuration";
+      "options {";
+      "  directory \"/var/named\";";
+      "  recursion no;";
+      "};";
+      "";
+      "zone \"example.com\" IN {";
+      "  type master;";
+      "  file \"example.com.zone\";";
+      "};";
+      "";
+    ]
+
+let test_parse_structure () =
+  let t = parse_exn sample in
+  let kinds = List.map (fun (n : Node.t) -> n.kind) t.Node.children in
+  Alcotest.(check (list string))
+    "top level"
+    [ Node.kind_comment; Node.kind_section; Node.kind_blank; Node.kind_section ]
+    kinds
+
+let test_options_block () =
+  let t = parse_exn sample in
+  match Node.get t [ 1 ] with
+  | Some s ->
+    Alcotest.(check string) "name" "options" s.Node.name;
+    (match Node.get t [ 1; 0 ] with
+     | Some d ->
+       Alcotest.(check string) "directive" "directory" d.Node.name;
+       Alcotest.(check (option string)) "value keeps quotes" (Some "\"/var/named\"")
+         d.Node.value
+     | None -> Alcotest.fail "missing directive")
+  | None -> Alcotest.fail "missing options"
+
+let test_zone_block_arg () =
+  let t = parse_exn sample in
+  match Node.get t [ 3 ] with
+  | Some s ->
+    Alcotest.(check string) "name" "zone" s.Node.name;
+    Alcotest.(check (option string)) "unquoted arg without class" (Some "example.com")
+      (Node.attr s "arg")
+  | None -> Alcotest.fail "missing zone"
+
+let test_statement_without_semicolon_rejected () =
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Namedconf.parse "options {\n  recursion no\n};\n"))
+
+let test_unbalanced_braces_rejected () =
+  Alcotest.(check bool) "unclosed" true
+    (Result.is_error (Namedconf.parse "options {\n  recursion no;\n"));
+  Alcotest.(check bool) "stray close" true (Result.is_error (Namedconf.parse "};\n"))
+
+let test_inline_comments () =
+  let t = parse_exn "options {\n  recursion no; // hmm\n};\n" in
+  match Node.get t [ 0; 0 ] with
+  | Some d -> Alcotest.(check (option string)) "clean value" (Some "no") d.Node.value
+  | None -> Alcotest.fail "missing"
+
+let test_roundtrip () =
+  let t = parse_exn sample in
+  match Namedconf.serialize t with
+  | Error msg -> Alcotest.failf "serialize: %s" msg
+  | Ok text ->
+    let t2 = parse_exn text in
+    Alcotest.(check bool) "same tree" true (Node.equal_modulo_attrs t t2
+                                            || Node.equal t t2)
+
+let test_nested_blocks () =
+  let text = "zone \"x\" {\n  masters {\n    port 53;\n  };\n};\n" in
+  let t = parse_exn text in
+  match Node.get t [ 0; 0 ] with
+  | Some inner -> Alcotest.(check string) "nested section" "masters" inner.Node.name
+  | None -> Alcotest.fail "missing nested block"
+
+let suite =
+  [
+    Alcotest.test_case "parse structure" `Quick test_parse_structure;
+    Alcotest.test_case "options block" `Quick test_options_block;
+    Alcotest.test_case "zone block arg" `Quick test_zone_block_arg;
+    Alcotest.test_case "missing semicolon" `Quick test_statement_without_semicolon_rejected;
+    Alcotest.test_case "unbalanced braces" `Quick test_unbalanced_braces_rejected;
+    Alcotest.test_case "inline comments" `Quick test_inline_comments;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "nested blocks" `Quick test_nested_blocks;
+  ]

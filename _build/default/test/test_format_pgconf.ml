@@ -1,0 +1,96 @@
+module Pgconf = Formats.Pgconf
+module Node = Conftree.Node
+
+let parse_exn text =
+  match Pgconf.parse text with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" (Formats.Parse_error.to_string e)
+
+let sample = "# pg config\nmax_connections = 100\ndatestyle = 'iso, mdy'\nfsync on\n\n"
+
+let test_parse_flat () =
+  let t = parse_exn sample in
+  let directives =
+    List.filter (fun (n : Node.t) -> n.kind = Node.kind_directive) t.Node.children
+  in
+  Alcotest.(check (list string))
+    "names"
+    [ "max_connections"; "datestyle"; "fsync" ]
+    (List.map (fun (n : Node.t) -> n.name) directives)
+
+let test_quoted_value () =
+  let t = parse_exn sample in
+  match Node.get t [ 2 ] with
+  | Some d ->
+    Alcotest.(check (option string)) "unquoted in tree" (Some "iso, mdy") d.Node.value;
+    Alcotest.(check (option string)) "quote recorded" (Some "true") (Node.attr d "quoted")
+  | None -> Alcotest.fail "missing"
+
+let test_space_separator () =
+  let t = parse_exn sample in
+  match Node.get t [ 3 ] with
+  | Some d ->
+    Alcotest.(check (option string)) "value" (Some "on") d.Node.value;
+    Alcotest.(check (option string)) "space separator" (Some " ") (Node.attr d "sep")
+  | None -> Alcotest.fail "missing"
+
+let test_inline_comment_stripped () =
+  let t = parse_exn "port = 5432  # the port\n" in
+  match Node.get t [ 0 ] with
+  | Some d -> Alcotest.(check (option string)) "value clean" (Some "5432") d.Node.value
+  | None -> Alcotest.fail "missing"
+
+let test_hash_inside_quotes_kept () =
+  let t = parse_exn "search_path = 'a#b'\n" in
+  match Node.get t [ 0 ] with
+  | Some d -> Alcotest.(check (option string)) "kept" (Some "a#b") d.Node.value
+  | None -> Alcotest.fail "missing"
+
+let test_roundtrip_semantics () =
+  let t = parse_exn sample in
+  match Pgconf.serialize t with
+  | Error msg -> Alcotest.failf "serialize: %s" msg
+  | Ok text ->
+    let t2 = parse_exn text in
+    Alcotest.(check bool) "same tree after roundtrip" true (Node.equal t t2)
+
+let test_quotes_reapplied () =
+  let t = parse_exn "datestyle = 'iso, mdy'\n" in
+  match Pgconf.serialize t with
+  | Ok text ->
+    Alcotest.(check bool) "quotes in output" true
+      (Conferr_util.Strutil.contains_substring ~needle:"'iso, mdy'" text)
+  | Error msg -> Alcotest.failf "serialize: %s" msg
+
+let test_sections_rejected () =
+  let tree = Node.root [ Node.section "s" [] ] in
+  match Pgconf.serialize tree with
+  | Ok _ -> Alcotest.fail "sections must not serialize"
+  | Error msg ->
+    Alcotest.(check bool) "mentions sections" true
+      (Conferr_util.Strutil.contains_substring ~needle:"section" msg)
+
+let test_blank_and_comment_preserved () =
+  let text = "# c\n\nx = 1\n" in
+  let t = parse_exn text in
+  Alcotest.(check (list string))
+    "kinds"
+    [ Node.kind_comment; Node.kind_blank; Node.kind_directive ]
+    (List.map (fun (n : Node.t) -> n.kind) t.Node.children);
+  match Pgconf.serialize t with
+  | Ok out -> Alcotest.(check string) "bytes" text out
+  | Error msg -> Alcotest.failf "serialize: %s" msg
+
+let suite =
+  [
+    Alcotest.test_case "parse flat" `Quick test_parse_flat;
+    Alcotest.test_case "quoted value" `Quick test_quoted_value;
+    Alcotest.test_case "space separator" `Quick test_space_separator;
+    Alcotest.test_case "inline comment" `Quick test_inline_comment_stripped;
+    Alcotest.test_case "hash inside quotes" `Quick test_hash_inside_quotes_kept;
+    Alcotest.test_case "roundtrip semantics" `Quick test_roundtrip_semantics;
+    Alcotest.test_case "quotes reapplied" `Quick test_quotes_reapplied;
+    Alcotest.test_case "sections rejected" `Quick test_sections_rejected;
+    Alcotest.test_case "blank and comment preserved" `Quick
+      test_blank_and_comment_preserved;
+  ]

@@ -1,0 +1,93 @@
+(* Format-level property tests over generated inputs. *)
+
+module Node = Conftree.Node
+
+(* Random but well-formed configuration texts. *)
+let ini_text_gen =
+  QCheck2.Gen.(
+    let directive =
+      map2
+        (fun name v -> Printf.sprintf "%s = %d" name v)
+        Gen.name_gen (int_range 0 9999)
+    in
+    let line = frequency [ (5, directive); (1, return "# note"); (1, return "") ] in
+    map2
+      (fun name lines -> String.concat "\n" (Printf.sprintf "[%s]" name :: lines) ^ "\n")
+      Gen.name_gen
+      (list_size (int_range 0 8) line))
+
+let prop_ini_serialize_parse_fixpoint =
+  QCheck2.Test.make ~count:200 ~name:"ini: serialize (parse text) = text"
+    ini_text_gen
+    (fun text ->
+      match Formats.Ini.parse text with
+      | Error _ -> false
+      | Ok tree -> Formats.Ini.serialize tree = Ok text)
+
+let prop_pgconf_idempotent =
+  QCheck2.Test.make ~count:200
+    ~name:"pgconf: round-tripping is idempotent after one pass"
+    QCheck2.Gen.(
+      map
+        (fun pairs ->
+          String.concat ""
+            (List.map (fun (n, v) -> Printf.sprintf "%s = %d\n" n v) pairs))
+        (list_size (int_range 0 10) (pair Gen.name_gen (int_range 0 9999))))
+    (fun text ->
+      match Formats.Registry.round_trip Formats.Registry.pgconf text with
+      | Error _ -> false
+      | Ok once ->
+        (match Formats.Registry.round_trip Formats.Registry.pgconf once with
+         | Error _ -> false
+         | Ok twice -> once = twice))
+
+(* Random apache-shaped trees: directives and one level of sections. *)
+let apache_tree_gen =
+  QCheck2.Gen.(
+    let directive =
+      map2
+        (fun name v -> Node.directive ~value:(string_of_int v) name)
+        Gen.name_gen (int_range 0 999)
+    in
+    let section =
+      map2
+        (fun name children -> Node.section ~attrs:[ ("arg", "*:80") ] name children)
+        Gen.name_gen
+        (list_size (int_range 0 4) directive)
+    in
+    map Node.root
+      (list_size (int_range 0 6) (frequency [ (3, directive); (1, section) ])))
+
+let prop_apacheconf_tree_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"apacheconf: parse (serialize tree) = tree"
+    apache_tree_gen
+    (fun tree ->
+      match Formats.Apacheconf.serialize tree with
+      | Error _ -> false
+      | Ok text ->
+        (match Formats.Apacheconf.parse text with
+         | Error _ -> false
+         | Ok tree' -> Node.equal_modulo_attrs tree tree'))
+
+let prop_tinydns_text_fixpoint =
+  QCheck2.Gen.(
+    let entry =
+      map2
+        (fun host ip -> Printf.sprintf "=%s:%s" host ip)
+        Gen.hostname_gen Gen.ip_gen
+    in
+    map (fun lines -> String.concat "\n" lines ^ "\n") (list_size (int_range 0 10) entry))
+  |> fun gen ->
+  QCheck2.Test.make ~count:200 ~name:"tinydns: serialize (parse text) = text" gen
+    (fun text ->
+      match Formats.Tinydns.parse text with
+      | Error _ -> false
+      | Ok tree -> Formats.Tinydns.serialize tree = Ok text)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_ini_serialize_parse_fixpoint;
+    QCheck_alcotest.to_alcotest prop_pgconf_idempotent;
+    QCheck_alcotest.to_alcotest prop_apacheconf_tree_roundtrip;
+    QCheck_alcotest.to_alcotest prop_tinydns_text_fixpoint;
+  ]

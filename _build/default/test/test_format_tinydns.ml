@@ -1,0 +1,87 @@
+module Tinydns = Formats.Tinydns
+module Node = Conftree.Node
+
+let parse_exn text =
+  match Tinydns.parse text with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" (Formats.Parse_error.to_string e)
+
+let sample =
+  String.concat "\n"
+    [
+      "# comment";
+      "=www.example.com:10.0.0.2:86400";
+      "+mail.example.com:10.0.0.3";
+      "Cftp.example.com:www.example.com";
+      "@example.com::mail.example.com:10";
+      "";
+    ]
+
+let records tree =
+  Node.find_all (fun n -> n.Node.kind = Node.kind_record) tree |> List.map snd
+
+let test_parse_ops () =
+  let t = parse_exn sample in
+  Alcotest.(check (list (option string)))
+    "operators"
+    [ Some "="; Some "+"; Some "C"; Some "@" ]
+    (List.map (fun (n : Node.t) -> Node.attr n "op") (records t))
+
+let test_names_and_fields () =
+  let t = parse_exn sample in
+  match records t with
+  | [ a; _; _; mx ] ->
+    Alcotest.(check string) "fqdn" "www.example.com" a.Node.name;
+    Alcotest.(check (list string)) "fields" [ "10.0.0.2"; "86400" ] (Tinydns.fields a);
+    Alcotest.(check (list string))
+      "mx fields with empty ip"
+      [ ""; "mail.example.com"; "10" ]
+      (Tinydns.fields mx)
+  | _ -> Alcotest.fail "expected four records"
+
+let test_comment_and_disabled () =
+  let t = parse_exn "# c\n-=off.example.com:1.2.3.4\n" in
+  Alcotest.(check (list string))
+    "kinds"
+    [ Node.kind_comment; Node.kind_comment ]
+    (List.map (fun (n : Node.t) -> n.kind) t.Node.children)
+
+let test_unknown_op_rejected () =
+  Alcotest.(check bool) "rejected" true (Result.is_error (Tinydns.parse "?bad:1\n"))
+
+let test_roundtrip_bytes () =
+  let t = parse_exn sample in
+  match Tinydns.serialize t with
+  | Ok text -> Alcotest.(check string) "byte-faithful" sample text
+  | Error msg -> Alcotest.failf "serialize: %s" msg
+
+let test_entry_builder_roundtrip () =
+  let e = Tinydns.entry ~op:'=' ~name:"a.example.com" [ "10.0.0.7"; "3600" ] in
+  let tree = Node.root [ e ] in
+  match Tinydns.serialize tree with
+  | Ok text -> Alcotest.(check string) "line" "=a.example.com:10.0.0.7:3600\n" text
+  | Error msg -> Alcotest.failf "serialize: %s" msg
+
+let test_serialize_rejects_foreign_kinds () =
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Tinydns.serialize (Node.root [ Node.section "s" [] ])));
+  let no_op = Node.make ~name:"x" Node.kind_record in
+  Alcotest.(check bool) "record without operator" true
+    (Result.is_error (Tinydns.serialize (Node.root [ no_op ])))
+
+let test_empty_lines () =
+  let t = parse_exn "\n\n" in
+  Alcotest.(check int) "blanks preserved" 2 (List.length t.Node.children)
+
+let suite =
+  [
+    Alcotest.test_case "parse ops" `Quick test_parse_ops;
+    Alcotest.test_case "names and fields" `Quick test_names_and_fields;
+    Alcotest.test_case "comments and disabled" `Quick test_comment_and_disabled;
+    Alcotest.test_case "unknown op rejected" `Quick test_unknown_op_rejected;
+    Alcotest.test_case "roundtrip bytes" `Quick test_roundtrip_bytes;
+    Alcotest.test_case "entry builder" `Quick test_entry_builder_roundtrip;
+    Alcotest.test_case "foreign kinds rejected" `Quick
+      test_serialize_rejects_foreign_kinds;
+    Alcotest.test_case "empty lines" `Quick test_empty_lines;
+  ]

@@ -1,0 +1,95 @@
+module Xmlconf = Formats.Xmlconf
+module Node = Conftree.Node
+
+let parse_exn text =
+  match Xmlconf.parse text with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" (Formats.Parse_error.to_string e)
+
+let sample =
+  "<?xml version=\"1.0\"?>\n<config env=\"prod\">\n  <db host=\"localhost\" \
+   port=\"5432\"/>\n  <name>My &amp; Co</name>\n  <!-- note -->\n</config>\n"
+
+let test_parse_root () =
+  let t = parse_exn sample in
+  match t.Node.children with
+  | [ root ] ->
+    Alcotest.(check string) "tag" "config" root.Node.name;
+    Alcotest.(check (option string)) "attr" (Some "prod") (Node.attr root "env");
+    Alcotest.(check int) "children" 3 (List.length root.Node.children)
+  | _ -> Alcotest.fail "expected one root element"
+
+let test_self_closing_and_attrs () =
+  let t = parse_exn sample in
+  match Node.get t [ 0; 0 ] with
+  | Some db ->
+    Alcotest.(check string) "tag" "db" db.Node.name;
+    Alcotest.(check (option string)) "host" (Some "localhost") (Node.attr db "host");
+    Alcotest.(check (option string)) "port" (Some "5432") (Node.attr db "port")
+  | None -> Alcotest.fail "missing"
+
+let test_text_and_entities () =
+  let t = parse_exn sample in
+  match Node.get t [ 0; 1; 0 ] with
+  | Some text ->
+    Alcotest.(check string) "kind" Node.kind_text text.Node.kind;
+    Alcotest.(check (option string)) "decoded" (Some "My & Co") text.Node.value
+  | None -> Alcotest.fail "missing"
+
+let test_comment_node () =
+  let t = parse_exn sample in
+  match Node.get t [ 0; 2 ] with
+  | Some c -> Alcotest.(check string) "kind" Node.kind_comment c.Node.kind
+  | None -> Alcotest.fail "missing"
+
+let test_single_quoted_attr () =
+  let t = parse_exn "<a x='1'/>" in
+  match Node.get t [ 0 ] with
+  | Some a -> Alcotest.(check (option string)) "attr" (Some "1") (Node.attr a "x")
+  | None -> Alcotest.fail "missing"
+
+let test_escape_unescape () =
+  Alcotest.(check string) "escape" "&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;"
+    (Xmlconf.escape "<a> & \"b\" 'c'");
+  Alcotest.(check string) "unescape" "<a> & \"b\" 'c'"
+    (Xmlconf.unescape "&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;");
+  Alcotest.(check string) "unknown entity preserved" "&nbsp;" (Xmlconf.unescape "&nbsp;");
+  Alcotest.(check string) "lone ampersand" "a&b" (Xmlconf.unescape "a&b")
+
+let test_roundtrip () =
+  let t = parse_exn sample in
+  match Xmlconf.serialize t with
+  | Error msg -> Alcotest.failf "serialize: %s" msg
+  | Ok text ->
+    let t2 = parse_exn text in
+    Alcotest.(check bool) "same tree" true (Node.equal t t2)
+
+let test_errors () =
+  let rejected text =
+    Alcotest.(check bool) text true (Result.is_error (Xmlconf.parse text))
+  in
+  rejected "<a><b></a></b>";
+  rejected "<a>";
+  rejected "no xml at all";
+  rejected "<a></a><b></b>";
+  rejected "<a x=1></a>"
+
+let test_serialize_needs_single_element () =
+  Alcotest.(check bool) "empty root" true
+    (Result.is_error (Xmlconf.serialize (Node.root [])));
+  Alcotest.(check bool) "directive root" true
+    (Result.is_error (Xmlconf.serialize (Node.root [ Node.directive "d" ])))
+
+let suite =
+  [
+    Alcotest.test_case "parse root" `Quick test_parse_root;
+    Alcotest.test_case "self-closing + attrs" `Quick test_self_closing_and_attrs;
+    Alcotest.test_case "text and entities" `Quick test_text_and_entities;
+    Alcotest.test_case "comment node" `Quick test_comment_node;
+    Alcotest.test_case "single-quoted attr" `Quick test_single_quoted_attr;
+    Alcotest.test_case "escape/unescape" `Quick test_escape_unescape;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "serialize single element" `Quick
+      test_serialize_needs_single_element;
+  ]

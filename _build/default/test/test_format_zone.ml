@@ -1,0 +1,118 @@
+module Bindzone = Formats.Bindzone
+module Node = Conftree.Node
+
+let parse_exn text =
+  match Bindzone.parse text with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" (Formats.Parse_error.to_string e)
+
+let sample =
+  String.concat "\n"
+    [
+      "$TTL 86400";
+      "; a comment";
+      "@\tIN\tSOA\tns1.example.com. hm.example.com. ( 1 2 3 4 5 )";
+      "@\tIN\tNS\tns1.example.com.";
+      "www\t3600\tIN\tA\t10.0.0.2";
+      "\tIN\tMX\t10 mail.example.com.";
+      "";
+    ]
+
+let records tree =
+  Node.find_all (fun n -> n.Node.kind = Node.kind_record) tree |> List.map snd
+
+let test_parse_kinds () =
+  let t = parse_exn sample in
+  Alcotest.(check (list string))
+    "kinds"
+    [ Node.kind_directive; Node.kind_comment; Node.kind_record; Node.kind_record;
+      Node.kind_record; Node.kind_record ]
+    (List.map (fun (n : Node.t) -> n.kind) t.Node.children)
+
+let test_ttl_directive () =
+  let t = parse_exn sample in
+  match Node.get t [ 0 ] with
+  | Some d ->
+    Alcotest.(check string) "name" "$TTL" d.Node.name;
+    Alcotest.(check (option string)) "value" (Some "86400") d.Node.value
+  | None -> Alcotest.fail "missing"
+
+let test_record_fields () =
+  let t = parse_exn sample in
+  match records t with
+  | [ _soa; _ns; a; _mx ] ->
+    Alcotest.(check string) "owner as written" "www" a.Node.name;
+    Alcotest.(check (option string)) "type" (Some "A") (Node.attr a "type");
+    Alcotest.(check (option string)) "ttl" (Some "3600") (Node.attr a "ttl");
+    Alcotest.(check (option string)) "class" (Some "IN") (Node.attr a "class");
+    Alcotest.(check (option string)) "rdata" (Some "10.0.0.2") a.Node.value
+  | _ -> Alcotest.fail "expected four records"
+
+let test_owner_inheritance () =
+  let t = parse_exn sample in
+  match records t with
+  | [ _; _; _; mx ] ->
+    Alcotest.(check string) "blank owner written" "" mx.Node.name;
+    Alcotest.(check (option string)) "inherited owner" (Some "www") (Node.attr mx "owner")
+  | _ -> Alcotest.fail "expected four records"
+
+let test_multiline_soa () =
+  let text = "@ IN SOA ns1. hm. (\n  1\n  2\n  3\n  4\n  5 )\n" in
+  let t = parse_exn text in
+  match records t with
+  | [ soa ] ->
+    Alcotest.(check (option string)) "type" (Some "SOA") (Node.attr soa "type");
+    let rdata = Conftree.Node.value_or ~default:"" soa in
+    Alcotest.(check bool) "all fields merged" true
+      (List.for_all
+         (fun f -> Conferr_util.Strutil.contains_substring ~needle:f rdata)
+         [ "ns1."; "hm."; "1"; "5" ])
+  | _ -> Alcotest.fail "expected one record"
+
+let test_comment_inside_multiline () =
+  let text = "@ IN SOA ns1. hm. ( 1 ; serial\n 2 3 4 5 )\n" in
+  Alcotest.(check int) "still one record" 1 (List.length (records (parse_exn text)))
+
+let test_unknown_type_rejected () =
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Bindzone.parse "www IN FROB data\n"))
+
+let test_unbalanced_parens_rejected () =
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Bindzone.parse "@ IN SOA a. b. ( 1 2 3 4 5\n"))
+
+let test_roundtrip_semantics () =
+  let t = parse_exn sample in
+  match Bindzone.serialize t with
+  | Error msg -> Alcotest.failf "serialize: %s" msg
+  | Ok text ->
+    let t2 = parse_exn text in
+    let rtypes tree = List.map (fun (n : Node.t) -> Node.attr n "type") (records tree) in
+    Alcotest.(check (list (option string))) "same record types" (rtypes t) (rtypes t2);
+    let rdatas tree = List.map (fun (n : Node.t) -> n.Node.value) (records tree) in
+    Alcotest.(check (list (option string))) "same rdata" (rdatas t) (rdatas t2)
+
+let test_record_builder () =
+  let r = Bindzone.record ~ttl:"60" ~name:"www" ~rtype:"A" "10.0.0.9" in
+  Alcotest.(check (option string)) "type" (Some "A") (Node.attr r "type");
+  Alcotest.(check (option string)) "ttl" (Some "60") (Node.attr r "ttl");
+  Alcotest.(check (option string)) "owner" (Some "www") (Node.attr r "owner")
+
+let test_sections_rejected () =
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Bindzone.serialize (Node.root [ Node.section "s" [] ])))
+
+let suite =
+  [
+    Alcotest.test_case "parse kinds" `Quick test_parse_kinds;
+    Alcotest.test_case "$TTL directive" `Quick test_ttl_directive;
+    Alcotest.test_case "record fields" `Quick test_record_fields;
+    Alcotest.test_case "owner inheritance" `Quick test_owner_inheritance;
+    Alcotest.test_case "multiline SOA" `Quick test_multiline_soa;
+    Alcotest.test_case "comment inside multiline" `Quick test_comment_inside_multiline;
+    Alcotest.test_case "unknown type rejected" `Quick test_unknown_type_rejected;
+    Alcotest.test_case "unbalanced parens" `Quick test_unbalanced_parens_rejected;
+    Alcotest.test_case "roundtrip semantics" `Quick test_roundtrip_semantics;
+    Alcotest.test_case "record builder" `Quick test_record_builder;
+    Alcotest.test_case "sections rejected" `Quick test_sections_rejected;
+  ]

@@ -1,0 +1,91 @@
+module Process_bench = Conferr.Process_bench
+module Rng = Conferr_util.Rng
+
+let run ?(experiments = 10) ?(proximity = 2) ~sut ~config tasks =
+  match
+    Process_bench.run ~rng:(Rng.create 21) ~experiments ~proximity ~sut ~config
+      ~tasks ()
+  with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "benchmark failed: %s" msg
+
+let pg_config = ("postgresql.conf", Suts.Mini_pg.full_config)
+
+let test_runs_all_tasks () =
+  let t =
+    run ~sut:Suts.Mini_pg.sut ~config:pg_config Conferr.Paper.postgres_tasks
+  in
+  Alcotest.(check int) "one result per task" (List.length Conferr.Paper.postgres_tasks)
+    (List.length t.Process_bench.task_results);
+  List.iter
+    (fun (r : Process_bench.task_result) ->
+      Alcotest.(check int) "all experiments ran" 10 r.injections;
+      Alcotest.(check bool) "detected bounded" true (r.detected <= r.injections))
+    t.Process_bench.task_results
+
+let test_missing_directive_zero_injections () =
+  let t =
+    run ~sut:Suts.Mini_pg.sut ~config:pg_config
+      [ { Process_bench.directive = "not_in_the_file"; new_value = "1" } ]
+  in
+  match t.Process_bench.task_results with
+  | [ r ] -> Alcotest.(check int) "zero injections" 0 r.Process_bench.injections
+  | _ -> Alcotest.fail "expected one result"
+
+let test_invalid_task_rejected () =
+  match
+    Process_bench.run ~rng:(Rng.create 1) ~sut:Suts.Mini_pg.sut ~config:pg_config
+      ~tasks:[ { Process_bench.directive = "max_connections"; new_value = "zero" } ]
+      ()
+  with
+  | Error msg ->
+    Alcotest.(check bool) "explains" true
+      (Conferr_util.Strutil.contains_substring ~needle:"not a valid edit" msg)
+  | Ok _ -> Alcotest.fail "an invalid edit is a benchmark bug, not a fault"
+
+let test_detection_rate () =
+  let t =
+    run ~sut:Suts.Mini_pg.sut ~config:pg_config Conferr.Paper.postgres_tasks
+  in
+  let rate = Process_bench.detection_rate t in
+  Alcotest.(check bool) "in [0,1]" true (rate >= 0. && rate <= 1.)
+
+let test_postgres_beats_mysql () =
+  (* the §5.5 conclusion holds under the process benchmark too *)
+  let pg = run ~sut:Suts.Mini_pg.sut ~config:pg_config Conferr.Paper.postgres_tasks in
+  let mysql =
+    run ~sut:Suts.Mini_mysql.sut
+      ~config:("my.cnf", Suts.Mini_mysql.full_config)
+      Conferr.Paper.mysql_tasks
+  in
+  Alcotest.(check bool) "postgres more resilient" true
+    (Process_bench.detection_rate pg > Process_bench.detection_rate mysql)
+
+let test_render () =
+  let t =
+    run ~sut:Suts.Mini_pg.sut ~config:pg_config
+      [ List.hd Conferr.Paper.postgres_tasks ]
+  in
+  let text = Process_bench.render t in
+  Alcotest.(check bool) "mentions the task" true
+    (Conferr_util.Strutil.contains_substring ~needle:"max_connections" text)
+
+let test_proximity_zero_targets_edited_directive () =
+  let t =
+    run ~proximity:0 ~sut:Suts.Mini_pg.sut ~config:pg_config
+      [ { Process_bench.directive = "shared_buffers"; new_value = "32MB" } ]
+  in
+  match t.Process_bench.task_results with
+  | [ r ] -> Alcotest.(check int) "ran" 10 r.Process_bench.injections
+  | _ -> Alcotest.fail "expected one result"
+
+let suite =
+  [
+    Alcotest.test_case "runs all tasks" `Quick test_runs_all_tasks;
+    Alcotest.test_case "missing directive" `Quick test_missing_directive_zero_injections;
+    Alcotest.test_case "invalid task rejected" `Quick test_invalid_task_rejected;
+    Alcotest.test_case "detection rate" `Quick test_detection_rate;
+    Alcotest.test_case "postgres beats mysql" `Quick test_postgres_beats_mysql;
+    Alcotest.test_case "render" `Quick test_render;
+    Alcotest.test_case "proximity zero" `Quick test_proximity_zero_targets_edited_directive;
+  ]

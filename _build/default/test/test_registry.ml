@@ -1,0 +1,25 @@
+module Registry = Formats.Registry
+
+let test_all_present () =
+  Alcotest.(check (list string))
+    "names"
+    [ "ini"; "pgconf"; "apacheconf"; "xmlconf"; "bindzone"; "tinydns"; "namedconf" ]
+    (List.map (fun (t : Registry.t) -> t.name) Registry.all)
+
+let test_find () =
+  Alcotest.(check bool) "known" true (Registry.find "ini" <> None);
+  Alcotest.(check bool) "unknown" true (Registry.find "toml" = None)
+
+let test_round_trip_helper () =
+  (match Registry.round_trip Registry.pgconf "a = 1\n" with
+   | Ok text -> Alcotest.(check string) "identity-ish" "a = 1\n" text
+   | Error msg -> Alcotest.failf "round trip failed: %s" msg);
+  Alcotest.(check bool) "parse error propagates" true
+    (Result.is_error (Registry.round_trip Registry.xmlconf "not xml"))
+
+let suite =
+  [
+    Alcotest.test_case "all present" `Quick test_all_present;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "round_trip helper" `Quick test_round_trip_helper;
+  ]

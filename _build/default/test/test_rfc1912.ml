@@ -1,0 +1,132 @@
+module Rfc1912 = Dnsmodel.Rfc1912
+module Record = Dnsmodel.Record
+module Codec = Dnsmodel.Codec
+
+let records =
+  [
+    Record.make
+      ~tags:[ (Codec.tag_file, "fwd") ]
+      "example.com."
+      (Record.Soa
+         { mname = "ns1.example.com."; rname = "hm.example.com."; serial = 1; refresh = 2;
+           retry = 3; expire = 4; minimum = 5 });
+    Record.make ~tags:[ (Codec.tag_file, "fwd") ] "example.com."
+      (Record.Ns "ns1.example.com.");
+    Record.make ~tags:[ (Codec.tag_file, "fwd") ] "ns1.example.com." (Record.A "10.0.0.1");
+    Record.make ~tags:[ (Codec.tag_file, "fwd") ] "www.example.com." (Record.A "10.0.0.2");
+    Record.make ~tags:[ (Codec.tag_file, "fwd") ] "ftp.example.com."
+      (Record.Cname "www.example.com.");
+    Record.make ~tags:[ (Codec.tag_file, "fwd") ] "web.example.com."
+      (Record.Cname "www.example.com.");
+    Record.make ~tags:[ (Codec.tag_file, "fwd") ] "example.com."
+      (Record.Mx (10, "mail.example.com."));
+    Record.make ~tags:[ (Codec.tag_file, "fwd") ] "mail.example.com." (Record.A "10.0.0.3");
+    Record.make ~tags:[ (Codec.tag_file, "rev") ] "2.0.0.10.in-addr.arpa."
+      (Record.Ptr "www.example.com.");
+  ]
+
+let instances fault = Rfc1912.instantiate fault records
+
+let test_missing_ptr () =
+  match instances Rfc1912.Missing_ptr with
+  | [ (mutated, descr) ] ->
+    Alcotest.(check int) "one fewer record" (List.length records - 1) (List.length mutated);
+    Alcotest.(check bool) "names the PTR" true
+      (Conferr_util.Strutil.contains_substring ~needle:"2.0.0.10.in-addr.arpa." descr)
+  | other -> Alcotest.failf "expected one instance, got %d" (List.length other)
+
+let test_ptr_to_cname () =
+  let is = instances Rfc1912.Ptr_to_cname in
+  (* one PTR x two aliases *)
+  Alcotest.(check int) "instances" 2 (List.length is);
+  List.iter
+    (fun (mutated, _) ->
+      let ptr =
+        List.find (fun r -> Record.rtype r = "PTR") mutated
+      in
+      match Record.target ptr with
+      | Some t ->
+        Alcotest.(check bool) "points at an alias" true
+          (List.mem t [ "ftp.example.com."; "web.example.com." ])
+      | None -> Alcotest.fail "ptr lost target")
+    is
+
+let test_cname_collision_with_ns () =
+  let is = instances Rfc1912.Cname_collision_with_ns in
+  Alcotest.(check bool) "at least one instance" true (is <> []);
+  List.iter
+    (fun (mutated, _) ->
+      Alcotest.(check int) "adds one record" (List.length records + 1) (List.length mutated);
+      let added = List.nth mutated (List.length mutated - 1) in
+      Alcotest.(check string) "a CNAME" "CNAME" (Record.rtype added);
+      Alcotest.(check (option string)) "placed in the NS owner's file" (Some "fwd")
+        (Record.tag added Codec.tag_file))
+    is
+
+let test_mx_to_cname () =
+  let is = instances Rfc1912.Mx_to_cname in
+  Alcotest.(check int) "one MX x two aliases" 2 (List.length is);
+  List.iter
+    (fun (mutated, _) ->
+      let mx = List.find (fun r -> Record.rtype r = "MX") mutated in
+      match mx.Record.rdata with
+      | Record.Mx (pref, target) ->
+        Alcotest.(check int) "preference kept" 10 pref;
+        Alcotest.(check bool) "targets an alias" true
+          (List.mem target [ "ftp.example.com."; "web.example.com." ])
+      | _ -> Alcotest.fail "not an MX")
+    is
+
+let test_cname_chain () =
+  let is = instances Rfc1912.Cname_chain in
+  Alcotest.(check int) "two aliases chained both ways" 2 (List.length is)
+
+let test_missing_forward_a () =
+  match instances Rfc1912.Missing_forward_a with
+  | [ (mutated, _) ] ->
+    Alcotest.(check bool) "www A removed" true
+      (not
+         (List.exists
+            (fun (r : Record.t) ->
+              Record.rtype r = "A" && r.owner = "www.example.com.")
+            mutated))
+  | other -> Alcotest.failf "expected one instance, got %d" (List.length other)
+
+let test_no_opportunity () =
+  let no_alias =
+    List.filter (fun r -> Record.rtype r <> "CNAME") records
+  in
+  Alcotest.(check int) "no aliases, no mx-to-cname" 0
+    (List.length (Rfc1912.instantiate Rfc1912.Mx_to_cname no_alias))
+
+let test_paper_faults () =
+  Alcotest.(check int) "four rows" 4 (List.length Rfc1912.paper_faults);
+  Alcotest.(check string) "first row wording" "Missing PTR"
+    (Rfc1912.fault_description (List.hd Rfc1912.paper_faults))
+
+let test_scenarios_end_to_end () =
+  let codec = Codec.bind ~zones:Suts.Mini_bind.zones in
+  match Conferr.Engine.parse_default_config Suts.Mini_bind.sut with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok base ->
+    let scenarios = Rfc1912.scenarios ~codec ~faults:Rfc1912.all_faults base in
+    Alcotest.(check bool) "non-empty" true (scenarios <> []);
+    List.iter
+      (fun (s : Errgen.Scenario.t) ->
+        match s.apply base with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "bind scenario should apply: %s" msg)
+      scenarios
+
+let suite =
+  [
+    Alcotest.test_case "missing PTR" `Quick test_missing_ptr;
+    Alcotest.test_case "PTR to CNAME" `Quick test_ptr_to_cname;
+    Alcotest.test_case "CNAME/NS collision" `Quick test_cname_collision_with_ns;
+    Alcotest.test_case "MX to CNAME" `Quick test_mx_to_cname;
+    Alcotest.test_case "CNAME chain" `Quick test_cname_chain;
+    Alcotest.test_case "missing forward A" `Quick test_missing_forward_a;
+    Alcotest.test_case "no opportunity" `Quick test_no_opportunity;
+    Alcotest.test_case "paper faults" `Quick test_paper_faults;
+    Alcotest.test_case "scenarios end-to-end" `Quick test_scenarios_end_to_end;
+  ]

@@ -1,0 +1,128 @@
+(* Unit and property tests for the deterministic PRNG. *)
+
+module Rng = Conferr_util.Rng
+
+let check = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let xs = List.init 100 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 100 (fun _ -> Rng.next_int64 b) in
+  check "same seed, same stream" true (xs = ys)
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 10 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 10 (fun _ -> Rng.next_int64 b) in
+  check "different seeds diverge" true (xs <> ys)
+
+let test_copy_independent () =
+  let a = Rng.create 3 in
+  let b = Rng.copy a in
+  let xa = Rng.next_int64 a in
+  let xb = Rng.next_int64 b in
+  Alcotest.(check int64) "copy starts from the same state" xa xb;
+  ignore (Rng.next_int64 a);
+  let ya = Rng.next_int64 a and yb = Rng.next_int64 b in
+  check "copies then diverge by consumption" true (ya <> yb)
+
+let test_split_independent () =
+  let a = Rng.create 4 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Rng.next_int64 b) in
+  check "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Rng.create 5 in
+  for bound = 1 to 50 do
+    for _ = 1 to 50 do
+      let v = Rng.int rng bound in
+      if v < 0 || v >= bound then
+        Alcotest.failf "Rng.int %d produced %d" bound v
+    done
+  done
+
+let test_int_invalid () =
+  let rng = Rng.create 6 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_pick_empty () =
+  let rng = Rng.create 6 in
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Rng.pick rng []))
+
+let test_pick_singleton () =
+  let rng = Rng.create 6 in
+  Alcotest.(check int) "singleton" 9 (Rng.pick rng [ 9 ])
+
+let test_pick_opt () =
+  let rng = Rng.create 6 in
+  check "empty gives None" true (Rng.pick_opt rng ([] : int list) = None);
+  check "non-empty gives Some" true (Rng.pick_opt rng [ 1; 2 ] <> None)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 8 in
+  let xs = List.init 30 Fun.id in
+  let ys = Rng.shuffle rng xs in
+  Alcotest.(check (list int)) "same multiset" xs (List.sort compare ys)
+
+let test_sample_distinct () =
+  let rng = Rng.create 9 in
+  let xs = List.init 20 Fun.id in
+  let s = Rng.sample rng 8 xs in
+  Alcotest.(check int) "size" 8 (List.length s);
+  Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare s))
+
+let test_sample_caps_at_length () =
+  let rng = Rng.create 9 in
+  let s = Rng.sample rng 10 [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "all elements" [ 1; 2; 3 ] (List.sort compare s)
+
+let test_float_range () =
+  let rng = Rng.create 10 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng 2.5 in
+    if f < 0. || f >= 2.5 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_bool_varies () =
+  let rng = Rng.create 11 in
+  let bs = List.init 100 (fun _ -> Rng.bool rng) in
+  check "both values occur" true (List.mem true bs && List.mem false bs)
+
+let prop_int_uniformish =
+  QCheck2.Test.make ~name:"rng: int stays in bounds for random seeds/bounds"
+    QCheck2.Gen.(pair int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_shuffle_multiset =
+  QCheck2.Test.make ~name:"rng: shuffle preserves the multiset"
+    QCheck2.Gen.(pair int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Rng.create seed in
+      List.sort compare (Rng.shuffle rng xs) = List.sort compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds" `Quick test_different_seeds;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "pick empty" `Quick test_pick_empty;
+    Alcotest.test_case "pick singleton" `Quick test_pick_singleton;
+    Alcotest.test_case "pick_opt" `Quick test_pick_opt;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
+    Alcotest.test_case "sample caps" `Quick test_sample_caps_at_length;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bool varies" `Quick test_bool_varies;
+    QCheck_alcotest.to_alcotest prop_int_uniformish;
+    QCheck_alcotest.to_alcotest prop_shuffle_multiset;
+  ]

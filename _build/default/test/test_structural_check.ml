@@ -1,0 +1,71 @@
+module Structural_check = Conferr.Structural_check
+module Variations = Errgen.Variations
+module Rng = Conferr_util.Rng
+
+let run ?excluded sut = Structural_check.run ~rng:(Rng.create 7) ~count:5 ?excluded ~sut ()
+
+let support_of t class_name =
+  let row =
+    List.find (fun (r : Structural_check.row) -> r.class_name = class_name)
+      t.Structural_check.rows
+  in
+  row.Structural_check.support
+
+let test_all_classes_reported () =
+  let t = run Suts.Mini_pg.sut in
+  Alcotest.(check int) "five rows" 5 (List.length t.Structural_check.rows)
+
+let test_excluded_class_is_na () =
+  let t = run ~excluded:[ Variations.Reorder_sections ] Suts.Mini_apache.sut in
+  Alcotest.(check bool) "excluded" true
+    (support_of t Variations.Reorder_sections = Structural_check.Not_applicable)
+
+let test_inapplicable_class_is_na () =
+  (* Postgres has no sections at all *)
+  let t = run Suts.Mini_pg.sut in
+  Alcotest.(check bool) "no sections" true
+    (support_of t Variations.Reorder_sections = Structural_check.Not_applicable)
+
+let test_support_labels () =
+  Alcotest.(check string) "yes" "Yes" (Structural_check.support_label Structural_check.Supported);
+  Alcotest.(check string) "no" "No" (Structural_check.support_label Structural_check.Unsupported);
+  Alcotest.(check string) "n/a" "n/a"
+    (Structural_check.support_label Structural_check.Not_applicable)
+
+let test_percent_over_applicable_only () =
+  let t = run Suts.Mini_pg.sut in
+  let applicable =
+    List.filter
+      (fun (r : Structural_check.row) ->
+        r.Structural_check.support <> Structural_check.Not_applicable)
+      t.Structural_check.rows
+  in
+  let supported =
+    List.filter
+      (fun (r : Structural_check.row) ->
+        r.Structural_check.support = Structural_check.Supported)
+      applicable
+  in
+  let expected =
+    100. *. float_of_int (List.length supported) /. float_of_int (List.length applicable)
+  in
+  Alcotest.(check bool) "consistent" true
+    (abs_float (t.Structural_check.satisfied_percent -. expected) < 1e-9)
+
+let test_deterministic () =
+  let a = run Suts.Mini_mysql.sut and b = run Suts.Mini_mysql.sut in
+  Alcotest.(check bool) "same verdicts" true
+    (List.for_all2
+       (fun (x : Structural_check.row) (y : Structural_check.row) ->
+         x.Structural_check.support = y.Structural_check.support)
+       a.Structural_check.rows b.Structural_check.rows)
+
+let suite =
+  [
+    Alcotest.test_case "all classes" `Quick test_all_classes_reported;
+    Alcotest.test_case "excluded is n/a" `Quick test_excluded_class_is_na;
+    Alcotest.test_case "inapplicable is n/a" `Quick test_inapplicable_class_is_na;
+    Alcotest.test_case "labels" `Quick test_support_labels;
+    Alcotest.test_case "percent over applicable" `Quick test_percent_over_applicable_only;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]

@@ -1,0 +1,76 @@
+module Suggest = Conferr.Suggest
+module Rng = Conferr_util.Rng
+
+let vocab = Suts.Vocabulary.mysql
+
+let test_nearest () =
+  Alcotest.(check (option (pair string int)))
+    "one-letter typo" (Some ("port", 1))
+    (Suggest.nearest ~vocabulary:vocab "prot");
+  Alcotest.(check (option (pair string int)))
+    "exact" (Some ("port", 0))
+    (Suggest.nearest ~vocabulary:vocab "port");
+  Alcotest.(check (option (pair string int))) "empty vocabulary" None
+    (Suggest.nearest ~vocabulary:[] "port")
+
+let test_nearest_tie_break () =
+  match Suggest.nearest ~vocabulary:[ "bb"; "ba" ] "b" with
+  | Some (name, 1) -> Alcotest.(check string) "lexicographic" "ba" name
+  | _ -> Alcotest.fail "expected distance-1 match"
+
+let test_suggestions_ordering () =
+  let s = Suggest.suggestions ~vocabulary:vocab "max_connection" in
+  (match s with
+   | first :: _ -> Alcotest.(check string) "closest first" "max_connections" first
+   | [] -> Alcotest.fail "expected suggestions");
+  Alcotest.(check bool) "bounded distance" true
+    (List.for_all
+       (fun c -> Conferr_util.Strutil.damerau_levenshtein "max_connection" c <= 2)
+       s)
+
+let test_recovery_rate_distinct_names () =
+  let rng = Rng.create 9 in
+  let rate = Suggest.recovery_rate ~vocabulary:vocab ~rng "key_buffer_size" in
+  Alcotest.(check bool)
+    (Printf.sprintf "long distinctive names recover well (%.2f)" rate)
+    true (rate > 0.8)
+
+let test_recovery_rate_short_name () =
+  (* one-letter typos of a 4-letter word are often nearer to nothing
+     unique; the rate is meaningfully below the long-name case *)
+  let rng = Rng.create 9 in
+  let long_rate = Suggest.recovery_rate ~vocabulary:vocab ~rng "myisam_sort_buffer_size" in
+  let short_rate = Suggest.recovery_rate ~vocabulary:vocab ~rng "port" in
+  Alcotest.(check bool)
+    (Printf.sprintf "short %.2f <= long %.2f" short_rate long_rate)
+    true (short_rate <= long_rate)
+
+let test_recoverability_summary () =
+  let rng = Rng.create 11 in
+  let s = Suggest.recoverability ~vocabulary:vocab ~rng ~samples:10 () in
+  Alcotest.(check int) "one row per word" (List.length vocab)
+    (List.length s.Suggest.per_word);
+  Alcotest.(check bool) "mean in range" true (s.Suggest.mean >= 0. && s.Suggest.mean <= 1.);
+  Alcotest.(check bool) "render mentions mean" true
+    (Conferr_util.Strutil.contains_substring ~needle:"did-you-mean"
+       (Suggest.render s))
+
+let test_vocabularies () =
+  Alcotest.(check bool) "mysql non-empty" true (Suts.Vocabulary.mysql <> []);
+  Alcotest.(check bool) "apache has LoadModule" true
+    (List.mem "LoadModule" Suts.Vocabulary.apache);
+  Alcotest.(check (list string)) "dns suts name-free" []
+    (Suts.Vocabulary.for_sut Suts.Mini_bind.sut);
+  Alcotest.(check bool) "for_sut postgres" true
+    (Suts.Vocabulary.for_sut Suts.Mini_pg.sut = Suts.Vocabulary.postgres)
+
+let suite =
+  [
+    Alcotest.test_case "nearest" `Quick test_nearest;
+    Alcotest.test_case "nearest tie break" `Quick test_nearest_tie_break;
+    Alcotest.test_case "suggestions ordering" `Quick test_suggestions_ordering;
+    Alcotest.test_case "recovery long names" `Quick test_recovery_rate_distinct_names;
+    Alcotest.test_case "recovery short vs long" `Quick test_recovery_rate_short_name;
+    Alcotest.test_case "recoverability summary" `Quick test_recoverability_summary;
+    Alcotest.test_case "vocabularies" `Quick test_vocabularies;
+  ]

@@ -1,0 +1,192 @@
+module Template = Errgen.Template
+module Scenario = Errgen.Scenario
+module Node = Conftree.Node
+module Config_set = Conftree.Config_set
+
+let base =
+  Config_set.of_list
+    [
+      ( "main.conf",
+        Node.root
+          [
+            Node.section "a"
+              [ Node.directive ~value:"1" "x"; Node.directive ~value:"2" "y" ];
+            Node.section "b" [ Node.directive ~value:"3" "z" ];
+          ] );
+      ("extra.conf", Node.root [ Node.section "c" [ Node.directive "w" ] ]);
+    ]
+
+let apply_exn (s : Scenario.t) set =
+  match s.apply set with
+  | Ok set' -> set'
+  | Error msg -> Alcotest.failf "scenario failed: %s" msg
+
+let tree_of set file = Option.get (Config_set.find set file)
+
+let directive_names tree =
+  Node.find_all (fun n -> n.Node.kind = Node.kind_directive) tree
+  |> List.map (fun (_, (n : Node.t)) -> n.name)
+
+let test_delete_template () =
+  let scenarios =
+    Template.delete ~class_name:"t" (Template.target ~file:"main.conf" "//*[kind()='directive']") base
+  in
+  Alcotest.(check int) "one per directive" 3 (List.length scenarios);
+  let mutated = apply_exn (List.hd scenarios) base in
+  Alcotest.(check (list string))
+    "first directive gone"
+    [ "y"; "z" ]
+    (directive_names (tree_of mutated "main.conf"))
+
+let test_duplicate_template () =
+  let scenarios =
+    Template.duplicate ~class_name:"t"
+      (Template.target ~file:"main.conf" "//*[kind()='directive' and name()='z']")
+      base
+  in
+  Alcotest.(check int) "one scenario" 1 (List.length scenarios);
+  let mutated = apply_exn (List.hd scenarios) base in
+  Alcotest.(check (list string))
+    "duplicated after original"
+    [ "x"; "y"; "z"; "z" ]
+    (directive_names (tree_of mutated "main.conf"))
+
+let test_modify_template () =
+  let mutate (n : Node.t) =
+    [ ({ n with Node.value = Some "9" }, "set to 9"); ({ n with Node.value = None }, "drop value") ]
+  in
+  let scenarios =
+    Template.modify ~class_name:"t" ~mutate
+      (Template.target ~file:"main.conf" "//*[kind()='directive']")
+      base
+  in
+  Alcotest.(check int) "two variants per directive" 6 (List.length scenarios);
+  let mutated = apply_exn (List.hd scenarios) base in
+  match Node.get (tree_of mutated "main.conf") [ 0; 0 ] with
+  | Some n -> Alcotest.(check (option string)) "value changed" (Some "9") n.Node.value
+  | None -> Alcotest.fail "missing node"
+
+let test_move_template () =
+  let scenarios =
+    Template.move ~class_name:"t"
+      ~src:(Template.target ~file:"main.conf" "//*[kind()='directive' and name()='x']")
+      ~dst:(Template.target ~file:"main.conf" "//*[kind()='section']")
+      base
+  in
+  (* destination = the other section only (current parent excluded) *)
+  Alcotest.(check int) "one destination" 1 (List.length scenarios);
+  let mutated = apply_exn (List.hd scenarios) base in
+  let tree = tree_of mutated "main.conf" in
+  (match Node.get tree [ 1; 0 ] with
+   | Some n -> Alcotest.(check string) "moved into b" "x" n.Node.name
+   | None -> Alcotest.fail "missing");
+  Alcotest.(check int) "total count preserved" 3 (List.length (directive_names tree))
+
+let test_move_cross_file () =
+  let scenarios =
+    Template.move ~class_name:"t"
+      ~src:(Template.target ~file:"main.conf" "//*[kind()='directive' and name()='y']")
+      ~dst:(Template.target ~file:"extra.conf" "//*[kind()='section']")
+      base
+  in
+  Alcotest.(check int) "one destination" 1 (List.length scenarios);
+  let mutated = apply_exn (List.hd scenarios) base in
+  Alcotest.(check (list string))
+    "gone from main" [ "x"; "z" ]
+    (directive_names (tree_of mutated "main.conf"));
+  Alcotest.(check (list string))
+    "arrived in extra" [ "y"; "w" ]
+    (directive_names (tree_of mutated "extra.conf"))
+
+let test_copy_template () =
+  let scenarios =
+    Template.copy_into ~class_name:"t"
+      ~src:(Template.target ~file:"main.conf" "//*[kind()='directive' and name()='z']")
+      ~dst:(Template.target ~file:"main.conf" "//*[kind()='section']")
+      base
+  in
+  (* both sections are valid copy destinations *)
+  Alcotest.(check int) "two destinations" 2 (List.length scenarios);
+  let mutated = apply_exn (List.hd scenarios) base in
+  Alcotest.(check int) "one more directive" 4
+    (List.length (directive_names (tree_of mutated "main.conf")))
+
+let test_insert_foreign () =
+  let foreign = Node.directive ~value:"off" "PgOption" in
+  let scenarios =
+    Template.insert_foreign ~class_name:"t" ~node:foreign ~description:"borrow"
+      ~dst:(Template.target ~file:"main.conf" "//*[kind()='section' and name()='a']")
+      base
+  in
+  Alcotest.(check int) "one destination" 1 (List.length scenarios);
+  let mutated = apply_exn (List.hd scenarios) base in
+  Alcotest.(check bool) "inserted" true
+    (List.mem "PgOption" (directive_names (tree_of mutated "main.conf")))
+
+let test_union_and_limit () =
+  let a = Template.delete ~class_name:"t" (Template.target ~file:"main.conf" "//*[kind()='directive']") base in
+  let b = Template.duplicate ~class_name:"t" (Template.target ~file:"main.conf" "//*[kind()='directive']") base in
+  Alcotest.(check int) "union" 6 (List.length (Template.union [ a; b ]));
+  Alcotest.(check int) "limit" 2 (List.length (Template.limit 2 (a @ b)))
+
+let test_sample () =
+  let a = Template.delete ~class_name:"t" (Template.target ~file:"main.conf" "//*[kind()='directive']") base in
+  let rng = Conferr_util.Rng.create 1 in
+  Alcotest.(check int) "sample size" 2 (List.length (Template.sample rng 2 a))
+
+let test_stale_scenario_fails () =
+  (* Apply a scenario whose target was already removed. *)
+  let scenarios =
+    Template.delete ~class_name:"t"
+      (Template.target ~file:"main.conf" "//*[kind()='directive' and name()='z']")
+      base
+  in
+  let scenario = List.hd scenarios in
+  let shrunk =
+    Option.get
+      (Config_set.update base "main.conf" (fun t -> Node.delete t [ 1 ]))
+  in
+  Alcotest.(check bool) "errors instead of corrupting" true
+    (Result.is_error (scenario.Scenario.apply shrunk))
+
+let test_missing_file_fails () =
+  let scenarios =
+    Template.delete ~class_name:"t" (Template.target ~file:"main.conf" "//*[kind()='directive']") base
+  in
+  let scenario = List.hd scenarios in
+  Alcotest.(check bool) "missing file" true
+    (Result.is_error (scenario.Scenario.apply Config_set.empty))
+
+let test_manifest_csv () =
+  let a = Template.delete ~class_name:"t" (Template.target ~file:"main.conf" "//*[kind()='directive']") base in
+  let csv = Scenario.manifest_csv (Scenario.relabel_ids ~prefix:"m" a) in
+  Alcotest.(check bool) "header" true
+    (Conferr_util.Strutil.is_prefix ~prefix:"id,class,description" csv);
+  Alcotest.(check int) "one line per scenario + header + trailing"
+    (List.length a + 1)
+    (List.length (Conferr_util.Strutil.lines csv))
+
+let test_relabel_ids () =
+  let a = Template.delete ~class_name:"t" (Template.target ~file:"main.conf" "//*[kind()='directive']") base in
+  let labelled = Scenario.relabel_ids ~prefix:"p" a in
+  Alcotest.(check (list string))
+    "ids"
+    [ "p-0001"; "p-0002"; "p-0003" ]
+    (List.map (fun (s : Scenario.t) -> s.id) labelled)
+
+let suite =
+  [
+    Alcotest.test_case "delete" `Quick test_delete_template;
+    Alcotest.test_case "duplicate" `Quick test_duplicate_template;
+    Alcotest.test_case "modify" `Quick test_modify_template;
+    Alcotest.test_case "move" `Quick test_move_template;
+    Alcotest.test_case "move cross-file" `Quick test_move_cross_file;
+    Alcotest.test_case "copy" `Quick test_copy_template;
+    Alcotest.test_case "insert foreign" `Quick test_insert_foreign;
+    Alcotest.test_case "union and limit" `Quick test_union_and_limit;
+    Alcotest.test_case "sample" `Quick test_sample;
+    Alcotest.test_case "stale scenario" `Quick test_stale_scenario_fails;
+    Alcotest.test_case "missing file" `Quick test_missing_file_fails;
+    Alcotest.test_case "relabel ids" `Quick test_relabel_ids;
+    Alcotest.test_case "manifest csv" `Quick test_manifest_csv;
+  ]

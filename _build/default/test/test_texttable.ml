@@ -1,0 +1,48 @@
+module Texttable = Conferr_util.Texttable
+
+let check_s = Alcotest.(check string)
+
+let test_render_basic () =
+  let out =
+    Texttable.render ~header:[ "a"; "bb" ] [ [ "11"; "2" ]; [ "3"; "444" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "header + sep + 2 rows + trailing" 5 (List.length lines);
+  Alcotest.(check bool) "separator row dashes" true
+    (String.for_all (fun c -> c = '-' || c = ' ') (List.nth lines 1))
+
+let test_render_missing_cells () =
+  let out = Texttable.render ~header:[ "x"; "y"; "z" ] [ [ "1" ] ] in
+  Alcotest.(check bool) "does not raise and includes row" true
+    (Conferr_util.Strutil.contains_substring ~needle:"1" out)
+
+let test_render_right_align () =
+  let out =
+    Texttable.render
+      ~aligns:[ Texttable.Right ]
+      ~header:[ "num" ]
+      [ [ "7" ] ]
+  in
+  Alcotest.(check bool) "right aligned" true
+    (Conferr_util.Strutil.contains_substring ~needle:"  7" out)
+
+let test_bar () =
+  check_s "empty" "" (Texttable.bar ~width:10 0.);
+  check_s "full" "##########" (Texttable.bar ~width:10 1.);
+  check_s "half" "#####" (Texttable.bar ~width:10 0.5);
+  check_s "clamped high" "##########" (Texttable.bar ~width:10 1.7);
+  check_s "clamped low" "" (Texttable.bar ~width:10 (-0.3))
+
+let test_percentage () =
+  check_s "regular" "42 (42%)" (Texttable.percentage ~count:42 ~total:100);
+  check_s "rounding" "1 (33%)" (Texttable.percentage ~count:1 ~total:3);
+  check_s "zero total" "0 (0%)" (Texttable.percentage ~count:0 ~total:0)
+
+let suite =
+  [
+    Alcotest.test_case "render basic" `Quick test_render_basic;
+    Alcotest.test_case "render missing cells" `Quick test_render_missing_cells;
+    Alcotest.test_case "render right align" `Quick test_render_right_align;
+    Alcotest.test_case "bar" `Quick test_bar;
+    Alcotest.test_case "percentage" `Quick test_percentage;
+  ]

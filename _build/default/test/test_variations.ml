@@ -1,0 +1,147 @@
+module Variations = Errgen.Variations
+module Scenario = Errgen.Scenario
+module Node = Conftree.Node
+module Config_set = Conftree.Config_set
+module Rng = Conferr_util.Rng
+
+let tree =
+  Node.root
+    [
+      Node.section "one"
+        [
+          Node.directive ~attrs:[ ("sep", " = ") ] ~value:"1" "alpha";
+          Node.directive ~attrs:[ ("sep", "=") ] ~value:"2" "beta";
+          Node.comment "# keep me";
+        ];
+      Node.section "two" [ Node.directive ~attrs:[ ("sep", "=") ] ~value:"3" "gamma" ];
+      Node.section "three" [ Node.directive "delta" ];
+    ]
+
+let base = Config_set.of_list [ ("f", tree) ]
+
+let apply_class ?(seed = 5) class_name =
+  let rng = Rng.create seed in
+  match Variations.scenarios ~rng ~count:1 class_name ~file:"f" base with
+  | [ s ] ->
+    (match s.Scenario.apply base with
+     | Ok set -> Option.get (Config_set.find set "f")
+     | Error msg -> Alcotest.failf "variation failed: %s" msg)
+  | other -> Alcotest.failf "expected one scenario, got %d" (List.length other)
+
+let directive_names t =
+  Node.find_all (fun n -> n.Node.kind = Node.kind_directive) t
+  |> List.map (fun (_, (n : Node.t)) -> n.name)
+
+let section_names t =
+  List.filter_map
+    (fun (n : Node.t) -> if n.kind = Node.kind_section then Some n.name else None)
+    t.Node.children
+
+let test_reorder_sections_multiset () =
+  let t = apply_class Variations.Reorder_sections in
+  Alcotest.(check (list string))
+    "same sections" [ "one"; "three"; "two" ]
+    (List.sort compare (section_names t));
+  Alcotest.(check (list string))
+    "directives follow their section" (directive_names tree |> List.sort compare)
+    (directive_names t |> List.sort compare)
+
+let test_reorder_directives_keeps_comments () =
+  (* comments stay in place; only directives shuffle *)
+  let t = apply_class ~seed:3 Variations.Reorder_directives in
+  match Node.get t [ 0; 2 ] with
+  | Some n -> Alcotest.(check string) "comment still third" Node.kind_comment n.Node.kind
+  | None -> Alcotest.fail "missing"
+
+let test_spacing_only_changes_sep () =
+  let t = apply_class Variations.Separator_spacing in
+  Alcotest.(check (list string)) "names unchanged" (directive_names tree) (directive_names t);
+  Node.fold
+    (fun _ n () ->
+      if n.Node.kind = Node.kind_directive && n.Node.value <> None then
+        match Node.attr n "sep" with
+        | Some sep ->
+          Alcotest.(check bool) "separator is an = variant" true (String.contains sep '=')
+        | None -> Alcotest.fail "sep attribute missing")
+    t ()
+
+let test_mixed_case_same_letters () =
+  let t = apply_class Variations.Mixed_case_names in
+  List.iter2
+    (fun original mutated ->
+      Alcotest.(check string) "case-folded equal" (String.lowercase_ascii original)
+        (String.lowercase_ascii mutated))
+    (directive_names tree) (directive_names t)
+
+let test_truncation_unambiguous () =
+  let t = apply_class Variations.Truncated_names in
+  let originals = directive_names tree in
+  List.iter2
+    (fun original mutated ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is a prefix of %s" mutated original)
+        true
+        (Conferr_util.Strutil.is_prefix ~prefix:mutated original);
+      (* the truncated name must identify its original uniquely *)
+      let matching =
+        List.filter (Conferr_util.Strutil.is_prefix ~prefix:mutated) originals
+      in
+      Alcotest.(check (list string)) "unambiguous" [ original ] matching)
+    originals (directive_names t)
+
+let test_shortest_unambiguous_prefix () =
+  let among = [ "max_allowed_packet"; "max_connections"; "port" ] in
+  Alcotest.(check (option int)) "max_a" (Some 5)
+    (Variations.shortest_unambiguous_prefix "max_allowed_packet" ~among);
+  Alcotest.(check (option int)) "p" (Some 1)
+    (Variations.shortest_unambiguous_prefix "port" ~among);
+  Alcotest.(check (option int)) "name that prefixes another" None
+    (Variations.shortest_unambiguous_prefix "max" ~among:[ "max"; "maximum" ]);
+  Alcotest.(check (option int)) "single char" None
+    (Variations.shortest_unambiguous_prefix "x" ~among:[ "x" ])
+
+let test_classes_not_applicable () =
+  let flat = Config_set.of_list [ ("f", Node.root [ Node.directive "only" ]) ] in
+  let rng = Rng.create 1 in
+  Alcotest.(check int) "no sections to reorder" 0
+    (List.length (Variations.scenarios ~rng ~count:5 Variations.Reorder_sections ~file:"f" flat));
+  Alcotest.(check int) "no value separators" 0
+    (List.length
+       (Variations.scenarios ~rng ~count:5 Variations.Separator_spacing ~file:"f" flat))
+
+let test_scenarios_are_independent () =
+  (* Applying one scenario must not change what another produces. *)
+  let rng = Rng.create 11 in
+  let scenarios =
+    Variations.scenarios ~rng ~count:2 Variations.Reorder_sections ~file:"f" base
+  in
+  match scenarios with
+  | [ s1; s2 ] ->
+    let first_result = s1.Scenario.apply base in
+    let second_before = s2.Scenario.apply base in
+    ignore first_result;
+    let second_after = s2.Scenario.apply base in
+    (match (second_before, second_after) with
+     | Ok a, Ok b ->
+       Alcotest.(check bool) "deterministic replay" true (Config_set.equal a b)
+     | _ -> Alcotest.fail "scenario failed")
+  | _ -> Alcotest.fail "expected two scenarios"
+
+let test_class_titles () =
+  Alcotest.(check int) "five classes" 5 (List.length Variations.all_classes);
+  Alcotest.(check string) "title" "Order of sections"
+    (Variations.class_title Variations.Reorder_sections)
+
+let suite =
+  [
+    Alcotest.test_case "reorder sections multiset" `Quick test_reorder_sections_multiset;
+    Alcotest.test_case "reorder keeps comments" `Quick
+      test_reorder_directives_keeps_comments;
+    Alcotest.test_case "spacing only sep" `Quick test_spacing_only_changes_sep;
+    Alcotest.test_case "mixed case letters" `Quick test_mixed_case_same_letters;
+    Alcotest.test_case "truncation unambiguous" `Quick test_truncation_unambiguous;
+    Alcotest.test_case "shortest prefix" `Quick test_shortest_unambiguous_prefix;
+    Alcotest.test_case "not applicable" `Quick test_classes_not_applicable;
+    Alcotest.test_case "independent scenarios" `Quick test_scenarios_are_independent;
+    Alcotest.test_case "class titles" `Quick test_class_titles;
+  ]

@@ -1,0 +1,83 @@
+module Wordview = Errgen.Wordview
+module Node = Conftree.Node
+
+let tree =
+  Node.root
+    [
+      Node.section "db"
+        [ Node.directive ~value:"5432" "port"; Node.comment "# c"; Node.directive "fsync" ];
+      Node.section "" [ Node.directive ~value:"x" "anon" ];
+    ]
+
+let test_forward_shape () =
+  let view = Wordview.of_tree tree in
+  (* one line per named section + one per directive *)
+  Alcotest.(check int) "lines" 4 (List.length view.Node.children);
+  let words = Wordview.words view in
+  Alcotest.(check int) "word tokens" 6 (List.length words)
+
+let test_word_types () =
+  let view = Wordview.of_tree tree in
+  let of_type t = List.length (Wordview.words ~word_type:t view) in
+  Alcotest.(check int) "directive names" 3 (of_type "directive-name");
+  Alcotest.(check int) "directive values" 2 (of_type "directive-value");
+  Alcotest.(check int) "section names" 1 (of_type "section-name")
+
+let test_roundtrip_identity () =
+  let view = Wordview.of_tree tree in
+  match Wordview.apply_to_tree ~word_view:view tree with
+  | Ok t -> Alcotest.(check bool) "unchanged" true (Node.equal t tree)
+  | Error msg -> Alcotest.failf "apply failed: %s" msg
+
+let test_mutation_maps_back () =
+  let view = Wordview.of_tree tree in
+  (* find the word token holding the port value and typo it *)
+  let path, _ =
+    List.hd (Wordview.words ~word_type:"directive-value" view)
+  in
+  let view' =
+    Option.get
+      (Node.update view path (fun w -> { w with Node.value = Some "5433" }))
+  in
+  match Wordview.apply_to_tree ~word_view:view' tree with
+  | Ok t ->
+    (match Node.get t [ 0; 0 ] with
+     | Some d -> Alcotest.(check (option string)) "value updated" (Some "5433") d.Node.value
+     | None -> Alcotest.fail "missing directive")
+  | Error msg -> Alcotest.failf "apply failed: %s" msg
+
+let test_name_mutation () =
+  let view = Wordview.of_tree tree in
+  let path, _ = List.hd (Wordview.words ~word_type:"directive-name" view) in
+  let view' =
+    Option.get (Node.update view path (fun w -> { w with Node.value = Some "prot" }))
+  in
+  match Wordview.apply_to_tree ~word_view:view' tree with
+  | Ok t ->
+    (match Node.get t [ 0; 0 ] with
+     | Some d -> Alcotest.(check string) "name updated" "prot" d.Node.name
+     | None -> Alcotest.fail "missing")
+  | Error msg -> Alcotest.failf "apply failed: %s" msg
+
+let test_dangling_ref_fails () =
+  let bogus =
+    Node.root
+      [
+        Node.make ~children:
+          [ Node.make ~value:"x" ~attrs:[ ("type", "directive-name"); ("ref", "/9/9") ]
+              Node.kind_word ]
+          Node.kind_line;
+      ]
+  in
+  Alcotest.(check bool) "error" true
+    (Result.is_error (Wordview.apply_to_tree ~word_view:bogus tree))
+
+let suite =
+  [
+    Alcotest.test_case "forward shape" `Quick test_forward_shape;
+    Alcotest.test_case "word types" `Quick test_word_types;
+    Alcotest.test_case "roundtrip identity" `Quick test_roundtrip_identity;
+    Alcotest.test_case "value mutation maps back" `Quick test_mutation_maps_back;
+    Alcotest.test_case "name mutation maps back" `Quick test_name_mutation;
+    Alcotest.test_case "dangling ref" `Quick test_dangling_ref_fails;
+  ]
