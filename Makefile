@@ -1,0 +1,26 @@
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# A small campaign through the parallel executor with a journal, twice:
+# the second run must resume from the first's journal and do no work.
+smoke: build
+	rm -f /tmp/conferr.jsonl
+	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
+	  --journal /tmp/conferr.jsonl --stats
+	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
+	  --journal /tmp/conferr.jsonl --resume --stats
+
+check: build test smoke
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -101,6 +101,66 @@ let print_ablations () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Executor scaling: sequential vs parallel campaign execution          *)
+(* ------------------------------------------------------------------ *)
+
+(* The §5.2 typo faultload against mini-postgres, scaled up so each
+   measurement runs long enough to amortize domain spawn-up (~100 us per
+   domain).  Times the same scenario list through the executor at 1, 2
+   and 4 domains and reports the measured speedup — the paper's
+   campaigns are embarrassingly parallel (injections are pure and
+   independent), so on an N-core machine this approaches min(jobs, N).
+   On a single-core host the same measurement documents the cost of
+   oversubscription instead: every OCaml 5 minor collection synchronizes
+   all domains, so extra domains without extra cores slow a campaign
+   down — which is why 1 stays the default for --jobs. *)
+let print_executor_scaling () =
+  print_endline "=== Executor scaling (typo faultload of section 5.2) ===\n";
+  let sut = Suts.Mini_pg.sut in
+  let base =
+    match Conferr.Engine.parse_default_config sut with
+    | Ok base -> base
+    | Error msg -> failwith msg
+  in
+  let scenarios =
+    let rng = Conferr_util.Rng.create seed in
+    let faultload =
+      { Conferr.Campaign.paper_faultload with typos_per_directive = 40 }
+    in
+    Conferr.Campaign.typo_scenarios ~rng ~faultload sut base
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  scenarios: %d, cores available: %d\n%!"
+    (List.length scenarios) cores;
+  if cores < 2 then
+    print_endline
+      "  (single-core host: expect a slowdown, not a speedup — see comment)";
+  let time_run jobs =
+    let settings = { Conferr_exec.Executor.default_settings with jobs } in
+    let silent _ = () in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Conferr_exec.Executor.run_from ~settings ~on_event:silent ~sut ~base
+           ~scenarios ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  (* warm up (page in the SUT code paths) before timing *)
+  ignore (time_run 1);
+  let sequential = time_run 1 in
+  Printf.printf "  %d domain(s): %8.2f ms   (baseline)\n%!" 1 (sequential *. 1e3);
+  List.iter
+    (fun jobs ->
+      let t = time_run jobs in
+      Printf.printf "  %d domain(s): %8.2f ms   speedup %.2fx\n%!" jobs (t *. 1e3)
+        (sequential /. t))
+    [ 2; 4 ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timings                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -140,7 +200,7 @@ let table_tests =
                Conferr.Campaign.typo_scenarios ~rng
                  ~faultload:Conferr.Campaign.paper_faultload sut base
              in
-             ignore (Conferr.Engine.run_from ~sut ~base ~scenarios)));
+             ignore (Conferr.Engine.run_from ~sut ~base ~scenarios ())));
     Test.make ~name:"table1/postgres"
       (Staged.stage (fun () ->
            let rng = Conferr_util.Rng.create seed in
@@ -152,7 +212,7 @@ let table_tests =
                Conferr.Campaign.typo_scenarios ~rng
                  ~faultload:Conferr.Campaign.paper_faultload sut base
              in
-             ignore (Conferr.Engine.run_from ~sut ~base ~scenarios)));
+             ignore (Conferr.Engine.run_from ~sut ~base ~scenarios ())));
     Test.make ~name:"table1/apache"
       (Staged.stage (fun () ->
            let rng = Conferr_util.Rng.create seed in
@@ -166,7 +226,7 @@ let table_tests =
              let scenarios =
                Conferr.Campaign.typo_scenarios ~rng ~faultload sut base
              in
-             ignore (Conferr.Engine.run_from ~sut ~base ~scenarios)));
+             ignore (Conferr.Engine.run_from ~sut ~base ~scenarios ())));
     Test.make ~name:"table2/structural-variations"
       (Staged.stage (fun () -> ignore (Conferr.Paper.table2 ~seed ())));
     Test.make ~name:"table3/semantic-dns"
@@ -256,4 +316,5 @@ let print_benchmarks () =
 let () =
   print_tables ();
   print_ablations ();
+  print_executor_scaling ();
   print_benchmarks ()

@@ -49,6 +49,72 @@ let entries_arg =
     value & flag
     & info [ "entries" ] ~doc:"Also print the per-injection entries of the profile.")
 
+(* Executor flags (see doc/exec.md). *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the campaign (1 = sequential, 0 = all cores).")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:"Append every finished injection to a JSONL journal at $(docv).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Skip scenarios already recorded in the journal (requires --journal); \
+           without this flag an existing journal is restarted from scratch.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Per-scenario deadline; a scenario still running after $(docv) \
+              seconds is classified as a functional failure.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N" ~doc:"Attempts to re-run a timed-out scenario.")
+
+let signatures_arg =
+  Arg.(
+    value & flag
+    & info [ "signatures" ]
+        ~doc:"Also print the profile clustered into distinct failure signatures.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Also print campaign execution statistics.")
+
+let executor_settings ~jobs ~seed ~journal ~resume ~timeout ~retries =
+  {
+    Conferr_exec.Executor.jobs =
+      (if jobs <= 0 then Conferr_pool.recommended_jobs () else jobs);
+    campaign_seed = seed;
+    journal_path = journal;
+    resume;
+    timeout_s = timeout;
+    retries;
+  }
+
+(* The executor touches the filesystem only through the journal; surface
+   open/rename failures as a CLI error rather than an uncaught exception. *)
+let run_campaign ~settings ~sut ~base ~scenarios () =
+  try Conferr_exec.Executor.run_from ~settings ~sut ~base ~scenarios ()
+  with Sys_error msg ->
+    Printf.eprintf "conferr: %s\n" msg;
+    exit 1
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -63,7 +129,8 @@ let list_cmd =
     Term.(const run $ const ())
 
 let profile_cmd =
-  let run sut seed entries csv by_level verbose =
+  let run sut seed entries csv by_level verbose jobs journal resume timeout retries
+      signatures stats =
     setup_logging verbose;
     let rng = Conferr_util.Rng.create seed in
     match Conferr.Engine.parse_default_config sut with
@@ -75,7 +142,12 @@ let profile_cmd =
         Conferr.Campaign.typo_scenarios ~rng
           ~faultload:Conferr.Campaign.paper_faultload sut base
       in
-      let profile = Conferr.Engine.run_from ~sut ~base ~scenarios in
+      let settings =
+        executor_settings ~jobs ~seed ~journal ~resume ~timeout ~retries
+      in
+      let profile, snapshot =
+        run_campaign ~settings ~sut ~base ~scenarios ()
+      in
       if csv then print_string (Conferr.Profile.to_csv profile)
       else begin
         print_string (Conferr.Profile.render profile);
@@ -83,7 +155,17 @@ let profile_cmd =
           print_newline ();
           print_string (Conferr.Profile.render_by_cognitive_level profile)
         end;
-        if entries then print_string (Conferr.Profile.render_entries profile)
+        if signatures then begin
+          print_newline ();
+          print_string
+            (Conferr_exec.Signature.render
+               (Conferr_exec.Signature.clusters profile.Conferr.Profile.entries))
+        end;
+        if entries then print_string (Conferr.Profile.render_entries profile);
+        if stats then begin
+          print_newline ();
+          print_string (Conferr_exec.Progress.render snapshot)
+        end
       end
   in
   let sut =
@@ -102,8 +184,14 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile"
-       ~doc:"Run the typo faultload against one SUT and print its resilience profile.")
-    Term.(const run $ sut $ seed_arg $ entries_arg $ csv $ by_level $ verbose_arg)
+       ~doc:
+         "Run the typo faultload against one SUT and print its resilience profile. \
+          Campaigns can run on several domains (--jobs), record a resumable \
+          journal (--journal, --resume) and bound each injection (--timeout).")
+    Term.(
+      const run $ sut $ seed_arg $ entries_arg $ csv $ by_level $ verbose_arg
+      $ jobs_arg $ journal_arg $ resume_arg $ timeout_arg $ retries_arg
+      $ signatures_arg $ stats_arg)
 
 let benchmark_cmd =
   let run seed experiments =
@@ -170,7 +258,7 @@ let variations_cmd =
     Term.(const run $ sut $ seed_arg)
 
 let semantic_cmd =
-  let run sut entries =
+  let run sut entries jobs journal resume stats =
     let codec =
       match sut.Suts.Sut.sut_name with
       | "bind" -> Dnsmodel.Codec.bind ~zones:Suts.Mini_bind.zones
@@ -188,9 +276,18 @@ let semantic_cmd =
         Dnsmodel.Rfc1912.scenarios ~codec ~faults:Dnsmodel.Rfc1912.all_faults base
         |> Errgen.Scenario.relabel_ids ~prefix:"semantic"
       in
-      let profile = Conferr.Engine.run_from ~sut ~base ~scenarios in
+      let settings =
+        executor_settings ~jobs ~seed:42 ~journal ~resume ~timeout:None ~retries:0
+      in
+      let profile, snapshot =
+        run_campaign ~settings ~sut ~base ~scenarios ()
+      in
       print_string (Conferr.Profile.render profile);
-      if entries then print_string (Conferr.Profile.render_entries profile)
+      if entries then print_string (Conferr.Profile.render_entries profile);
+      if stats then begin
+        print_newline ();
+        print_string (Conferr_exec.Progress.render snapshot)
+      end
   in
   let sut =
     Arg.(
@@ -201,7 +298,9 @@ let semantic_cmd =
   Cmd.v
     (Cmd.info "semantic"
        ~doc:"Run the full RFC-1912 semantic fault catalog against a DNS SUT.")
-    Term.(const run $ sut $ entries_arg)
+    Term.(
+      const run $ sut $ entries_arg $ jobs_arg $ journal_arg $ resume_arg
+      $ stats_arg)
 
 let suggest_cmd =
   let run sut seed =

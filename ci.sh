@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI entry point: full build, the test suites, and a smoke campaign
+# through the parallel executor (journal + resume).  Exits non-zero on
+# the first failure.
+set -eu
+cd "$(dirname "$0")"
+
+if command -v make >/dev/null 2>&1; then
+  make check
+else
+  dune build
+  dune runtest
+  rm -f /tmp/conferr.jsonl
+  dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
+    --journal /tmp/conferr.jsonl --stats
+  dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
+    --journal /tmp/conferr.jsonl --resume --stats
+fi
+
+echo "ci: all checks passed"

@@ -54,5 +54,5 @@ let () =
   in
   Printf.printf "Injecting %d structural faults into httpd.conf...\n\n"
     (List.length scenarios);
-  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios in
+  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios () in
   print_string (Conferr.Profile.render profile)

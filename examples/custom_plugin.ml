@@ -56,7 +56,7 @@ let () =
     swap_values_plugin.Errgen.Plugin.describe;
   Printf.printf "Generated %d scenarios against %s\n\n" (List.length scenarios)
     sut.Suts.Sut.version;
-  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios in
+  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios () in
   print_string (Conferr.Profile.render profile);
   print_newline ();
   print_endline "Swaps that went unnoticed (candidates for new constraints):";

@@ -24,7 +24,7 @@ let run_sut sut codec =
       let outcome = Conferr.Engine.run_scenario ~sut ~base s in
       Printf.printf "  [%-10s] %s\n" (Conferr.Outcome.label outcome) s.description)
     scenarios;
-  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios in
+  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios () in
   print_newline ();
   print_string (Conferr.Profile.render profile);
   print_newline ()

@@ -89,7 +89,7 @@ let () =
                  knowledge pool)\n\n"
     (List.length faultload) (List.length skill) (List.length rule)
     (List.length knowledge);
-  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios:faultload in
+  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios:faultload () in
   print_string (Conferr.Profile.render profile);
   print_newline ();
   print_string (Conferr.Profile.render_by_cognitive_level profile)

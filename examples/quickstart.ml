@@ -28,7 +28,7 @@ let () =
     sut.Suts.Sut.version;
 
   (* 3. Inject, run, classify. *)
-  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios in
+  let profile = Conferr.Engine.run_from ~sut ~base ~scenarios () in
 
   (* 4. The resilience profile is ConfErr's sole output. *)
   print_string (Conferr.Profile.render profile);

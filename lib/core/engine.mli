@@ -22,15 +22,29 @@ val serialize_config :
 val run_scenario :
   sut:Suts.Sut.t -> base:Conftree.Config_set.t -> Errgen.Scenario.t -> Outcome.t
 
+type config_error = { sut_name : string; message : string }
+(** The SUT's own default configuration failed to parse — a harness or
+    SUT-definition bug, reported structurally rather than as an
+    exception so callers can surface it without crashing. *)
+
+val config_error_to_string : config_error -> string
+
 val run :
-  sut:Suts.Sut.t -> scenarios:Errgen.Scenario.t list -> Profile.t
+  ?jobs:int -> sut:Suts.Sut.t -> scenarios:Errgen.Scenario.t list -> unit ->
+  (Profile.t, config_error) result
 (** Runs every scenario against the SUT's default configuration.
-    Raises [Invalid_argument] if the default configuration itself fails
-    to parse — a harness bug, not a SUT behaviour. *)
+    [jobs] (default 1) selects the number of worker domains; see
+    {!run_from} for the determinism guarantee. *)
 
 val run_from :
-  sut:Suts.Sut.t -> base:Conftree.Config_set.t -> scenarios:Errgen.Scenario.t list ->
-  Profile.t
+  ?jobs:int -> sut:Suts.Sut.t -> base:Conftree.Config_set.t ->
+  scenarios:Errgen.Scenario.t list -> unit -> Profile.t
+(** Campaign over an already-parsed base configuration.  The scenario
+    loop goes through {!Conferr_pool.map}: [jobs = 1] (default) is the
+    classic sequential path, [jobs > 1] shards scenarios across that
+    many domains.  Entries are always in scenario-list order and each
+    scenario's outcome is independent of scheduling, so the profile is
+    identical for any [jobs]. *)
 
 val baseline_ok : Suts.Sut.t -> (unit, string) result
 (** Sanity check: the unmodified default configuration must boot and

@@ -15,7 +15,7 @@ let table1 ?(seed = 42) ?(faultload = Campaign.paper_faultload) () =
     | Error msg -> invalid_arg msg
     | Ok base ->
       let scenarios = Campaign.typo_scenarios ~rng ~faultload sut base in
-      Engine.run_from ~sut ~base ~scenarios
+      Engine.run_from ~sut ~base ~scenarios ()
   in
   (* Apache's 98-directive default file makes deletions dominate its
      faultload (as in the paper, where Apache saw 120 injections against
@@ -203,7 +203,7 @@ let figure_dns ?(seed = 42) ?(experiments = 20) () =
         |> List.filter (fun (s : Errgen.Scenario.t) ->
                Conferr_util.Strutil.is_prefix ~prefix:"typo/value" s.class_name)
       in
-      Engine.run_from ~sut ~base ~scenarios
+      Engine.run_from ~sut ~base ~scenarios ()
   in
   [ profile_of Suts.Mini_bind.sut; profile_of Suts.Mini_djbdns.sut ]
 

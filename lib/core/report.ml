@@ -10,7 +10,7 @@ let profile_sections ~seed ~faultload sut =
   | Error msg -> ([ { title = "Error"; body = msg } ], [])
   | Ok base ->
     let scenarios = Campaign.typo_scenarios ~rng ~faultload sut base in
-    let profile = Engine.run_from ~sut ~base ~scenarios in
+    let profile = Engine.run_from ~sut ~base ~scenarios () in
     let ignored =
       List.filter_map
         (fun (e : Profile.entry) ->
@@ -56,7 +56,7 @@ let semantic_section ~codec sut =
       Dnsmodel.Rfc1912.scenarios ~codec ~faults:Dnsmodel.Rfc1912.all_faults base
       |> Errgen.Scenario.relabel_ids ~prefix:"semantic"
     in
-    let profile = Engine.run_from ~sut ~base ~scenarios in
+    let profile = Engine.run_from ~sut ~base ~scenarios () in
     { title = "Semantic errors (RFC-1912)"; body = Profile.render profile }
 
 let generate ?(seed = 42) ?(faultload = Campaign.paper_faultload)

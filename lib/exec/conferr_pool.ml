@@ -1,0 +1,65 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = 1) f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if jobs <= 1 then Array.mapi f a
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match f i a.(i) with
+           | r -> results.(i) <- Some r
+           | exception exn ->
+             (* keep only the first failure; racing CAS losers drop theirs *)
+             ignore
+               (Atomic.compare_and_set failure None
+                  (Some (exn, Printexc.get_raw_backtrace ()))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init
+        (min jobs n - 1)
+        (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    match Atomic.get failure with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+      Array.map
+        (function
+          | Some r -> r
+          | None -> invalid_arg "Conferr_pool.map: worker aborted before completion")
+        results
+  end
+
+let with_timeout ~timeout_s f =
+  let cell = Atomic.make None in
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        let r = match f () with v -> Ok v | exception exn -> Error exn in
+        Atomic.set cell (Some r))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait () =
+    match Atomic.get cell with
+    | Some (Ok v) -> Some v
+    | Some (Error exn) -> raise exn
+    | None ->
+      if Unix.gettimeofday () >= deadline then None
+      else begin
+        Thread.delay 0.002;
+        wait ()
+      end
+  in
+  wait ()

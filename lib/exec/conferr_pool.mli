@@ -1,0 +1,39 @@
+(** Fixed-size parallel worker pool over OCaml 5 domains.
+
+    The campaign hot loop is a pure map: each fault scenario is applied,
+    serialized, booted and tested independently of every other one, so a
+    campaign shards trivially across domains.  This module provides that
+    map while guaranteeing {e determinism}: results land in their input
+    slot, so the output array is identical whatever the interleaving —
+    [map ~jobs:4 f a] is byte-for-byte the same as [map ~jobs:1 f a].
+
+    The module is deliberately generic (no dependency on the engine) so
+    that [lib/core] can route its sequential path through the same
+    scheduler without a dependency cycle. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], the hardware-sized default. *)
+
+val map : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f a] computes [[| f 0 a.(0); ...; f (n-1) a.(n-1) |]].
+
+    With [jobs <= 1] (the default) every call runs in the current domain
+    in index order — the degenerate case is exactly the classic
+    sequential loop.  With [jobs > 1], [min jobs (length a)] domains pull
+    indices from a shared atomic counter; element results are written to
+    distinct slots, so no synchronization beyond the counter is needed.
+
+    If [f] raises, the first exception (in completion order) is
+    re-raised in the caller's domain after all workers have stopped
+    picking up new work. *)
+
+val with_timeout : timeout_s:float -> (unit -> 'a) -> 'a option
+(** [with_timeout ~timeout_s f] runs [f ()] in a watchdog thread and
+    waits at most [timeout_s] seconds for it to finish: [Some r] on
+    completion, [None] on timeout.  An exception in [f] is re-raised in
+    the caller.
+
+    On timeout the runaway thread is {e abandoned}, not killed (OCaml
+    threads are not cancellable); the caller should classify the
+    scenario and move on.  This bounds the damage of a pathological
+    mutation to one leaked thread rather than a hung campaign. *)

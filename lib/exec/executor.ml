@@ -1,0 +1,155 @@
+module Engine = Conferr.Engine
+module Outcome = Conferr.Outcome
+module Profile = Conferr.Profile
+module Scenario = Errgen.Scenario
+
+type settings = {
+  jobs : int;
+  timeout_s : float option;
+  retries : int;
+  campaign_seed : int;
+  journal_path : string option;
+  resume : bool;
+}
+
+let default_settings =
+  {
+    jobs = 1;
+    timeout_s = None;
+    retries = 0;
+    campaign_seed = 42;
+    journal_path = None;
+    resume = false;
+  }
+
+(* SplitMix64 finalizer (Stafford mix13), as in Conferr_util.Rng. *)
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let scenario_seed ~campaign_seed id =
+  let h = ref (Int64.mul (Int64.of_int campaign_seed) 0x9E3779B97F4A7C15L) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    id;
+  mix64 !h
+
+let timeout_outcome ~timeout_s ~attempts =
+  Outcome.Test_failure
+    [
+      Printf.sprintf "scenario timed out after %gs (%d attempt%s)" timeout_s attempts
+        (if attempts = 1 then "" else "s");
+    ]
+
+let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~sut
+    ~base ~scenarios () =
+  let arr = Array.of_list scenarios in
+  let total = Array.length arr in
+  let progress = Progress.create ~total in
+  let emit_lock = Mutex.create () in
+  let emit ev =
+    Progress.note progress ev;
+    Mutex.lock emit_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock emit_lock) (fun () -> on_event ev)
+  in
+  let journaled : (string, Journal.entry) Hashtbl.t = Hashtbl.create 64 in
+  (match settings.journal_path with
+   | Some path when settings.resume ->
+     List.iter
+       (fun (e : Journal.entry) -> Hashtbl.replace journaled e.scenario_id e)
+       (Journal.load path)
+   | _ -> ());
+  let resumed =
+    Array.fold_left
+      (fun n (s : Scenario.t) -> if Hashtbl.mem journaled s.id then n + 1 else n)
+      0 arr
+  in
+  if resumed > 0 then emit (Progress.Resumed { count = resumed });
+  let writer =
+    Option.map
+      (fun path -> Journal.open_append ~fresh:(not settings.resume) path)
+      settings.journal_path
+  in
+  let pending =
+    Array.to_list arr
+    |> List.mapi (fun i s -> (i, s))
+    |> List.filter (fun (_, (s : Scenario.t)) -> not (Hashtbl.mem journaled s.id))
+    |> Array.of_list
+  in
+  let run_one (index, (s : Scenario.t)) =
+    emit (Progress.Started { index; id = s.id });
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      match settings.timeout_s with
+      | None -> Engine.run_scenario ~sut ~base s
+      | Some timeout_s ->
+        let rec attempt k =
+          match
+            Conferr_pool.with_timeout ~timeout_s (fun () ->
+                Engine.run_scenario ~sut ~base s)
+          with
+          | Some outcome -> outcome
+          | None ->
+            emit (Progress.Timed_out { index; id = s.id; attempt = k });
+            if k <= settings.retries then attempt (k + 1)
+            else timeout_outcome ~timeout_s ~attempts:k
+        in
+        attempt 1
+    in
+    let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let entry =
+      {
+        Journal.scenario_id = s.id;
+        class_name = s.class_name;
+        description = s.description;
+        seed = scenario_seed ~campaign_seed:settings.campaign_seed s.id;
+        outcome;
+        elapsed_ms;
+      }
+    in
+    Option.iter (fun w -> Journal.append w entry) writer;
+    emit
+      (Progress.Finished
+         { index; id = s.id; label = Outcome.label outcome; elapsed_ms });
+    (index, entry)
+  in
+  let fresh =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Journal.close writer)
+      (fun () -> Conferr_pool.map ~jobs:settings.jobs (fun _ p -> run_one p) pending)
+  in
+  (* assemble the profile in scenario-list order, merging journaled and
+     freshly-run entries, then checkpoint the compacted journal *)
+  let slots = Array.make total None in
+  Array.iter (fun (index, entry) -> slots.(index) <- Some entry) fresh;
+  Array.iteri
+    (fun i (s : Scenario.t) ->
+      if slots.(i) = None then slots.(i) <- Hashtbl.find_opt journaled s.id)
+    arr;
+  let entries = List.filter_map Fun.id (Array.to_list slots) in
+  Option.iter (fun path -> Journal.checkpoint path entries) settings.journal_path;
+  let profile_entries =
+    List.map
+      (fun (e : Journal.entry) ->
+        {
+          Profile.scenario_id = e.scenario_id;
+          class_name = e.class_name;
+          description = e.description;
+          outcome = e.outcome;
+        })
+      entries
+  in
+  ( Profile.make ~sut_name:sut.Suts.Sut.sut_name profile_entries,
+    Progress.snapshot progress )
+
+let run ?settings ?on_event ~sut ~scenarios () =
+  match Engine.parse_default_config sut with
+  | Error message ->
+    Error { Engine.sut_name = sut.Suts.Sut.sut_name; message }
+  | Ok base -> Ok (run_from ?settings ?on_event ~sut ~base ~scenarios ())

@@ -1,0 +1,64 @@
+(** The campaign executor: parallel, resumable scenario execution.
+
+    This is the production path for running a faultload (see
+    [doc/exec.md]): it shards the scenario list across a fixed pool of
+    worker domains ({!Conferr_pool}), journals every finished injection
+    to an append-only JSONL file ({!Journal}), skips already-journaled
+    scenarios on restart, guards each scenario with a timeout, and
+    streams {!Progress} events.
+
+    Determinism: profile entries are always assembled in scenario-list
+    order and [Engine.run_scenario] is a pure function of the scenario,
+    so for a fixed faultload the resulting {!Conferr.Profile.t} is
+    identical for any [jobs] — [jobs = 1] {e is} the engine's classic
+    sequential loop. *)
+
+type settings = {
+  jobs : int;
+      (** worker domains; 1 = sequential in the calling domain *)
+  timeout_s : float option;
+      (** per-scenario deadline; [None] disables the watchdog *)
+  retries : int;
+      (** extra attempts after a timeout before classifying the
+          scenario as a functional failure *)
+  campaign_seed : int;
+      (** campaign-level seed; each scenario derives its own journaled
+          seed from it, independent of execution order *)
+  journal_path : string option;
+      (** JSONL journal location; [None] keeps results in memory only *)
+  resume : bool;
+      (** load [journal_path] and skip scenarios already recorded;
+          when false an existing journal is truncated *)
+}
+
+val default_settings : settings
+(** [{ jobs = 1; timeout_s = None; retries = 0; campaign_seed = 42;
+      journal_path = None; resume = false }] *)
+
+val scenario_seed : campaign_seed:int -> string -> int64
+(** Deterministic per-scenario seed, a hash of the campaign seed and the
+    scenario id — independent of scheduling, so parallel and sequential
+    runs journal identical seeds. *)
+
+val run_from :
+  ?settings:settings ->
+  ?on_event:(Progress.event -> unit) ->
+  sut:Suts.Sut.t ->
+  base:Conftree.Config_set.t ->
+  scenarios:Errgen.Scenario.t list ->
+  unit ->
+  Conferr.Profile.t * Progress.snapshot
+(** Execute the campaign against an already-parsed base configuration.
+    [on_event] (default {!Progress.log_event}) is invoked under a lock,
+    in completion order, from worker domains. *)
+
+val run :
+  ?settings:settings ->
+  ?on_event:(Progress.event -> unit) ->
+  sut:Suts.Sut.t ->
+  scenarios:Errgen.Scenario.t list ->
+  unit ->
+  (Conferr.Profile.t * Progress.snapshot, Conferr.Engine.config_error) result
+(** Like {!run_from} but parses the SUT's default configuration first;
+    a SUT whose own default config does not parse is reported as
+    [Error], never an exception. *)

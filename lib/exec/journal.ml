@@ -1,0 +1,120 @@
+module Outcome = Conferr.Outcome
+
+type entry = {
+  scenario_id : string;
+  class_name : string;
+  description : string;
+  seed : int64;
+  outcome : Outcome.t;
+  elapsed_ms : float;
+}
+
+(* The outcome is stored as its profile label plus the detail messages;
+   together they reconstruct the constructor exactly. *)
+let outcome_detail = function
+  | Outcome.Startup_failure msg -> [ msg ]
+  | Outcome.Test_failure msgs -> msgs
+  | Outcome.Passed -> []
+  | Outcome.Not_applicable msg -> [ msg ]
+
+let outcome_of_parts label detail =
+  match label with
+  | "startup" ->
+    Ok (Outcome.Startup_failure (match detail with m :: _ -> m | [] -> ""))
+  | "functional" -> Ok (Outcome.Test_failure detail)
+  | "ignored" -> Ok Outcome.Passed
+  | "n/a" ->
+    Ok (Outcome.Not_applicable (match detail with m :: _ -> m | [] -> ""))
+  | other -> Error (Printf.sprintf "unknown outcome label %S" other)
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("id", Json.Str e.scenario_id);
+      ("class", Json.Str e.class_name);
+      ("seed", Json.Str (Int64.to_string e.seed));
+      ("outcome", Json.Str (Outcome.label e.outcome));
+      ("detail", Json.Arr (List.map (fun m -> Json.Str m) (outcome_detail e.outcome)));
+      ("ms", Json.Num e.elapsed_ms);
+      ("desc", Json.Str e.description);
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let entry_of_json j =
+  let* scenario_id = field "id" Json.str j in
+  let* class_name = field "class" Json.str j in
+  let* description = field "desc" Json.str j in
+  let* seed_text = field "seed" Json.str j in
+  let* seed =
+    match Int64.of_string_opt seed_text with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "bad seed %S" seed_text)
+  in
+  let* label = field "outcome" Json.str j in
+  let* detail = field "detail" Json.str_list j in
+  let* outcome = outcome_of_parts label detail in
+  let* elapsed_ms = field "ms" Json.num j in
+  Ok { scenario_id; class_name; description; seed; outcome; elapsed_ms }
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error _ -> []
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec lines acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line ->
+            let acc =
+              if String.trim line = "" then acc
+              else
+                match Result.bind (Json.of_string line) entry_of_json with
+                | Ok e -> e :: acc
+                | Error _ -> acc (* torn or foreign line: tolerate *)
+            in
+            lines acc
+        in
+        lines [])
+
+type writer = { oc : out_channel; lock : Mutex.t }
+
+let open_append ?(fresh = false) path =
+  let flags =
+    if fresh then [ Open_wronly; Open_creat; Open_trunc ]
+    else [ Open_wronly; Open_creat; Open_append ]
+  in
+  { oc = open_out_gen flags 0o644 path; lock = Mutex.create () }
+
+let append w e =
+  let line = Json.to_string (entry_to_json e) in
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      output_string w.oc line;
+      output_char w.oc '\n';
+      flush w.oc)
+
+let close w = close_out_noerr w.oc
+
+let checkpoint path entries =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (Json.to_string (entry_to_json e));
+          output_char oc '\n')
+        entries;
+      flush oc);
+  Sys.rename tmp path

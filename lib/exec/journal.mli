@@ -1,0 +1,50 @@
+(** Persistent campaign journal: one JSON object per line (JSONL).
+
+    Every finished injection is appended (and flushed) as one line, so a
+    campaign killed mid-run loses at most the entry being written; on
+    restart the executor loads the journal and skips every scenario that
+    already has an entry.  Line format (see [doc/exec.md]):
+
+    {v
+    {"id":"typo-0001","class":"typo/name","seed":"8386958","outcome":"startup",
+     "detail":["unknown directive"],"ms":0.41,"desc":"omission of ..."}
+    v}
+
+    [seed] is the per-scenario RNG seed as a decimal [int64] string
+    (JSON numbers cannot carry 64 bits losslessly). *)
+
+type entry = {
+  scenario_id : string;
+  class_name : string;
+  description : string;
+  seed : int64;          (** per-scenario seed derived from the campaign seed *)
+  outcome : Conferr.Outcome.t;
+  elapsed_ms : float;    (** wall-clock time of the injection *)
+}
+
+val entry_to_json : entry -> Json.t
+val entry_of_json : Json.t -> (entry, string) result
+
+val load : string -> entry list
+(** Load every parseable entry, in file order.  A missing file is an
+    empty journal; a torn final line (the crash case) or any other
+    unparseable line is skipped rather than fatal. *)
+
+type writer
+(** Append handle; internally serialized, safe to share across the
+    worker domains of one executor run. *)
+
+val open_append : ?fresh:bool -> string -> writer
+(** Open (creating if needed) for appending.  [~fresh:true] truncates
+    first — used when starting a new campaign over an old journal. *)
+
+val append : writer -> entry -> unit
+(** Write one line and flush it to the OS. *)
+
+val close : writer -> unit
+
+val checkpoint : string -> entry list -> unit
+(** Atomically replace the journal with exactly [entries]
+    (write-then-rename to a [.tmp] sibling): compacts duplicate lines
+    from resumed runs and guarantees readers never observe a torn
+    file. *)

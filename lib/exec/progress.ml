@@ -1,0 +1,109 @@
+let src = Logs.Src.create "conferr.exec" ~doc:"ConfErr campaign executor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type event =
+  | Started of { index : int; id : string }
+  | Finished of { index : int; id : string; label : string; elapsed_ms : float }
+  | Timed_out of { index : int; id : string; attempt : int }
+  | Resumed of { count : int }
+
+type t = {
+  total : int;
+  t0 : float;
+  lock : Mutex.t;
+  mutable resumed : int;
+  mutable started : int;
+  mutable finished : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable by_label : (string * int) list;
+}
+
+let create ~total =
+  {
+    total;
+    t0 = Unix.gettimeofday ();
+    lock = Mutex.create ();
+    resumed = 0;
+    started = 0;
+    finished = 0;
+    timeouts = 0;
+    retries = 0;
+    by_label = [];
+  }
+
+let bump_label counts label =
+  let n = Option.value ~default:0 (List.assoc_opt label counts) in
+  (label, n + 1) :: List.remove_assoc label counts
+
+let note t event =
+  Mutex.lock t.lock;
+  (match event with
+   | Started _ -> t.started <- t.started + 1
+   | Finished { label; _ } ->
+     t.finished <- t.finished + 1;
+     t.by_label <- bump_label t.by_label label
+   | Timed_out { attempt; _ } ->
+     t.timeouts <- t.timeouts + 1;
+     if attempt > 1 then t.retries <- t.retries + 1
+   | Resumed { count } -> t.resumed <- t.resumed + count);
+  Mutex.unlock t.lock
+
+type snapshot = {
+  total : int;
+  resumed : int;
+  started : int;
+  finished : int;
+  timeouts : int;
+  retries : int;
+  by_label : (string * int) list;
+  elapsed_s : float;
+  rate : float;
+}
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let elapsed_s = Unix.gettimeofday () -. t.t0 in
+  let s =
+    {
+      total = t.total;
+      resumed = t.resumed;
+      started = t.started;
+      finished = t.finished;
+      timeouts = t.timeouts;
+      retries = t.retries;
+      by_label = List.sort compare t.by_label;
+      elapsed_s;
+      rate = (if elapsed_s > 0. then float_of_int t.finished /. elapsed_s else 0.);
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let render s =
+  let labels =
+    if s.by_label = [] then "-"
+    else
+      String.concat ", "
+        (List.map (fun (l, n) -> Printf.sprintf "%s %d" l n) s.by_label)
+  in
+  String.concat "\n"
+    [
+      "Campaign execution";
+      Printf.sprintf "  scenarios: %d total, %d run, %d resumed from journal"
+        s.total s.finished s.resumed;
+      Printf.sprintf "  outcomes:  %s" labels;
+      Printf.sprintf "  timeouts:  %d (%d retried)" s.timeouts s.retries;
+      Printf.sprintf "  wall time: %.2fs (%.0f scenarios/s)" s.elapsed_s s.rate;
+      "";
+    ]
+
+let log_event = function
+  | Started { index; id } -> Log.debug (fun m -> m "start %s (#%d)" id index)
+  | Finished { id; label; elapsed_ms; _ } ->
+    Log.debug (fun m -> m "done  %s [%s] %.2fms" id label elapsed_ms)
+  | Timed_out { id; attempt; _ } ->
+    Log.warn (fun m -> m "timeout %s (attempt %d)" id attempt)
+  | Resumed { count } ->
+    Log.info (fun m -> m "resumed %d scenario(s) from journal" count)

@@ -1,0 +1,45 @@
+(** Structured progress for a running campaign.
+
+    Workers report events as scenarios start and finish; the tracker
+    folds them into counters (thread-safe, shared across domains) that
+    can be snapshotted at any time for a live display and are rendered
+    as the final "execution" section of a report.  Events are also
+    surfaced through {!Logs} (source ["conferr.exec"]) so [-v] shows the
+    campaign advancing. *)
+
+type event =
+  | Started of { index : int; id : string }
+  | Finished of { index : int; id : string; label : string; elapsed_ms : float }
+  | Timed_out of { index : int; id : string; attempt : int }
+      (** the scenario exceeded its deadline on [attempt] (1-based);
+          it is retried while attempts remain, then classified *)
+  | Resumed of { count : int }
+      (** [count] scenarios were restored from the journal, not re-run *)
+
+type t
+
+val create : total:int -> t
+(** [total] is the campaign size, including journaled scenarios. *)
+
+val note : t -> event -> unit
+
+type snapshot = {
+  total : int;
+  resumed : int;
+  started : int;
+  finished : int;        (** completed this run (excludes resumed) *)
+  timeouts : int;        (** timeout events, including retried attempts *)
+  retries : int;         (** re-runs after a timeout *)
+  by_label : (string * int) list;  (** finished outcomes per label, sorted *)
+  elapsed_s : float;     (** wall time since [create] *)
+  rate : float;          (** finished scenarios per second, 0 when idle *)
+}
+
+val snapshot : t -> snapshot
+
+val render : snapshot -> string
+(** Human-readable summary block, e.g. for the end of a CLI run. *)
+
+val log_event : event -> unit
+(** Default event sink: one [Logs] line per event (debug for
+    start/finish, info for resume, warning for timeouts). *)

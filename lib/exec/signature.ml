@@ -1,0 +1,111 @@
+module Outcome = Conferr.Outcome
+module Profile = Conferr.Profile
+module Texttable = Conferr_util.Texttable
+
+type key = { class_name : string; label : string; message : string }
+
+type cluster = {
+  key : key;
+  count : int;
+  scenario_ids : string list;
+  example : string;
+}
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let normalize s =
+  let s = String.lowercase_ascii s in
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '"' || c = '\'' then begin
+      (* mask the whole quoted span when it closes; otherwise keep the
+         bare quote so an unbalanced message stays recognizable *)
+      match String.index_from_opt s (!i + 1) c with
+      | Some close ->
+        Buffer.add_string buf "<q>";
+        i := close + 1
+      | None ->
+        Buffer.add_char buf c;
+        incr i
+    end
+    else if is_digit c then begin
+      Buffer.add_char buf '#';
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done
+    end
+    else if is_space c then begin
+      Buffer.add_char buf ' ';
+      while !i < n && is_space s.[!i] do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  String.trim (Buffer.contents buf)
+
+let outcome_message = function
+  | Outcome.Startup_failure msg -> msg
+  | Outcome.Test_failure msgs -> String.concat "; " msgs
+  | Outcome.Passed -> ""
+  | Outcome.Not_applicable msg -> msg
+
+let of_entry (e : Profile.entry) =
+  {
+    class_name = e.class_name;
+    label = Outcome.label e.outcome;
+    message = normalize (outcome_message e.outcome);
+  }
+
+let clusters entries =
+  let tbl : (key, Profile.entry list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Profile.entry) ->
+      let k = of_entry e in
+      let members = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (e :: members))
+    entries;
+  Hashtbl.fold
+    (fun key members acc ->
+      let members =
+        List.sort
+          (fun (a : Profile.entry) b -> compare a.scenario_id b.scenario_id)
+          members
+      in
+      let example =
+        match members with e :: _ -> e.description | [] -> ""
+      in
+      {
+        key;
+        count = List.length members;
+        scenario_ids = List.map (fun (e : Profile.entry) -> e.scenario_id) members;
+        example;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         match compare b.count a.count with 0 -> compare a.key b.key | c -> c)
+
+let render cs =
+  let row c =
+    [
+      string_of_int c.count;
+      c.key.class_name;
+      c.key.label;
+      (if c.key.message = "" then "-" else c.key.message);
+      c.example;
+    ]
+  in
+  Printf.sprintf "%d distinct failure signatures\n%s" (List.length cs)
+    (Texttable.render
+       ~aligns:[ Texttable.Right; Left; Left; Left; Left ]
+       ~header:[ "count"; "fault class"; "outcome"; "signature"; "example" ]
+       (List.map row cs))

@@ -1,0 +1,39 @@
+(** Outcome signatures: dedup/cluster a large profile into failure modes.
+
+    A 10k-injection campaign rarely exhibits 10k distinct behaviours —
+    most entries are the same parser error with a different directive
+    name or line number baked into the message.  A signature abstracts
+    an entry to [(fault class, outcome label, normalized message)]; the
+    normalizer masks the volatile fragments (numbers, quoted tokens,
+    whitespace), so entries that differ only in those collapse into one
+    cluster.  This is the flat, order-independent analogue of Ocasta's
+    behaviour clustering (arXiv:1711.04030). *)
+
+type key = {
+  class_name : string;  (** scenario class, e.g. ["typo/value"] *)
+  label : string;       (** outcome label: startup/functional/ignored/n/a *)
+  message : string;     (** normalized outcome message *)
+}
+
+type cluster = {
+  key : key;
+  count : int;
+  scenario_ids : string list;  (** members, sorted *)
+  example : string;            (** description of the smallest-id member *)
+}
+
+val normalize : string -> string
+(** Lowercase; mask digit runs as [#], single- or double-quoted spans as
+    [<q>], and collapse whitespace runs — ["unknown key \"Prot\" on line 42"]
+    and ["unknown key \"prot2\" on line 7"] normalize identically. *)
+
+val of_entry : Conferr.Profile.entry -> key
+
+val clusters : Conferr.Profile.entry list -> cluster list
+(** Group entries by signature.  The result is a pure function of the
+    entry {e set}: reordering the input changes nothing (clusters are
+    sorted by descending size then key; members and examples are chosen
+    by smallest scenario id). *)
+
+val render : cluster list -> string
+(** Table: count, class, outcome, normalized message, example. *)

@@ -18,7 +18,7 @@ let profile_fingerprint seed =
       Conferr.Campaign.typo_scenarios ~rng
         ~faultload:Conferr.Campaign.paper_faultload sut base
     in
-    let profile = Conferr.Engine.run_from ~sut ~base ~scenarios in
+    let profile = Conferr.Engine.run_from ~sut ~base ~scenarios () in
     List.map
       (fun (e : Conferr.Profile.entry) ->
         (e.scenario_id, Conferr.Outcome.label e.outcome))

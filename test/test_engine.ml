@@ -90,9 +90,14 @@ let test_serialization_failure_is_na () =
          (Conferr_util.Strutil.contains_substring ~needle:"nested" msg)
      | o -> Alcotest.failf "expected N/A, got %s" (Outcome.label o))
 
+let run_ok ~sut ~scenarios =
+  match Engine.run ~sut ~scenarios () with
+  | Ok profile -> profile
+  | Error e -> Alcotest.fail (Engine.config_error_to_string e)
+
 let test_run_builds_profile () =
   let scenarios = [ noop_scenario; failing_scenario; break_port_scenario ] in
-  let profile = Engine.run ~sut:Suts.Mini_pg.sut ~scenarios in
+  let profile = run_ok ~sut:Suts.Mini_pg.sut ~scenarios in
   let summary = Conferr.Profile.summarize profile in
   Alcotest.(check int) "applicable" 2 summary.Conferr.Profile.total;
   Alcotest.(check int) "startup" 1 summary.Conferr.Profile.startup;
@@ -150,7 +155,7 @@ let test_outcome_helpers () =
   Alcotest.(check string) "labels" "ignored" (Outcome.label Outcome.Passed)
 
 let test_profile_rendering () =
-  let profile = Engine.run ~sut:Suts.Mini_pg.sut ~scenarios:[ break_port_scenario ] in
+  let profile = run_ok ~sut:Suts.Mini_pg.sut ~scenarios:[ break_port_scenario ] in
   let text = Conferr.Profile.render profile in
   Alcotest.(check bool) "mentions the SUT" true
     (Conferr_util.Strutil.contains_substring ~needle:"postgres" text);
@@ -160,7 +165,7 @@ let test_profile_rendering () =
 
 let test_profile_class_filter () =
   let scenarios = [ noop_scenario; break_port_scenario ] in
-  let profile = Engine.run ~sut:Suts.Mini_pg.sut ~scenarios in
+  let profile = run_ok ~sut:Suts.Mini_pg.sut ~scenarios in
   let s = Conferr.Profile.summarize_class profile "test/port" in
   Alcotest.(check int) "only that class" 1 s.Conferr.Profile.total;
   Alcotest.(check (list string))
@@ -230,9 +235,42 @@ let test_raising_scenario_classified () =
       (Conferr_util.Strutil.contains_substring ~needle:"raised" msg)
   | o -> Alcotest.failf "expected N/A, got %s" (Outcome.label o)
 
+let test_bad_default_config_reported () =
+  (* a SUT whose own default config does not parse is a harness bug: it
+     must surface as a structured error, not an exception *)
+  let sut =
+    {
+      (crashing_sut `Boot) with
+      Suts.Sut.sut_name = "misdeclared";
+      (* no content for the declared file: parsing cannot succeed *)
+      default_config = [];
+    }
+  in
+  match Engine.run ~sut ~scenarios:[ noop_scenario ] () with
+  | Ok _ -> Alcotest.fail "expected a config error"
+  | Error e ->
+    Alcotest.(check string) "names the SUT" "misdeclared" e.Engine.sut_name;
+    Alcotest.(check bool) "explains the failure" true
+      (String.length (Engine.config_error_to_string e) > 0)
+
+let test_run_from_parallel_matches_sequential () =
+  let scenarios = [ noop_scenario; failing_scenario; break_port_scenario ] in
+  let base = pg_base () in
+  let seq = Engine.run_from ~jobs:1 ~sut:Suts.Mini_pg.sut ~base ~scenarios () in
+  let par = Engine.run_from ~jobs:4 ~sut:Suts.Mini_pg.sut ~base ~scenarios () in
+  Alcotest.(check string) "identical rendering"
+    (Conferr.Profile.render seq) (Conferr.Profile.render par);
+  Alcotest.(check (list string)) "identical entry order"
+    (List.map (fun (e : Conferr.Profile.entry) -> e.scenario_id) seq.entries)
+    (List.map (fun (e : Conferr.Profile.entry) -> e.scenario_id) par.entries)
+
 let suite =
   [
     Alcotest.test_case "baselines green" `Quick test_baselines;
+    Alcotest.test_case "bad default config reported" `Quick
+      test_bad_default_config_reported;
+    Alcotest.test_case "parallel run_from matches sequential" `Quick
+      test_run_from_parallel_matches_sequential;
     Alcotest.test_case "crash during boot" `Quick test_crash_during_boot_classified;
     Alcotest.test_case "crash during tests" `Quick test_crash_during_tests_classified;
     Alcotest.test_case "raising scenario" `Quick test_raising_scenario_classified;

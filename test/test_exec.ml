@@ -1,0 +1,267 @@
+(* The campaign executor: parallel == sequential, journal resume, and
+   signature clustering (ISSUE 1 acceptance criteria). *)
+
+module Engine = Conferr.Engine
+module Profile = Conferr.Profile
+module Outcome = Conferr.Outcome
+module Executor = Conferr_exec.Executor
+module Journal = Conferr_exec.Journal
+module Signature = Conferr_exec.Signature
+module Progress = Conferr_exec.Progress
+module Json = Conferr_exec.Json
+module Scenario = Errgen.Scenario
+
+let sut = Suts.Mini_pg.sut
+
+let base () =
+  match Engine.parse_default_config sut with
+  | Ok base -> base
+  | Error msg -> Alcotest.failf "postgres default config: %s" msg
+
+(* Regenerating with the same seed gives the same faultload — the
+   scenario list itself is deterministic, so campaigns are comparable. *)
+let scenarios base =
+  Conferr.Campaign.typo_scenarios
+    ~rng:(Conferr_util.Rng.create 7)
+    ~faultload:Conferr.Campaign.paper_faultload sut base
+
+let silent (_ : Progress.event) = ()
+
+let profile_ids (p : Profile.t) =
+  List.map (fun (e : Profile.entry) -> e.Profile.scenario_id) p.entries
+
+let temp_journal () =
+  let path = Filename.temp_file "conferr_exec_test" ".jsonl" in
+  Sys.remove path;
+  path
+
+(* -------------------------------------------------------------- *)
+(* (a) parallel profile equals sequential profile                  *)
+(* -------------------------------------------------------------- *)
+
+let test_parallel_equals_sequential () =
+  let base = base () in
+  let scenarios = scenarios base in
+  let seq = Engine.run_from ~jobs:1 ~sut ~base ~scenarios () in
+  let par, snapshot =
+    Executor.run_from
+      ~settings:{ Executor.default_settings with jobs = 4 }
+      ~on_event:silent ~sut ~base ~scenarios ()
+  in
+  Alcotest.(check string) "rendered profiles identical" (Profile.render seq)
+    (Profile.render par);
+  Alcotest.(check string) "csv identical" (Profile.to_csv seq) (Profile.to_csv par);
+  Alcotest.(check (list string)) "entry order identical" (profile_ids seq)
+    (profile_ids par);
+  Alcotest.(check int) "all scenarios executed" (List.length scenarios)
+    snapshot.Progress.finished
+
+(* -------------------------------------------------------------- *)
+(* (b) a journal written by a killed run resumes to the same profile *)
+(* -------------------------------------------------------------- *)
+
+let test_journal_resume () =
+  let base = base () in
+  let scenarios = scenarios base in
+  let n = List.length scenarios in
+  Alcotest.(check bool) "faultload is non-trivial" true (n > 20);
+  let reference, _ =
+    Executor.run_from ~on_event:silent ~sut ~base ~scenarios ()
+  in
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* "kill" the first run after half the campaign: only feed it the
+         first half of the scenario list *)
+      let half = List.filteri (fun i _ -> i < n / 2) scenarios in
+      let _ =
+        Executor.run_from
+          ~settings:{ Executor.default_settings with journal_path = Some path }
+          ~on_event:silent ~sut ~base ~scenarios:half ()
+      in
+      (* simulate the torn final line of a crash mid-append *)
+      let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+      output_string oc "{\"id\":\"typo-9999\",\"class\":\"ty";
+      close_out oc;
+      let resumed, snapshot =
+        Executor.run_from
+          ~settings:
+            {
+              Executor.default_settings with
+              jobs = 2;
+              journal_path = Some path;
+              resume = true;
+            }
+          ~on_event:silent ~sut ~base ~scenarios ()
+      in
+      Alcotest.(check int) "first half resumed from journal" (n / 2)
+        snapshot.Progress.resumed;
+      Alcotest.(check int) "second half executed" (n - (n / 2))
+        snapshot.Progress.finished;
+      Alcotest.(check string) "resumed profile equals uninterrupted run"
+        (Profile.render reference) (Profile.render resumed);
+      Alcotest.(check (list string)) "entry order preserved"
+        (profile_ids reference) (profile_ids resumed);
+      (* the checkpoint compacted the journal: every scenario exactly once *)
+      let entries = Journal.load path in
+      Alcotest.(check int) "journal holds the whole campaign" n
+        (List.length entries);
+      Alcotest.(check (list string)) "journal in scenario order"
+        (List.map (fun (s : Scenario.t) -> s.id) scenarios)
+        (List.map (fun (e : Journal.entry) -> e.Journal.scenario_id) entries))
+
+(* -------------------------------------------------------------- *)
+(* (c) signature clustering is stable under entry reordering       *)
+(* -------------------------------------------------------------- *)
+
+let cluster_testable =
+  Alcotest.testable
+    (fun fmt (c : Signature.cluster) ->
+      Format.fprintf fmt "%d x %s/%s/%s [%s]" c.count c.key.class_name
+        c.key.label c.key.message
+        (String.concat "," c.scenario_ids))
+    ( = )
+
+let test_signature_stability () =
+  let base = base () in
+  let profile, _ =
+    Executor.run_from ~on_event:silent ~sut ~base ~scenarios:(scenarios base) ()
+  in
+  let entries = profile.Profile.entries in
+  let forward = Signature.clusters entries in
+  let reversed = Signature.clusters (List.rev entries) in
+  let shuffled =
+    Signature.clusters (Conferr_util.Rng.shuffle (Conferr_util.Rng.create 3) entries)
+  in
+  Alcotest.(check (list cluster_testable)) "reversal invariant" forward reversed;
+  Alcotest.(check (list cluster_testable)) "shuffle invariant" forward shuffled;
+  (* clusters compress: far fewer signatures than entries, none empty *)
+  Alcotest.(check bool) "compresses the profile" true
+    (List.length forward < List.length entries / 2);
+  List.iter
+    (fun (c : Signature.cluster) ->
+      Alcotest.(check int) "count matches members" c.count
+        (List.length c.scenario_ids))
+    forward
+
+let test_normalize () =
+  Alcotest.(check string) "masks digits and quotes"
+    (Signature.normalize "unknown key \"Prot\" on line 42")
+    (Signature.normalize "unknown key 'listen2'   on line 7");
+  Alcotest.(check string) "collapses whitespace" "a b"
+    (Signature.normalize "  A \t B  ")
+
+(* -------------------------------------------------------------- *)
+(* Supporting machinery                                            *)
+(* -------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("id", Json.Str "typo-0001");
+        ("weird", Json.Str "a\"b\\c\nd\te\x07f");
+        ("n", Json.Num 3.25);
+        ("xs", Json.Arr [ Json.Str "x"; Json.Str "y" ]);
+        ("flag", Json.Bool true);
+        ("nothing", Json.Null);
+      ]
+  in
+  let text = Json.to_string v in
+  Alcotest.(check bool) "one line" false (String.contains text '\n');
+  (match Json.of_string text with
+   | Ok v' -> Alcotest.(check bool) "roundtrips" true (v = v')
+   | Error e -> Alcotest.failf "parse: %s" e);
+  (match Json.of_string "{\"torn\":" with
+   | Ok _ -> Alcotest.fail "torn JSON must not parse"
+   | Error _ -> ())
+
+let test_journal_entry_roundtrip () =
+  List.iter
+    (fun outcome ->
+      let e =
+        {
+          Journal.scenario_id = "typo-0042";
+          class_name = "typo/value";
+          description = "substitute 'x' in \"key\"";
+          seed = -3482680871274110419L;
+          outcome;
+          elapsed_ms = 0.25;
+        }
+      in
+      match Journal.entry_of_json (Journal.entry_to_json e) with
+      | Ok e' -> Alcotest.(check bool) "entry roundtrips" true (e = e')
+      | Error msg -> Alcotest.failf "decode: %s" msg)
+    [
+      Outcome.Passed;
+      Outcome.Startup_failure "bad directive";
+      Outcome.Test_failure [ "t1 failed"; "t2 failed" ];
+      Outcome.Not_applicable "inexpressible";
+    ]
+
+let test_scenario_seed_deterministic () =
+  let a = Executor.scenario_seed ~campaign_seed:42 "typo-0001" in
+  let b = Executor.scenario_seed ~campaign_seed:42 "typo-0001" in
+  let c = Executor.scenario_seed ~campaign_seed:42 "typo-0002" in
+  let d = Executor.scenario_seed ~campaign_seed:43 "typo-0001" in
+  Alcotest.(check bool) "stable" true (a = b);
+  Alcotest.(check bool) "id-sensitive" true (a <> c);
+  Alcotest.(check bool) "seed-sensitive" true (a <> d)
+
+let test_pool_map () =
+  let input = Array.init 100 Fun.id in
+  let seq = Conferr_pool.map ~jobs:1 (fun i x -> i * x) input in
+  let par = Conferr_pool.map ~jobs:4 (fun i x -> i * x) input in
+  Alcotest.(check bool) "deterministic slots" true (seq = par);
+  Alcotest.(check bool) "empty input" true (Conferr_pool.map ~jobs:4 (fun _ x -> x) [||] = [||])
+
+let test_pool_timeout () =
+  (match Conferr_pool.with_timeout ~timeout_s:5.0 (fun () -> 1 + 1) with
+   | Some 2 -> ()
+   | Some n -> Alcotest.failf "unexpected %d" n
+   | None -> Alcotest.fail "fast work must not time out");
+  match
+    Conferr_pool.with_timeout ~timeout_s:0.05 (fun () ->
+        Thread.delay 5.0;
+        0)
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "sleeping work must time out"
+
+let test_executor_timeout_classified () =
+  let base = base () in
+  let hang =
+    Scenario.make ~id:"hang-0001" ~class_name:"test/hang"
+      ~description:"pathological mutation that never terminates" (fun _ ->
+        Thread.delay 60.0;
+        Error "unreachable")
+  in
+  let events = ref [] in
+  let profile, snapshot =
+    Executor.run_from
+      ~settings:{ Executor.default_settings with timeout_s = Some 0.05 }
+      ~on_event:(fun e -> events := e :: !events)
+      ~sut ~base ~scenarios:[ hang ] ()
+  in
+  Alcotest.(check int) "timeout counted" 1 snapshot.Progress.timeouts;
+  match (Profile.summarize profile).Profile.functional with
+  | 1 -> ()
+  | n -> Alcotest.failf "expected 1 functional failure, got %d" n
+
+let suite =
+  [
+    Alcotest.test_case "parallel equals sequential" `Quick
+      test_parallel_equals_sequential;
+    Alcotest.test_case "journal resume" `Quick test_journal_resume;
+    Alcotest.test_case "signature stability" `Quick test_signature_stability;
+    Alcotest.test_case "signature normalization" `Quick test_normalize;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "journal entry roundtrip" `Quick test_journal_entry_roundtrip;
+    Alcotest.test_case "scenario seeds deterministic" `Quick
+      test_scenario_seed_deterministic;
+    Alcotest.test_case "pool map" `Quick test_pool_map;
+    Alcotest.test_case "pool timeout" `Quick test_pool_timeout;
+    Alcotest.test_case "executor classifies timeouts" `Quick
+      test_executor_timeout_classified;
+  ]

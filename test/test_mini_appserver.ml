@@ -132,7 +132,7 @@ let test_typo_campaign_runs () =
       |> Errgen.Template.sample rng 10
     in
     Alcotest.(check bool) "scenarios exist" true (scenarios <> []);
-    let profile = Conferr.Engine.run_from ~sut:A.sut ~base ~scenarios in
+    let profile = Conferr.Engine.run_from ~sut:A.sut ~base ~scenarios () in
     let s = Conferr.Profile.summarize profile in
     Alcotest.(check bool) "ran" true (s.Conferr.Profile.total > 0)
 
