@@ -8,14 +8,20 @@ build:
 test:
 	dune runtest
 
-# A small campaign through the parallel executor with a journal, twice:
-# the second run must resume from the first's journal and do no work.
+# Two smoke campaigns through the CLI, each run twice so the second run
+# must resume from the first's journal and re-execute nothing:
+#   1. a fixed faultload through the parallel executor (profile);
+#   2. a small feedback-directed search (explore).
 smoke: build
-	rm -f /tmp/conferr.jsonl
+	rm -f /tmp/conferr.jsonl /tmp/conferr-explore.jsonl
 	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
 	  --journal /tmp/conferr.jsonl --stats
 	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
 	  --journal /tmp/conferr.jsonl --resume --stats
+	dune exec bin/main.exe -- explore --sut postgres --jobs 2 \
+	  --budget 48 --batch 16 --journal /tmp/conferr-explore.jsonl --stats
+	dune exec bin/main.exe -- explore --sut postgres --jobs 2 \
+	  --budget 48 --batch 16 --journal /tmp/conferr-explore.jsonl --resume --stats
 
 check: build test smoke
 

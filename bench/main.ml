@@ -116,6 +116,19 @@ let print_ablations () =
    down — which is why 1 stays the default for --jobs. *)
 let print_executor_scaling () =
   print_endline "=== Executor scaling (typo faultload of section 5.2) ===\n";
+  if Conferr_pool.recommended_jobs () = 1 then begin
+    (* every OCaml 5 minor collection synchronizes all domains, so extra
+       domains without extra cores measure GC lockstep, not scaling — a
+       recorded "slowdown" here would be an artifact of the host, not of
+       the executor *)
+    print_endline
+      "  skipped: single-core host (recommended_jobs = 1) — oversubscribed";
+    print_endline
+      "  domains only measure GC synchronization overhead, not scaling.";
+    print_endline "  Re-run on a multi-core machine for speedup numbers.";
+    print_newline ()
+  end
+  else begin
   let sut = Suts.Mini_pg.sut in
   let base =
     match Conferr.Engine.parse_default_config sut with
@@ -132,9 +145,6 @@ let print_executor_scaling () =
   let cores = Domain.recommended_domain_count () in
   Printf.printf "  scenarios: %d, cores available: %d\n%!"
     (List.length scenarios) cores;
-  if cores < 2 then
-    print_endline
-      "  (single-core host: expect a slowdown, not a speedup — see comment)";
   let time_run jobs =
     let settings = { Conferr_exec.Executor.default_settings with jobs } in
     let silent _ = () in
@@ -158,6 +168,65 @@ let print_executor_scaling () =
       Printf.printf "  %d domain(s): %8.2f ms   speedup %.2fx\n%!" jobs (t *. 1e3)
         (sequential /. t))
     [ 2; 4 ];
+  print_newline ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive vs exhaustive signature discovery (lib/adapt)               *)
+(* ------------------------------------------------------------------ *)
+
+(* How many SUT runs does each strategy spend to find the distinct
+   failure signatures of the paper's typo faultload?  The exhaustive
+   campaign executes every scenario; the adaptive loop skips
+   byte-identical mutants and stops when discovery plateaus (see
+   doc/adapt.md).  Counts, not wall-clock, so the section is meaningful
+   on any host. *)
+let print_adaptive_discovery () =
+  print_endline "=== Adaptive vs exhaustive signature discovery ===\n";
+  List.iter
+    (fun (name, sut) ->
+      let base =
+        match Conferr.Engine.parse_default_config sut with
+        | Ok base -> base
+        | Error msg -> failwith msg
+      in
+      let scenarios =
+        Conferr.Campaign.typo_scenarios
+          ~rng:(Conferr_util.Rng.create seed)
+          ~faultload:Conferr.Campaign.paper_faultload sut base
+      in
+      let profile = Conferr.Engine.run_from ~sut ~base ~scenarios () in
+      let exhaustive_sigs =
+        List.length
+          (Conferr_exec.Signature.clusters profile.Conferr.Profile.entries)
+      in
+      let stream =
+        Errgen.Gen.of_generator ~rounds:1 ~prefix:"typo" ~seed
+          (fun ~rng set ->
+            Conferr.Campaign.typo_scenarios ~rng
+              ~faultload:Conferr.Campaign.paper_faultload sut set)
+          base
+      in
+      let settings =
+        {
+          Conferr_adapt.Explore.default_settings with
+          batch = 16;
+          campaign_seed = seed;
+        }
+      in
+      let r =
+        Conferr_adapt.Explore.run_from ~settings ~on_event:(fun _ -> ()) ~sut
+          ~base ~stream ()
+      in
+      Printf.printf
+        "  %-10s exhaustive: %3d runs -> %2d signatures | adaptive: %3d runs \
+         (%d dup-skipped, %d n/a) -> %2d signatures in %d batches\n"
+        name (List.length scenarios) exhaustive_sigs
+        r.Conferr_adapt.Explore.executed r.Conferr_adapt.Explore.duplicates
+        r.Conferr_adapt.Explore.not_applicable
+        (List.length r.Conferr_adapt.Explore.frontier)
+        r.Conferr_adapt.Explore.batches)
+    [ ("postgres", Suts.Mini_pg.sut); ("bind", Suts.Mini_bind.sut) ];
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -317,4 +386,5 @@ let () =
   print_tables ();
   print_ablations ();
   print_executor_scaling ();
+  print_adaptive_discovery ();
   print_benchmarks ()

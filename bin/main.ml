@@ -96,7 +96,18 @@ let stats_arg =
     value & flag
     & info [ "stats" ] ~doc:"Also print campaign execution statistics.")
 
+(* --resume without --journal used to be silently ignored (there is
+   nothing to resume from); fail loudly instead. *)
+let require_journal_for_resume ~journal ~resume =
+  if resume && journal = None then begin
+    prerr_endline
+      "conferr: --resume requires --journal PATH (there is no journal to \
+       resume from)";
+    exit 2
+  end
+
 let executor_settings ~jobs ~seed ~journal ~resume ~timeout ~retries =
+  require_journal_for_resume ~journal ~resume;
   {
     Conferr_exec.Executor.jobs =
       (if jobs <= 0 then Conferr_pool.recommended_jobs () else jobs);
@@ -302,6 +313,101 @@ let semantic_cmd =
       const run $ sut $ entries_arg $ jobs_arg $ journal_arg $ resume_arg
       $ stats_arg)
 
+let explore_cmd =
+  let run sut seed entries verbose jobs journal resume timeout retries budget
+      batch plateau wallclock stats =
+    setup_logging verbose;
+    require_journal_for_resume ~journal ~resume;
+    let settings =
+      {
+        Conferr_adapt.Explore.jobs =
+          (if jobs <= 0 then Conferr_pool.recommended_jobs () else jobs);
+        batch;
+        budget;
+        plateau;
+        wallclock_s = wallclock;
+        timeout_s = timeout;
+        retries;
+        campaign_seed = seed;
+        journal_path = journal;
+        resume;
+      }
+    in
+    let stream base =
+      Errgen.Gen.of_generator ~prefix:"typo" ~seed
+        (fun ~rng set ->
+          Conferr.Campaign.typo_scenarios ~rng
+            ~faultload:Conferr.Campaign.paper_faultload sut set)
+        base
+    in
+    match
+      (try Conferr_adapt.Explore.run ~settings ~sut ~stream () with
+       | Sys_error msg ->
+         Printf.eprintf "conferr: %s\n" msg;
+         exit 1)
+    with
+    | Error e ->
+      prerr_endline (Conferr.Engine.config_error_to_string e);
+      exit 1
+    | Ok report ->
+      print_string (Conferr_adapt.Explore.render report);
+      if entries then begin
+        print_newline ();
+        print_string
+          (Conferr.Profile.render_entries report.Conferr_adapt.Explore.profile)
+      end;
+      if stats then begin
+        print_newline ();
+        print_string (Conferr.Profile.render report.Conferr_adapt.Explore.profile)
+      end
+  in
+  let sut =
+    Arg.(
+      required
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT" ~doc:"System under test.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) SUT executions (duplicates and journaled \
+             results are free; checked at batch boundaries).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"N" ~doc:"Scenarios scheduled per batch.")
+  in
+  let plateau =
+    Arg.(
+      value & opt int 4
+      & info [ "plateau" ] ~docv:"K"
+          ~doc:
+            "Stop after $(docv) consecutive batches discover no new failure \
+             signature (0 disables the rule).")
+  in
+  let wallclock =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "wallclock" ] ~docv:"SECONDS"
+          ~doc:"Stop at the first batch boundary past $(docv) seconds.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Coverage-guided campaign search: stream typo scenarios, skip \
+          byte-identical mutants, and steer batches toward fault classes \
+          that keep discovering new failure signatures (doc/adapt.md). \
+          Deterministic for a fixed seed, any --jobs.")
+    Term.(
+      const run $ sut $ seed_arg $ entries_arg $ verbose_arg $ jobs_arg
+      $ journal_arg $ resume_arg $ timeout_arg $ retries_arg $ budget $ batch
+      $ plateau $ wallclock $ stats_arg)
+
 let suggest_cmd =
   let run sut seed =
     let vocabulary = Suts.Vocabulary.for_sut sut in
@@ -362,8 +468,9 @@ let main =
     (Cmd.info "conferr" ~version:"1.0.0"
        ~doc:"Assess resilience to human configuration errors (DSN'08 reproduction).")
     [
-      list_cmd; profile_cmd; benchmark_cmd; report_cmd; suggest_cmd; table1_cmd;
-      table2_cmd; table3_cmd; figure3_cmd; all_cmd; variations_cmd; semantic_cmd;
+      list_cmd; profile_cmd; explore_cmd; benchmark_cmd; report_cmd;
+      suggest_cmd; table1_cmd; table2_cmd; table3_cmd; figure3_cmd; all_cmd;
+      variations_cmd; semantic_cmd;
     ]
 
 let () = exit (Cmd.eval main)

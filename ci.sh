@@ -1,20 +1,10 @@
 #!/bin/sh
-# CI entry point: full build, the test suites, and a smoke campaign
-# through the parallel executor (journal + resume).  Exits non-zero on
-# the first failure.
+# CI entry point: delegates to `make check` (build + test suites + the
+# profile and explore smoke campaigns with journal + resume).  The
+# Makefile is the single source of truth for what CI runs.
 set -eu
 cd "$(dirname "$0")"
 
-if command -v make >/dev/null 2>&1; then
-  make check
-else
-  dune build
-  dune runtest
-  rm -f /tmp/conferr.jsonl
-  dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
-    --journal /tmp/conferr.jsonl --stats
-  dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
-    --journal /tmp/conferr.jsonl --resume --stats
-fi
+make check
 
 echo "ci: all checks passed"

@@ -1,0 +1,463 @@
+module Engine = Conferr.Engine
+module Outcome = Conferr.Outcome
+module Profile = Conferr.Profile
+module Scenario = Errgen.Scenario
+module Gen = Errgen.Gen
+module Executor = Conferr_exec.Executor
+module Journal = Conferr_exec.Journal
+module Signature = Conferr_exec.Signature
+module Progress = Conferr_exec.Progress
+module Texttable = Conferr_util.Texttable
+
+type settings = {
+  jobs : int;
+  batch : int;
+  budget : int option;
+  wallclock_s : float option;
+  plateau : int;
+  timeout_s : float option;
+  retries : int;
+  campaign_seed : int;
+  journal_path : string option;
+  resume : bool;
+}
+
+let default_settings =
+  {
+    jobs = 1;
+    batch = 32;
+    budget = None;
+    wallclock_s = None;
+    plateau = 4;
+    timeout_s = None;
+    retries = 0;
+    campaign_seed = 42;
+    journal_path = None;
+    resume = false;
+  }
+
+type stop_reason =
+  | Budget_exhausted
+  | Wallclock_exceeded
+  | Plateaued of int
+  | Stream_exhausted
+
+type frontier_entry = {
+  key : Signature.key;
+  first_id : string;
+  first_description : string;
+  discovered_batch : int;
+  hits : int;
+}
+
+type report = {
+  sut_name : string;
+  frontier : frontier_entry list;
+  batches : int;
+  considered : int;
+  executed : int;
+  duplicates : int;
+  resumed : int;
+  not_applicable : int;
+  stop : stop_reason;
+  profile : Profile.t;
+  duplicate_of : (string * string) list;
+  energies : ((string * string) * float) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Novelty buckets                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Generator descriptions end in "... at <file>:<path>"; the file part
+   is the bucket's second axis.  A description without the convention
+   lands in the "-" bucket, which only costs scheduling precision. *)
+let bucket_of_scenario (s : Scenario.t) =
+  let d = s.description in
+  let marker = " at " in
+  let mlen = String.length marker in
+  let dlen = String.length d in
+  let rec last_marker i best =
+    if i + mlen > dlen then best
+    else if String.sub d i mlen = marker then last_marker (i + 1) (Some i)
+    else last_marker (i + 1) best
+  in
+  let file =
+    match last_marker 0 None with
+    | None -> "-"
+    | Some i ->
+      let rest = String.sub d (i + mlen) (dlen - i - mlen) in
+      (match String.rindex_opt rest ':' with
+       | Some j -> String.sub rest 0 j
+       | None -> rest)
+  in
+  (s.class_name, file)
+
+type bucket = { mutable energy : float; queue : Scenario.t Queue.t }
+
+let boost_factor = 1.7
+let energy_cap = 8.0
+let decay_factor = 0.6
+let energy_floor = 0.05
+
+(* ------------------------------------------------------------------ *)
+(* Per-scenario execution (boot + test, with the executor's watchdog)   *)
+(* ------------------------------------------------------------------ *)
+
+let timeout_outcome ~timeout_s ~attempts =
+  Outcome.Test_failure
+    [
+      Printf.sprintf "scenario timed out after %gs (%d attempt%s)" timeout_s
+        attempts
+        (if attempts = 1 then "" else "s");
+    ]
+
+let boot_with_deadline ~settings ~emit ~sut ~index (s : Scenario.t) files =
+  match settings.timeout_s with
+  | None -> Engine.boot_and_test sut files
+  | Some timeout_s ->
+    let rec attempt k =
+      match
+        Conferr_pool.with_timeout ~timeout_s (fun () ->
+            Engine.boot_and_test sut files)
+      with
+      | Some outcome -> outcome
+      | None ->
+        emit (Progress.Timed_out { index; id = s.id; attempt = k });
+        if k <= settings.retries then attempt (k + 1)
+        else timeout_outcome ~timeout_s ~attempts:k
+    in
+    attempt 1
+
+(* ------------------------------------------------------------------ *)
+(* The search loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A scheduled scenario after classification, in scheduling order. *)
+type classified =
+  | Reuse of (string * string) * Scenario.t * Journal.entry
+  | Skip of Scenario.t * string (* duplicate of first_id *)
+  | Na of (string * string) * Scenario.t * string
+  | Run of (string * string) * Scenario.t * (string * string) list
+
+let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
+    ~sut ~base ~stream () =
+  let t0 = Unix.gettimeofday () in
+  let emit_lock = Mutex.create () in
+  let emit ev =
+    Mutex.lock emit_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock emit_lock)
+      (fun () -> on_event ev)
+  in
+  (* journal: load what a previous run already executed, then append *)
+  let journaled : (string, Journal.entry) Hashtbl.t = Hashtbl.create 64 in
+  (match settings.journal_path with
+   | Some path when settings.resume ->
+     List.iter
+       (fun (e : Journal.entry) -> Hashtbl.replace journaled e.scenario_id e)
+       (Journal.load path)
+   | _ -> ());
+  let writer =
+    Option.map
+      (fun path -> Journal.open_append ~fresh:(not settings.resume) path)
+      settings.journal_path
+  in
+  let cache = Mutant_cache.create () in
+  let buckets : (string * string, bucket) Hashtbl.t = Hashtbl.create 16 in
+  let bucket_of key =
+    match Hashtbl.find_opt buckets key with
+    | Some b -> b
+    | None ->
+      let b = { energy = 1.0; queue = Queue.create () } in
+      Hashtbl.add buckets key b;
+      b
+  in
+  let queued = ref 0 in
+  let stream_done = ref false in
+  let pull_into_buckets target =
+    while (not !stream_done) && !queued < target do
+      match Gen.next stream with
+      | None -> stream_done := true
+      | Some s ->
+        Queue.add s (bucket_of (bucket_of_scenario s)).queue;
+        incr queued
+    done
+  in
+  (* Weighted selection: repeatedly take from the non-empty bucket with
+     the highest effective energy (energy / (1 + already taken this
+     batch)), ties broken by bucket key — a deterministic weighted
+     round-robin. *)
+  let select_batch () =
+    pull_into_buckets (2 * settings.batch);
+    let taken : (string * string, int) Hashtbl.t = Hashtbl.create 8 in
+    let taken_of key = Option.value ~default:0 (Hashtbl.find_opt taken key) in
+    let rec pick acc k =
+      if k = 0 then List.rev acc
+      else
+        let candidates =
+          Hashtbl.fold
+            (fun key b acc ->
+              if Queue.is_empty b.queue then acc else (key, b) :: acc)
+            buckets []
+          |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+        in
+        match candidates with
+        | [] -> List.rev acc
+        | first :: rest ->
+          let eff (key, b) = b.energy /. float_of_int (1 + taken_of key) in
+          let key, b =
+            List.fold_left
+              (fun best c -> if eff c > eff best then c else best)
+              first rest
+          in
+          let s = Queue.pop b.queue in
+          decr queued;
+          Hashtbl.replace taken key (1 + taken_of key);
+          pick ((key, s) :: acc) (k - 1)
+    in
+    pick [] settings.batch
+  in
+  (* counters and discovery state *)
+  let considered = ref 0 in
+  let executed = ref 0 in
+  let duplicates = ref 0 in
+  let resumed = ref 0 in
+  let not_applicable = ref 0 in
+  let batch_no = ref 0 in
+  let plateau_run = ref 0 in
+  let stop = ref None in
+  let seen : (Signature.key, frontier_entry ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let discovery_rev = ref [] in
+  let profile_rev = ref [] in
+  let journal_entries_rev = ref [] in
+  let duplicate_of_rev = ref [] in
+  (* folds one finished entry into profile + frontier; returns whether
+     its signature was previously unseen *)
+  let note_entry (s : Scenario.t) (je : Journal.entry) =
+    journal_entries_rev := je :: !journal_entries_rev;
+    let pe =
+      {
+        Profile.scenario_id = je.scenario_id;
+        class_name = je.class_name;
+        description = je.description;
+        outcome = je.outcome;
+      }
+    in
+    profile_rev := pe :: !profile_rev;
+    let key = Signature.of_entry pe in
+    match Hashtbl.find_opt seen key with
+    | Some fr ->
+      fr := { !fr with hits = (!fr).hits + 1 };
+      false
+    | None ->
+      let fr =
+        ref
+          {
+            key;
+            first_id = s.id;
+            first_description = s.description;
+            discovered_batch = !batch_no;
+            hits = 1;
+          }
+      in
+      Hashtbl.add seen key fr;
+      discovery_rev := fr :: !discovery_rev;
+      true
+  in
+  let journal_entry (s : Scenario.t) outcome elapsed_ms =
+    {
+      Journal.scenario_id = s.id;
+      class_name = s.class_name;
+      description = s.description;
+      seed = Executor.scenario_seed ~campaign_seed:settings.campaign_seed s.id;
+      outcome;
+      elapsed_ms;
+    }
+  in
+  let process_batch picked =
+    (* 1. classify sequentially: journal hit / duplicate / n-a / fresh *)
+    let classified =
+      List.map
+        (fun (bkey, (s : Scenario.t)) ->
+          incr considered;
+          (* classify through the cache even for journaled scenarios, so
+             a resumed run rebuilds the same digest table and keeps
+             deduping exactly like the original run did *)
+          match Mutant_cache.classify cache ~sut ~base s with
+          | Mutant_cache.Duplicate_of { first_id; _ } ->
+            incr duplicates;
+            duplicate_of_rev := (s.id, first_id) :: !duplicate_of_rev;
+            Skip (s, first_id)
+          | Mutant_cache.Inexpressible msg ->
+            (match Hashtbl.find_opt journaled s.id with
+             | Some je ->
+               incr resumed;
+               Reuse (bkey, s, je)
+             | None ->
+               incr not_applicable;
+               Na (bkey, s, msg))
+          | Mutant_cache.Fresh { files; _ } ->
+            (match Hashtbl.find_opt journaled s.id with
+             | Some je ->
+               incr resumed;
+               Reuse (bkey, s, je)
+             | None -> Run (bkey, s, files)))
+        picked
+    in
+    (* 2. execute the fresh mutants on the pool *)
+    let runs =
+      classified
+      |> List.filter_map (function Run (_, s, files) -> Some (s, files) | _ -> None)
+      |> Array.of_list
+    in
+    let results =
+      Conferr_pool.map ~jobs:settings.jobs
+        (fun index ((s : Scenario.t), files) ->
+          emit (Progress.Started { index; id = s.id });
+          let t_start = Unix.gettimeofday () in
+          let outcome = boot_with_deadline ~settings ~emit ~sut ~index s files in
+          let elapsed_ms = (Unix.gettimeofday () -. t_start) *. 1000. in
+          let je = journal_entry s outcome elapsed_ms in
+          Option.iter (fun w -> Journal.append w je) writer;
+          emit
+            (Progress.Finished
+               { index; id = s.id; label = Outcome.label outcome; elapsed_ms });
+          (s.id, je))
+        runs
+    in
+    let finished = Hashtbl.create (Array.length runs) in
+    Array.iter (fun (id, je) -> Hashtbl.replace finished id je) results;
+    executed := !executed + Array.length runs;
+    (* 3. fold outcomes in scheduling order; note productive buckets *)
+    let productive : (string * string, unit) Hashtbl.t = Hashtbl.create 8 in
+    let new_sigs = ref 0 in
+    List.iter
+      (fun c ->
+        let folded =
+          match c with
+          | Reuse (bkey, s, je) -> Some (bkey, s, je)
+          | Na (bkey, s, msg) ->
+            let je = journal_entry s (Outcome.Not_applicable msg) 0.0 in
+            Option.iter (fun w -> Journal.append w je) writer;
+            Some (bkey, s, je)
+          | Run (bkey, s, _) ->
+            (match Hashtbl.find_opt finished s.id with
+             | Some je -> Some (bkey, s, je)
+             | None -> None)
+          | Skip _ -> None
+        in
+        match folded with
+        | None -> ()
+        | Some (bkey, s, je) ->
+          if note_entry s je then begin
+            incr new_sigs;
+            Hashtbl.replace productive bkey ()
+          end)
+      classified;
+    (* 4. energy update for every bucket scheduled this batch *)
+    List.sort_uniq compare (List.map fst picked)
+    |> List.iter (fun bkey ->
+           let b = bucket_of bkey in
+           if Hashtbl.mem productive bkey then
+             b.energy <- Float.min (b.energy *. boost_factor) energy_cap
+           else b.energy <- Float.max (b.energy *. decay_factor) energy_floor);
+    !new_sigs
+  in
+  let rec loop () =
+    (match settings.budget with
+     | Some b when !executed >= b -> stop := Some Budget_exhausted
+     | _ -> ());
+    (match settings.wallclock_s with
+     | Some w when Unix.gettimeofday () -. t0 >= w ->
+       stop := Some Wallclock_exceeded
+     | _ -> ());
+    match !stop with
+    | Some _ -> ()
+    | None ->
+      let picked = select_batch () in
+      if picked = [] then stop := Some Stream_exhausted
+      else begin
+        incr batch_no;
+        let new_sigs = process_batch picked in
+        if new_sigs = 0 then incr plateau_run else plateau_run := 0;
+        if settings.plateau > 0 && !plateau_run >= settings.plateau then
+          stop := Some (Plateaued !plateau_run);
+        loop ()
+      end
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Journal.close writer)
+    loop;
+  let entries = List.rev !journal_entries_rev in
+  Option.iter
+    (fun path -> Journal.checkpoint path entries)
+    settings.journal_path;
+  {
+    sut_name = sut.Suts.Sut.sut_name;
+    frontier = List.rev_map (fun fr -> !fr) !discovery_rev;
+    batches = !batch_no;
+    considered = !considered;
+    executed = !executed;
+    duplicates = !duplicates;
+    resumed = !resumed;
+    not_applicable = !not_applicable;
+    stop = Option.value ~default:Stream_exhausted !stop;
+    profile = Profile.make ~sut_name:sut.Suts.Sut.sut_name (List.rev !profile_rev);
+    duplicate_of = List.rev !duplicate_of_rev;
+    energies =
+      Hashtbl.fold (fun key b acc -> (key, b.energy) :: acc) buckets []
+      |> List.sort compare;
+  }
+
+let run ?settings ?on_event ~sut ~stream () =
+  match Engine.parse_default_config sut with
+  | Error message ->
+    Error { Engine.sut_name = sut.Suts.Sut.sut_name; message }
+  | Ok base ->
+    Ok (run_from ?settings ?on_event ~sut ~base ~stream:(stream base) ())
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stop_reason_to_string = function
+  | Budget_exhausted -> "scenario budget exhausted"
+  | Wallclock_exceeded -> "wall-clock budget exceeded"
+  | Plateaued n -> Printf.sprintf "plateau (%d batches without a new signature)" n
+  | Stream_exhausted -> "scenario stream exhausted"
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "exploration of %s: %d distinct signatures in %d batch%s (stopped: %s)\n"
+    r.sut_name (List.length r.frontier) r.batches
+    (if r.batches = 1 then "" else "es")
+    (stop_reason_to_string r.stop);
+  Printf.bprintf buf
+    "  considered %d | executed %d | duplicates skipped %d | n/a %d | resumed %d\n\n"
+    r.considered r.executed r.duplicates r.not_applicable r.resumed;
+  Buffer.add_string buf "Signature frontier (first discoverer per cluster):\n";
+  let row (f : frontier_entry) =
+    [
+      string_of_int f.discovered_batch;
+      string_of_int f.hits;
+      f.key.Signature.class_name;
+      f.key.Signature.label;
+      (if f.key.Signature.message = "" then "-" else f.key.Signature.message);
+      f.first_id;
+    ]
+  in
+  Buffer.add_string buf
+    (Texttable.render
+       ~aligns:[ Texttable.Right; Right; Left; Left; Left; Left ]
+       ~header:[ "batch"; "hits"; "fault class"; "outcome"; "signature"; "first" ]
+       (List.map row r.frontier));
+  Buffer.add_string buf "\nBucket energies (fault class @ file):\n";
+  List.iter
+    (fun ((class_name, file), energy) ->
+      Printf.bprintf buf "  %-28s @ %-20s %.2f\n" class_name file energy)
+    r.energies;
+  Buffer.contents buf

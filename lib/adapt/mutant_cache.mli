@@ -1,0 +1,47 @@
+(** Content-addressed mutant dedup cache.
+
+    Random error generators frequently synthesize the {e same} faulty
+    configuration twice (ten random typos in a three-character value
+    collide often), and running the SUT on byte-identical input can only
+    rediscover the same outcome.  This cache hashes each scenario's
+    serialized configuration set (via [Conferr.Engine.serialize_config])
+    and answers "has this exact mutant been executed before?" — the
+    campaign loop skips the SUT run for duplicates and records a
+    [Duplicate_of] provenance pointing at the first discoverer instead.
+
+    Classification also front-loads the mutate + serialize half of the
+    pipeline, so a [Fresh] verdict carries the serialized files and the
+    executor only has to boot and test. *)
+
+type t
+
+type verdict =
+  | Fresh of { digest : string; files : (string * string) list }
+      (** first time this exact mutant is seen; [files] are the
+          serialized configuration files, ready to boot *)
+  | Duplicate_of of { digest : string; first_id : string }
+      (** byte-identical to the mutant first produced by scenario
+          [first_id]; skip the SUT run *)
+  | Inexpressible of string
+      (** the mutation could not be applied or serialized — the same
+          message [Engine.run_scenario] would report as
+          [Not_applicable] *)
+
+val create : unit -> t
+
+val classify :
+  t -> sut:Suts.Sut.t -> base:Conftree.Config_set.t -> Errgen.Scenario.t ->
+  verdict
+(** Apply and serialize the scenario's mutation, then look the result up
+    by content digest.  A [Fresh] verdict registers the digest under the
+    scenario's id. *)
+
+val digest_files : (string * string) list -> string
+(** Hex digest of a serialized configuration set (order-sensitive, which
+    is fine: [serialize_config] emits files in declaration order). *)
+
+val size : t -> int
+(** Distinct mutants registered so far. *)
+
+val hits : t -> int
+(** Duplicate lookups answered so far. *)

@@ -19,6 +19,14 @@ val serialize_config :
 (** Inverse of {!parse_config}; fails when a tree is not expressible in
     its file's format. *)
 
+val boot_and_test : Suts.Sut.t -> (string * string) list -> Outcome.t
+(** The tail of the pipeline: boot the SUT on already-serialized
+    configuration files and run its functional tests.  A SUT that raises
+    is classified as a startup or test failure, never an exception.
+    Exposed for callers (e.g. [Conferr_adapt]) that serialize mutants
+    themselves — [run_scenario] is [apply]; [serialize_config];
+    [boot_and_test]. *)
+
 val run_scenario :
   sut:Suts.Sut.t -> base:Conftree.Config_set.t -> Errgen.Scenario.t -> Outcome.t
 

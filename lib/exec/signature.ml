@@ -15,11 +15,31 @@ let is_digit c = c >= '0' && c <= '9'
 
 let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
 
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f')
+
+let is_letter c = c >= 'a' && c <= 'z'
+
+(* Size and duration suffixes commonly glued to a number in config
+   error messages ("16M", "512kB", "30s", "5min"); a number plus one of
+   these is a single volatile literal and masks as one [#]. *)
+let unit_suffixes =
+  [
+    "kib"; "mib"; "gib"; "tib"; "min"; "kb"; "mb"; "gb"; "tb"; "ms"; "us";
+    "ns"; "b"; "k"; "m"; "g"; "t"; "s"; "h"; "d";
+  ]
+
 let normalize s =
   let s = String.lowercase_ascii s in
   let n = String.length s in
   let buf = Buffer.create n in
   let i = ref 0 in
+  (* longest run of [pred] starting at [j] *)
+  let run_length pred j =
+    let k = ref j in
+    while !k < n && pred s.[!k] do incr k done;
+    !k - j
+  in
+  let letter_run j = run_length is_letter j in
   while !i < n do
     let c = s.[!i] in
     if c = '"' || c = '\'' then begin
@@ -33,17 +53,44 @@ let normalize s =
         Buffer.add_char buf c;
         incr i
     end
+    else if
+      (* 0x-prefixed hexadecimal literal *)
+      c = '0' && !i + 2 < n && s.[!i + 1] = 'x' && is_hex s.[!i + 2]
+    then begin
+      Buffer.add_char buf '#';
+      i := !i + 2 + run_length is_hex (!i + 2)
+    end
+    else if
+      (* bare hexadecimal run: >= 4 hex chars, at least one decimal
+         digit (so plain words like "dead" survive), not the head of a
+         longer identifier *)
+      is_hex c
+      && (let len = run_length is_hex !i in
+          len >= 4
+          && (!i + len >= n || not (is_letter s.[!i + len]))
+          && String.exists is_digit (String.sub s !i len))
+    then begin
+      Buffer.add_char buf '#';
+      i := !i + run_length is_hex !i
+    end
     else if is_digit c then begin
       Buffer.add_char buf '#';
-      while !i < n && is_digit s.[!i] do
-        incr i
-      done
+      while !i < n && is_digit s.[!i] do incr i done;
+      (* decimal fraction is part of the same literal *)
+      if !i + 1 < n && s.[!i] = '.' && is_digit s.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit s.[!i] do incr i done
+      end;
+      (* swallow a unit suffix so "16m" and "512kb" both mask as "#" *)
+      let letters = letter_run !i in
+      if letters > 0 && letters <= 3 then begin
+        let suffix = String.sub s !i letters in
+        if List.mem suffix unit_suffixes then i := !i + letters
+      end
     end
     else if is_space c then begin
       Buffer.add_char buf ' ';
-      while !i < n && is_space s.[!i] do
-        incr i
-      done
+      while !i < n && is_space s.[!i] do incr i done
     end
     else begin
       Buffer.add_char buf c;

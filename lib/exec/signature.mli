@@ -23,9 +23,14 @@ type cluster = {
 }
 
 val normalize : string -> string
-(** Lowercase; mask digit runs as [#], single- or double-quoted spans as
-    [<q>], and collapse whitespace runs — ["unknown key \"Prot\" on line 42"]
-    and ["unknown key \"prot2\" on line 7"] normalize identically. *)
+(** Lowercase; mask volatile literals as [#] — digit runs (with an
+    optional decimal fraction and size/duration unit suffix, so ["16M"],
+    ["512kB"] and ["30s"] all mask identically), [0x]-prefixed hex
+    literals, and bare hexadecimal runs of four or more characters that
+    contain at least one decimal digit (["7f3a"] masks, ["dead"]
+    survives); mask single- or double-quoted spans as [<q>]; collapse
+    whitespace runs — ["unknown key \"Prot\" on line 42"] and
+    ["unknown key \"prot2\" on line 7"] normalize identically. *)
 
 val of_entry : Conferr.Profile.entry -> key
 

@@ -150,7 +150,31 @@ let test_normalize () =
     (Signature.normalize "unknown key \"Prot\" on line 42")
     (Signature.normalize "unknown key 'listen2'   on line 7");
   Alcotest.(check string) "collapses whitespace" "a b"
-    (Signature.normalize "  A \t B  ")
+    (Signature.normalize "  A \t B  ");
+  (* size literals with unit suffixes are one volatile token, so value
+     typos differing only in magnitude or unit cluster together *)
+  Alcotest.(check string) "masks unit-suffixed sizes"
+    (Signature.normalize "invalid value 16M for shared_buffers")
+    (Signature.normalize "invalid value 512kB for shared_buffers");
+  Alcotest.(check string) "masks durations"
+    (Signature.normalize "statement timed out after 30s")
+    (Signature.normalize "statement timed out after 5min");
+  Alcotest.(check string) "masks decimal fractions with units"
+    (Signature.normalize "checkpoint took 2.5s")
+    (Signature.normalize "checkpoint took 150ms");
+  (* hex literals: 0x-prefixed always, bare runs only when they carry a
+     digit (so ordinary words built from a-f survive) *)
+  Alcotest.(check string) "masks 0x literals"
+    (Signature.normalize "bad flags 0xDEAD12")
+    (Signature.normalize "bad flags 0x7f3a99");
+  Alcotest.(check string) "masks bare hex runs"
+    (Signature.normalize "token 7f3a9b01 rejected")
+    (Signature.normalize "token 00ffa0aa rejected");
+  Alcotest.(check string) "digit-free hex-alphabet words survive"
+    "dead beef facade"
+    (Signature.normalize "dead beef facade");
+  Alcotest.(check string) "unit suffix requires a known unit" "#nd attempt"
+    (Signature.normalize "42nd attempt")
 
 (* -------------------------------------------------------------- *)
 (* Supporting machinery                                            *)
