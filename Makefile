@@ -8,12 +8,14 @@ build:
 test:
 	dune runtest
 
-# Two smoke campaigns through the CLI, each run twice so the second run
-# must resume from the first's journal and re-execute nothing:
+# Three smoke campaigns through the CLI, each run twice so the second
+# run must resume from the first's journal and re-execute nothing:
 #   1. a fixed faultload through the parallel executor (profile);
-#   2. a small feedback-directed search (explore).
+#   2. a small feedback-directed search (explore);
+#   3. a chaos campaign (10% fault injection into the SUT itself), whose
+#      journal must then pass fsck (doc/harden.md).
 smoke: build
-	rm -f /tmp/conferr.jsonl /tmp/conferr-explore.jsonl
+	rm -f /tmp/conferr.jsonl /tmp/conferr-explore.jsonl /tmp/conferr-chaos.jsonl
 	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
 	  --journal /tmp/conferr.jsonl --stats
 	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
@@ -22,6 +24,11 @@ smoke: build
 	  --budget 48 --batch 16 --journal /tmp/conferr-explore.jsonl --stats
 	dune exec bin/main.exe -- explore --sut postgres --jobs 2 \
 	  --budget 48 --batch 16 --journal /tmp/conferr-explore.jsonl --resume --stats
+	dune exec bin/main.exe -- chaos --sut postgres --jobs 2 --timeout 0.5 \
+	  --journal /tmp/conferr-chaos.jsonl --stats
+	dune exec bin/main.exe -- fsck /tmp/conferr-chaos.jsonl
+	dune exec bin/main.exe -- chaos --sut postgres --jobs 2 --timeout 0.5 \
+	  --journal /tmp/conferr-chaos.jsonl --resume --stats
 
 check: build test smoke
 

@@ -17,7 +17,25 @@ let all_suts =
     Suts.Mini_appserver.sut;
   ]
 
+(* Accept the simulator module names and a few common aliases alongside
+   the canonical SUT names, so "--sut mini_pg" works as the docs and
+   Makefile use it. *)
+let sut_aliases =
+  [
+    ("mini_pg", "postgres"); ("pg", "postgres"); ("postgresql", "postgres");
+    ("mini_mysql", "mysql");
+    ("mini_apache", "apache"); ("httpd", "apache");
+    ("mini_bind", "bind"); ("named", "bind");
+    ("mini_djbdns", "djbdns"); ("tinydns", "djbdns");
+    ("mini_appserver", "appserver");
+  ]
+
 let find_sut name =
+  let name =
+    match List.assoc_opt (String.lowercase_ascii name) sut_aliases with
+    | Some canonical -> canonical
+    | None -> name
+  in
   List.find_opt (fun s -> s.Suts.Sut.sut_name = name) all_suts
 
 let sut_conv =
@@ -55,7 +73,10 @@ let jobs_arg =
   Arg.(
     value & opt int 1
     & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:"Worker domains for the campaign (1 = sequential, 0 = all cores).")
+        ~doc:
+          "Worker domains for the campaign (1 = sequential).  Must be at \
+           least 1; values beyond max(64, scenario count) are clamped with \
+           a warning.")
 
 let journal_arg =
   Arg.(
@@ -78,7 +99,7 @@ let timeout_arg =
     & opt (some float) None
     & info [ "timeout" ] ~docv:"SECONDS"
         ~doc:"Per-scenario deadline; a scenario still running after $(docv) \
-              seconds is classified as a functional failure.")
+              seconds (and its retries) is classified as a harness crash.")
 
 let retries_arg =
   Arg.(
@@ -106,11 +127,23 @@ let require_journal_for_resume ~journal ~resume =
     exit 2
   end
 
-let executor_settings ~jobs ~seed ~journal ~resume ~timeout ~retries =
+(* Validate --jobs against the scenario count; exit 2 on nonsense (0 or
+   negative), warn and clamp on excess. *)
+let checked_jobs ?scenario_count jobs =
+  match Conferr_exec.Executor.clamp_jobs ?scenario_count jobs with
+  | Error msg ->
+    Printf.eprintf "conferr: %s\n" msg;
+    exit 2
+  | Ok (jobs, warning) ->
+    Option.iter (fun w -> Printf.eprintf "conferr: warning: %s\n" w) warning;
+    jobs
+
+let executor_settings ?scenario_count ~jobs ~seed ~journal ~resume ~timeout
+    ~retries () =
   require_journal_for_resume ~journal ~resume;
   {
-    Conferr_exec.Executor.jobs =
-      (if jobs <= 0 then Conferr_pool.recommended_jobs () else jobs);
+    Conferr_exec.Executor.default_settings with
+    jobs = checked_jobs ?scenario_count jobs;
     campaign_seed = seed;
     journal_path = journal;
     resume;
@@ -154,7 +187,8 @@ let profile_cmd =
           ~faultload:Conferr.Campaign.paper_faultload sut base
       in
       let settings =
-        executor_settings ~jobs ~seed ~journal ~resume ~timeout ~retries
+        executor_settings ~scenario_count:(List.length scenarios) ~jobs ~seed
+          ~journal ~resume ~timeout ~retries ()
       in
       let profile, snapshot =
         run_campaign ~settings ~sut ~base ~scenarios ()
@@ -288,7 +322,8 @@ let semantic_cmd =
         |> Errgen.Scenario.relabel_ids ~prefix:"semantic"
       in
       let settings =
-        executor_settings ~jobs ~seed:42 ~journal ~resume ~timeout:None ~retries:0
+        executor_settings ~scenario_count:(List.length scenarios) ~jobs ~seed:42
+          ~journal ~resume ~timeout:None ~retries:0 ()
       in
       let profile, snapshot =
         run_campaign ~settings ~sut ~base ~scenarios ()
@@ -315,13 +350,13 @@ let semantic_cmd =
 
 let explore_cmd =
   let run sut seed entries verbose jobs journal resume timeout retries budget
-      batch plateau wallclock stats =
+      batch plateau wallclock quarantine stats =
     setup_logging verbose;
     require_journal_for_resume ~journal ~resume;
     let settings =
       {
-        Conferr_adapt.Explore.jobs =
-          (if jobs <= 0 then Conferr_pool.recommended_jobs () else jobs);
+        Conferr_adapt.Explore.default_settings with
+        jobs = checked_jobs jobs;
         batch;
         budget;
         plateau;
@@ -331,6 +366,7 @@ let explore_cmd =
         campaign_seed = seed;
         journal_path = journal;
         resume;
+        quarantine_path = quarantine;
       }
     in
     let stream base =
@@ -396,6 +432,16 @@ let explore_cmd =
       & info [ "wallclock" ] ~docv:"SECONDS"
           ~doc:"Stop at the first batch boundary past $(docv) seconds.")
   in
+  let quarantine =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "quarantine" ] ~docv:"DIR"
+          ~doc:
+            "Quarantine directory of a previous hardened campaign; scenario \
+             ids listed in its flaky.txt are deferred to the back of the \
+             schedule.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
@@ -406,7 +452,170 @@ let explore_cmd =
     Term.(
       const run $ sut $ seed_arg $ entries_arg $ verbose_arg $ jobs_arg
       $ journal_arg $ resume_arg $ timeout_arg $ retries_arg $ budget $ batch
-      $ plateau $ wallclock $ stats_arg)
+      $ plateau $ wallclock $ quarantine $ stats_arg)
+
+let chaos_cmd =
+  let run sut seed chaos_seed rate verbose jobs journal resume timeout retries
+      quorum breaker quarantine fuel entries stats =
+    setup_logging verbose;
+    if rate < 0.0 || rate > 1.0 then begin
+      prerr_endline "conferr: --chaos-rate must be within [0; 1]";
+      exit 2
+    end;
+    let chaos_settings =
+      { Conferr_harden.Chaos.default_settings with seed = chaos_seed; rate }
+    in
+    let chaotic, chaos_stats = Conferr_harden.Chaos.wrap ~settings:chaos_settings sut in
+    match Conferr.Engine.parse_default_config sut with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok base ->
+      let scenarios =
+        Conferr.Campaign.typo_scenarios ~rng:(Conferr_util.Rng.create seed)
+          ~faultload:Conferr.Campaign.paper_faultload sut base
+      in
+      let settings =
+        {
+          (executor_settings ~scenario_count:(List.length scenarios) ~jobs ~seed
+             ~journal ~resume ~timeout:(Some timeout) ~retries ())
+          with
+          quorum;
+          breaker = (if breaker <= 0 then None else Some breaker);
+          quarantine_dir = quarantine;
+          fuel;
+        }
+      in
+      let profile, snapshot =
+        run_campaign ~settings ~sut:chaotic ~base ~scenarios ()
+      in
+      print_string (Conferr.Profile.render profile);
+      if entries then print_string (Conferr.Profile.render_entries profile);
+      Printf.printf "\nChaos injection: %d fault(s) injected%s\n"
+        (Conferr_harden.Chaos.injected chaos_stats)
+        (match Conferr_harden.Chaos.by_fault chaos_stats with
+         | [] -> ""
+         | per ->
+           Printf.sprintf " (%s)"
+             (String.concat ", "
+                (List.map
+                   (fun (f, n) ->
+                     Printf.sprintf "%s %d" (Conferr_harden.Chaos.fault_label f) n)
+                   per)));
+      if stats then begin
+        print_newline ();
+        print_string (Conferr_exec.Progress.render snapshot)
+      end
+  in
+  let sut =
+    Arg.(
+      required
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT" ~doc:"System under test.")
+  in
+  let chaos_seed =
+    Arg.(
+      value & opt int Conferr_harden.Chaos.default_settings.Conferr_harden.Chaos.seed
+      & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Seed of the chaos injector.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.1
+      & info [ "chaos-rate" ] ~docv:"P"
+          ~doc:"Injection probability per boot/test call, within [0; 1].")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 1.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-scenario deadline (chaos hangs rely on it).")
+  in
+  let quorum =
+    Arg.(
+      value & opt int 3
+      & info [ "quorum" ] ~docv:"K"
+          ~doc:
+            "Re-run a crashed scenario until $(docv) total attempts voted; \
+             1 disables the quorum.")
+  in
+  let breaker =
+    Arg.(
+      value & opt int 5
+      & info [ "breaker" ] ~docv:"N"
+          ~doc:
+            "Trip a (SUT x fault class) circuit breaker after $(docv) \
+             consecutive crashes; 0 disables the breaker.")
+  in
+  let quarantine =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "quarantine" ] ~docv:"DIR"
+          ~doc:"Write crash repro bundles and the flaky-id list under $(docv).")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"STEPS"
+          ~doc:"Cooperative step budget per execution (allocation storms \
+                burn it).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the typo faultload with chaos self-injection: the SUT is \
+          wrapped so boot/test calls randomly crash, hang, allocate or flip \
+          outcomes, proving the hardened executor (sandbox, quorum, breaker, \
+          journal) survives a hostile SUT (doc/harden.md).")
+    Term.(
+      const run $ sut $ seed_arg $ chaos_seed $ rate $ verbose_arg $ jobs_arg
+      $ journal_arg $ resume_arg $ timeout $ retries_arg $ quorum $ breaker
+      $ quarantine $ fuel $ entries_arg $ stats_arg)
+
+let fsck_cmd =
+  let run journal repair =
+    let report =
+      if repair then Conferr_exec.Journal.repair journal
+      else Conferr_exec.Journal.fsck journal
+    in
+    Printf.printf
+      "%s: %d valid line(s), %d torn, %d corrupt (valid prefix: %d bytes)\n"
+      journal report.Conferr_exec.Journal.valid report.Conferr_exec.Journal.torn
+      report.Conferr_exec.Journal.corrupt
+      report.Conferr_exec.Journal.valid_prefix_bytes;
+    if Conferr_exec.Journal.clean report then exit 0
+    else if repair then begin
+      Printf.printf "repaired: truncated to the %d-byte valid prefix\n"
+        report.Conferr_exec.Journal.valid_prefix_bytes;
+      exit 0
+    end
+    else begin
+      print_endline "journal is damaged; re-run with --repair to truncate it";
+      exit 1
+    end
+  in
+  let journal =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL" ~doc:"Path of the JSONL journal to check.")
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Truncate the journal to its valid prefix (atomically) when torn \
+             or corrupt lines are found.")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify a campaign journal line by line (JSON shape and per-line \
+          CRC-32), reporting valid, torn and corrupt lines; --repair keeps \
+          the valid prefix.")
+    Term.(const run $ journal $ repair)
 
 let suggest_cmd =
   let run sut seed =
@@ -468,9 +677,9 @@ let main =
     (Cmd.info "conferr" ~version:"1.0.0"
        ~doc:"Assess resilience to human configuration errors (DSN'08 reproduction).")
     [
-      list_cmd; profile_cmd; explore_cmd; benchmark_cmd; report_cmd;
-      suggest_cmd; table1_cmd; table2_cmd; table3_cmd; figure3_cmd; all_cmd;
-      variations_cmd; semantic_cmd;
+      list_cmd; profile_cmd; explore_cmd; chaos_cmd; fsck_cmd; benchmark_cmd;
+      report_cmd; suggest_cmd; table1_cmd; table2_cmd; table3_cmd; figure3_cmd;
+      all_cmd; variations_cmd; semantic_cmd;
     ]
 
 let () = exit (Cmd.eval main)

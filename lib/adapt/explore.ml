@@ -8,6 +8,8 @@ module Journal = Conferr_exec.Journal
 module Signature = Conferr_exec.Signature
 module Progress = Conferr_exec.Progress
 module Texttable = Conferr_util.Texttable
+module Sandbox = Conferr_harden.Sandbox
+module Repro = Conferr_harden.Repro
 
 type settings = {
   jobs : int;
@@ -20,6 +22,8 @@ type settings = {
   campaign_seed : int;
   journal_path : string option;
   resume : bool;
+  quarantine_path : string option;
+  fuel : int option;
 }
 
 let default_settings =
@@ -34,6 +38,8 @@ let default_settings =
     campaign_seed = 42;
     journal_path = None;
     resume = false;
+    quarantine_path = None;
+    fuel = None;
   }
 
 type stop_reason =
@@ -59,6 +65,7 @@ type report = {
   duplicates : int;
   resumed : int;
   not_applicable : int;
+  deferred : int;
   stop : stop_reason;
   profile : Profile.t;
   duplicate_of : (string * string) list;
@@ -104,28 +111,27 @@ let energy_floor = 0.05
 (* Per-scenario execution (boot + test, with the executor's watchdog)   *)
 (* ------------------------------------------------------------------ *)
 
-let timeout_outcome ~timeout_s ~attempts =
-  Outcome.Test_failure
-    [
-      Printf.sprintf "scenario timed out after %gs (%d attempt%s)" timeout_s
-        attempts
-        (if attempts = 1 then "" else "s");
-    ]
+let timeout_crash ~timeout_s =
+  Outcome.Crashed
+    { cause = Outcome.Timeout timeout_s; phase = Outcome.Harness; backtrace = "" }
 
+(* Sandboxed boot+test: a raising SUT yields [Crashed], never an
+   escaping exception; returns the outcome and how many executions it
+   took (1 + timeout retries). *)
 let boot_with_deadline ~settings ~emit ~sut ~index (s : Scenario.t) files =
   match settings.timeout_s with
-  | None -> Engine.boot_and_test sut files
+  | None -> (Sandbox.boot_and_test ?fuel:settings.fuel sut files, 1)
   | Some timeout_s ->
     let rec attempt k =
       match
         Conferr_pool.with_timeout ~timeout_s (fun () ->
-            Engine.boot_and_test sut files)
+            Sandbox.boot_and_test ?fuel:settings.fuel sut files)
       with
-      | Some outcome -> outcome
+      | Some outcome -> (outcome, k)
       | None ->
         emit (Progress.Timed_out { index; id = s.id; attempt = k });
         if k <= settings.retries then attempt (k + 1)
-        else timeout_outcome ~timeout_s ~attempts:k
+        else (timeout_crash ~timeout_s, k)
     in
     attempt 1
 
@@ -173,6 +179,15 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
       Hashtbl.add buckets key b;
       b
   in
+  (* scenarios quarantined as flaky by a previous hardened campaign are
+     deferred: they only run once every regular bucket has drained *)
+  let quarantined =
+    match settings.quarantine_path with
+    | None -> []
+    | Some dir -> Repro.load_flaky dir
+  in
+  let deferred_q : Scenario.t Queue.t = Queue.create () in
+  let deferred = ref 0 in
   let queued = ref 0 in
   let stream_done = ref false in
   let pull_into_buckets target =
@@ -180,8 +195,14 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
       match Gen.next stream with
       | None -> stream_done := true
       | Some s ->
-        Queue.add s (bucket_of (bucket_of_scenario s)).queue;
-        incr queued
+        if List.mem s.Scenario.id quarantined then begin
+          Queue.add s deferred_q;
+          incr deferred
+        end
+        else begin
+          Queue.add s (bucket_of (bucket_of_scenario s)).queue;
+          incr queued
+        end
     done
   in
   (* Weighted selection: repeatedly take from the non-empty bucket with
@@ -203,7 +224,13 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
           |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
         in
         match candidates with
-        | [] -> List.rev acc
+        | [] ->
+          if Queue.is_empty deferred_q then List.rev acc
+          else begin
+            (* buckets are dry: drain the quarantined tail *)
+            let s = Queue.pop deferred_q in
+            pick ((bucket_of_scenario s, s) :: acc) (k - 1)
+          end
         | first :: rest ->
           let eff (key, b) = b.energy /. float_of_int (1 + taken_of key) in
           let key, b =
@@ -267,7 +294,7 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
       discovery_rev := fr :: !discovery_rev;
       true
   in
-  let journal_entry (s : Scenario.t) outcome elapsed_ms =
+  let journal_entry ?(attempts = 1) (s : Scenario.t) outcome elapsed_ms =
     {
       Journal.scenario_id = s.id;
       class_name = s.class_name;
@@ -275,6 +302,8 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
       seed = Executor.scenario_seed ~campaign_seed:settings.campaign_seed s.id;
       outcome;
       elapsed_ms;
+      attempts;
+      votes = [];
     }
   in
   let process_batch picked =
@@ -318,9 +347,11 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
         (fun index ((s : Scenario.t), files) ->
           emit (Progress.Started { index; id = s.id });
           let t_start = Unix.gettimeofday () in
-          let outcome = boot_with_deadline ~settings ~emit ~sut ~index s files in
+          let outcome, attempts =
+            boot_with_deadline ~settings ~emit ~sut ~index s files
+          in
           let elapsed_ms = (Unix.gettimeofday () -. t_start) *. 1000. in
-          let je = journal_entry s outcome elapsed_ms in
+          let je = journal_entry ~attempts s outcome elapsed_ms in
           Option.iter (fun w -> Journal.append w je) writer;
           emit
             (Progress.Finished
@@ -404,6 +435,7 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
     duplicates = !duplicates;
     resumed = !resumed;
     not_applicable = !not_applicable;
+    deferred = !deferred;
     stop = Option.value ~default:Stream_exhausted !stop;
     profile = Profile.make ~sut_name:sut.Suts.Sut.sut_name (List.rev !profile_rev);
     duplicate_of = List.rev !duplicate_of_rev;
@@ -437,8 +469,13 @@ let render r =
     (if r.batches = 1 then "" else "es")
     (stop_reason_to_string r.stop);
   Printf.bprintf buf
-    "  considered %d | executed %d | duplicates skipped %d | n/a %d | resumed %d\n\n"
+    "  considered %d | executed %d | duplicates skipped %d | n/a %d | resumed %d\n"
     r.considered r.executed r.duplicates r.not_applicable r.resumed;
+  if r.deferred > 0 then
+    Printf.bprintf buf "  deferred %d quarantined (flaky) scenario%s\n"
+      r.deferred
+      (if r.deferred = 1 then "" else "s");
+  Buffer.add_char buf '\n';
   Buffer.add_string buf "Signature frontier (first discoverer per cluster):\n";
   let row (f : frontier_entry) =
     [

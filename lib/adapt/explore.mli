@@ -40,12 +40,20 @@ type settings = {
       (** reuse journaled outcomes: the loop replays deterministically,
           so already-executed scenarios are spliced in without booting
           the SUT *)
+  quarantine_path : string option;
+      (** a hardened campaign's quarantine directory; scenario ids in
+          its [flaky.txt] are deferred to the back of the schedule and
+          only run once every regular bucket has drained *)
+  fuel : int option;
+      (** cooperative step budget per execution
+          ({!Conferr_harden.Sandbox.tick}); [None] = unlimited *)
 }
 
 val default_settings : settings
 (** [{ jobs = 1; batch = 32; budget = None; wallclock_s = None;
       plateau = 4; timeout_s = None; retries = 0; campaign_seed = 42;
-      journal_path = None; resume = false }] *)
+      journal_path = None; resume = false; quarantine_path = None;
+      fuel = None }] *)
 
 type stop_reason =
   | Budget_exhausted
@@ -70,6 +78,7 @@ type report = {
   duplicates : int;  (** skipped via the mutant cache *)
   resumed : int;  (** outcomes reused from the journal *)
   not_applicable : int;  (** mutations the format could not express *)
+  deferred : int;  (** quarantined (flaky) scenarios pushed to the back *)
   stop : stop_reason;
   profile : Conferr.Profile.t;
       (** executed + resumed entries in scheduling order (duplicates

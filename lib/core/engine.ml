@@ -50,7 +50,9 @@ let boot_and_test (sut : Suts.Sut.t) files =
        Outcome.Test_failure
          [ Printf.sprintf "SUT crashed under test: %s" (Printexc.to_string exn) ]
      | results ->
-       instance.Suts.Sut.shutdown ();
+       (* a shutdown script that itself fails must not override the test
+          verdict — the experiment already has its answer *)
+       (try instance.Suts.Sut.shutdown () with _ -> ());
        let failures =
          List.filter_map
            (fun (r : Suts.Sut.test_result) ->
@@ -118,3 +120,7 @@ let baseline_ok (sut : Suts.Sut.t) =
       (Printf.sprintf "default configuration fails functional tests: %s"
          (String.concat "; " msgs))
   | Outcome.Not_applicable msg -> Error msg
+  | Outcome.Crashed c ->
+    Error
+      (Printf.sprintf "default configuration crashed the harness: %s"
+         (Outcome.crash_summary c))

@@ -16,6 +16,7 @@ type summary = {
   functional : int;
   ignored : int;
   not_applicable : int;
+  crashed : int;
 }
 
 let make ~sut_name entries = { sut_name; entries }
@@ -32,7 +33,17 @@ let summarize_entries entries =
   let not_applicable =
     count (fun e -> match e.outcome with Outcome.Not_applicable _ -> true | _ -> false)
   in
-  { total = startup + functional + ignored; startup; functional; ignored; not_applicable }
+  let crashed =
+    count (fun e -> match e.outcome with Outcome.Crashed _ -> true | _ -> false)
+  in
+  {
+    total = startup + functional + ignored + crashed;
+    startup;
+    functional;
+    ignored;
+    not_applicable;
+    crashed;
+  }
 
 let summarize t = summarize_entries t.entries
 
@@ -50,28 +61,39 @@ let filter pred t = { t with entries = List.filter pred t.entries }
 
 let detection_rate s =
   if s.total = 0 then 0.
-  else float_of_int (s.startup + s.functional) /. float_of_int s.total
+  else float_of_int (s.startup + s.functional + s.crashed) /. float_of_int s.total
 
+(* The "crashed" column only appears when at least one entry crashed, so
+   profiles of campaigns without harness-level crashes (every run before
+   chaos/sandboxing existed) render byte-identically to older versions. *)
 let render t =
+  let with_crashed = (summarize t).crashed > 0 in
   let row name s =
-    [
-      name;
-      string_of_int s.total;
+    [ name; string_of_int s.total;
       Texttable.percentage ~count:s.startup ~total:s.total;
-      Texttable.percentage ~count:s.functional ~total:s.total;
-      Texttable.percentage ~count:s.ignored ~total:s.total;
-      string_of_int s.not_applicable;
-    ]
+      Texttable.percentage ~count:s.functional ~total:s.total ]
+    @ (if with_crashed then
+         [ Texttable.percentage ~count:s.crashed ~total:s.total ]
+       else [])
+    @ [
+        Texttable.percentage ~count:s.ignored ~total:s.total;
+        string_of_int s.not_applicable;
+      ]
   in
   let class_rows =
     List.map (fun c -> row c (summarize_class t c)) (class_names t)
   in
   let total_row = row "TOTAL" (summarize t) in
+  let header =
+    [ "fault class"; "applicable"; "startup"; "functional" ]
+    @ (if with_crashed then [ "crashed" ] else [])
+    @ [ "ignored"; "n/a" ]
+  in
+  let aligns =
+    Texttable.Left :: List.map (fun _ -> Texttable.Right) (List.tl header)
+  in
   Printf.sprintf "Resilience profile for %s\n%s" t.sut_name
-    (Texttable.render
-       ~aligns:[ Texttable.Left; Right; Right; Right; Right; Right ]
-       ~header:[ "fault class"; "applicable"; "startup"; "functional"; "ignored"; "n/a" ]
-       (class_rows @ [ total_row ]))
+    (Texttable.render ~aligns ~header (class_rows @ [ total_row ]))
 
 let render_by_cognitive_level t =
   let levels =
@@ -83,6 +105,7 @@ let render_by_cognitive_level t =
       (fun e -> Errgen.Cognitive.of_class_name e.class_name = level)
       t.entries
   in
+  let with_crashed = (summarize t).crashed > 0 in
   let row label entries =
     let s = summarize_entries entries in
     [
@@ -90,8 +113,11 @@ let render_by_cognitive_level t =
       string_of_int s.total;
       Texttable.percentage ~count:s.startup ~total:s.total;
       Texttable.percentage ~count:s.functional ~total:s.total;
-      Texttable.percentage ~count:s.ignored ~total:s.total;
     ]
+    @ (if with_crashed then
+         [ Texttable.percentage ~count:s.crashed ~total:s.total ]
+       else [])
+    @ [ Texttable.percentage ~count:s.ignored ~total:s.total ]
   in
   let level_rows =
     List.map
@@ -102,11 +128,16 @@ let render_by_cognitive_level t =
   let rows =
     level_rows @ (if unclassified = [] then [] else [ row "unclassified" unclassified ])
   in
+  let header =
+    [ "cognitive level"; "applicable"; "startup"; "functional" ]
+    @ (if with_crashed then [ "crashed" ] else [])
+    @ [ "ignored" ]
+  in
+  let aligns =
+    Texttable.Left :: List.map (fun _ -> Texttable.Right) (List.tl header)
+  in
   Printf.sprintf "Outcomes by GEMS cognitive level for %s\n%s" t.sut_name
-    (Texttable.render
-       ~aligns:[ Texttable.Left; Right; Right; Right; Right ]
-       ~header:[ "cognitive level"; "applicable"; "startup"; "functional"; "ignored" ]
-       rows)
+    (Texttable.render ~aligns ~header rows)
 
 let csv_field s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then

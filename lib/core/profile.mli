@@ -19,6 +19,7 @@ type summary = {
   functional : int;     (** detected by the functional tests *)
   ignored : int;        (** not detected *)
   not_applicable : int; (** scenarios the format could not express *)
+  crashed : int;        (** harness-level crashes (sandbox, timeout, breaker) *)
 }
 
 val make : sut_name:string -> entry list -> t
@@ -35,11 +36,14 @@ val class_names : t -> string list
 val filter : (entry -> bool) -> t -> t
 
 val detection_rate : summary -> float
-(** Detected (startup + functional) over applicable total; 0 when
-    empty. *)
+(** Detected (startup + functional + crashed) over applicable total; 0
+    when empty. *)
 
 val render : t -> string
-(** Aggregate table: one row per fault class plus a totals row. *)
+(** Aggregate table: one row per fault class plus a totals row.  A
+    "crashed" column appears only when the profile contains at least one
+    {!Outcome.Crashed} entry, so crash-free campaigns render exactly as
+    they did before the hardening layer existed. *)
 
 val render_entries : ?only_detected:bool -> t -> string
 (** Per-injection listing (the raw profile). *)

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3), the checksum guarding v2 journal lines against
+    torn writes and bit rot (doc/exec.md). *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)
+
+val update : int32 -> string -> int32
+(** Extend a previous checksum: [update (string a) b = string (a ^ b)]. *)
+
+val to_hex : int32 -> string
+(** 8 lowercase hex digits, zero-padded — the journal encoding. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex digits. *)

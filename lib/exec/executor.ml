@@ -2,6 +2,10 @@ module Engine = Conferr.Engine
 module Outcome = Conferr.Outcome
 module Profile = Conferr.Profile
 module Scenario = Errgen.Scenario
+module Sandbox = Conferr_harden.Sandbox
+module Quorum = Conferr_harden.Quorum
+module Breaker = Conferr_harden.Breaker
+module Repro = Conferr_harden.Repro
 
 type settings = {
   jobs : int;
@@ -10,6 +14,10 @@ type settings = {
   campaign_seed : int;
   journal_path : string option;
   resume : bool;
+  quorum : int;
+  breaker : int option;
+  quarantine_dir : string option;
+  fuel : int option;
 }
 
 let default_settings =
@@ -20,7 +28,35 @@ let default_settings =
     campaign_seed = 42;
     journal_path = None;
     resume = false;
+    quorum = 1;
+    breaker = None;
+    quarantine_dir = None;
+    fuel = None;
   }
+
+let jobs_floor = 64
+
+let clamp_jobs ?scenario_count jobs =
+  if jobs <= 0 then
+    Error
+      (Printf.sprintf
+         "--jobs must be at least 1, got %d (0 no longer means \"all cores\")"
+         jobs)
+  else
+    let cap =
+      match scenario_count with
+      | Some n -> max jobs_floor n
+      | None -> jobs_floor
+    in
+    if jobs > cap then
+      Ok
+        ( cap,
+          Some
+            (Printf.sprintf
+               "clamping --jobs %d to %d (the campaign has no use for more \
+                workers than max %d scenario-count)"
+               jobs cap jobs_floor) )
+    else Ok (jobs, None)
 
 (* SplitMix64 finalizer (Stafford mix13), as in Conferr_util.Rng. *)
 let mix64 z =
@@ -40,15 +76,24 @@ let scenario_seed ~campaign_seed id =
     id;
   mix64 !h
 
-let timeout_outcome ~timeout_s ~attempts =
-  Outcome.Test_failure
-    [
-      Printf.sprintf "scenario timed out after %gs (%d attempt%s)" timeout_s attempts
-        (if attempts = 1 then "" else "s");
-    ]
+let timeout_crash ~timeout_s =
+  Outcome.Crashed
+    { cause = Outcome.Timeout timeout_s; phase = Outcome.Harness; backtrace = "" }
+
+(* A crash that was actually executed (a breaker skip was not) counts
+   toward the bucket's crash streak and deserves a repro bundle. *)
+let executed_crash = function
+  | Outcome.Crashed { cause = Outcome.Breaker_open _; _ } -> None
+  | Outcome.Crashed c -> Some c
+  | _ -> None
 
 let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~sut
     ~base ~scenarios () =
+  let settings =
+    match clamp_jobs ~scenario_count:(List.length scenarios) settings.jobs with
+    | Ok (jobs, _) -> { settings with jobs }
+    | Error _ -> { settings with jobs = 1 }
+  in
   let arr = Array.of_list scenarios in
   let total = Array.length arr in
   let progress = Progress.create ~total in
@@ -58,6 +103,9 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~su
     Mutex.lock emit_lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock emit_lock) (fun () -> on_event ev)
   in
+  let breaker = Option.map (fun threshold -> Breaker.create ~threshold ()) settings.breaker in
+  let flaky_lock = Mutex.create () in
+  let flaky_ids = ref [] in
   let journaled : (string, Journal.entry) Hashtbl.t = Hashtbl.create 64 in
   (match settings.journal_path with
    | Some path when settings.resume ->
@@ -85,23 +133,74 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~su
   let run_one (index, (s : Scenario.t)) =
     emit (Progress.Started { index; id = s.id });
     let t0 = Unix.gettimeofday () in
-    let outcome =
+    let attempts = ref 0 in
+    (* one sandboxed execution, watchdogged and retried; timeout
+       exhaustion is a harness-phase crash, not a functional failure *)
+    let execute () =
       match settings.timeout_s with
-      | None -> Engine.run_scenario ~sut ~base s
+      | None ->
+        incr attempts;
+        Sandbox.run_scenario ?fuel:settings.fuel ~sut ~base s
       | Some timeout_s ->
         let rec attempt k =
+          incr attempts;
           match
             Conferr_pool.with_timeout ~timeout_s (fun () ->
-                Engine.run_scenario ~sut ~base s)
+                Sandbox.run_scenario ?fuel:settings.fuel ~sut ~base s)
           with
           | Some outcome -> outcome
           | None ->
             emit (Progress.Timed_out { index; id = s.id; attempt = k });
             if k <= settings.retries then attempt (k + 1)
-            else timeout_outcome ~timeout_s ~attempts:k
+            else timeout_crash ~timeout_s
         in
         attempt 1
     in
+    let admitted =
+      match breaker with
+      | None -> `Run
+      | Some b -> Breaker.admit b ~sut_name:sut.Suts.Sut.sut_name ~class_name:s.class_name
+    in
+    let outcome, votes =
+      match admitted with
+      | `Skip bucket ->
+        emit (Progress.Breaker_skipped { index; id = s.id; bucket });
+        ( Outcome.Crashed
+            { cause = Outcome.Breaker_open bucket; phase = Outcome.Harness;
+              backtrace = "" },
+          [] )
+      | `Run ->
+        let first = execute () in
+        let verdict =
+          if settings.quorum > 1 && Quorum.suspect first then
+            Quorum.run ~attempts:settings.quorum (fun i ->
+                if i = 0 then first else execute ())
+          else { Quorum.outcome = first; attempts = [ first ]; flaky = false }
+        in
+        (match breaker with
+         | None -> ()
+         | Some b -> (
+           match
+             Breaker.note b ~sut_name:sut.Suts.Sut.sut_name
+               ~class_name:s.class_name
+               ~crashed:(executed_crash verdict.Quorum.outcome <> None)
+           with
+           | `Counted -> ()
+           | `Tripped bucket -> emit (Progress.Breaker_tripped { bucket })));
+        if verdict.Quorum.flaky then begin
+          emit (Progress.Flaky { index; id = s.id; attempts = !attempts });
+          Mutex.lock flaky_lock;
+          flaky_ids := s.id :: !flaky_ids;
+          Mutex.unlock flaky_lock;
+          (verdict.Quorum.outcome, verdict.Quorum.attempts)
+        end
+        else (verdict.Quorum.outcome, [])
+    in
+    (match (executed_crash outcome, settings.quarantine_dir) with
+     | Some crash, Some dir ->
+       ignore
+         (Repro.write ~dir ~sut ~base ~seed:settings.campaign_seed s crash)
+     | _ -> ());
     let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
     let entry =
       {
@@ -111,6 +210,8 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~su
         seed = scenario_seed ~campaign_seed:settings.campaign_seed s.id;
         outcome;
         elapsed_ms;
+        attempts = !attempts;
+        votes;
       }
     in
     Option.iter (fun w -> Journal.append w entry) writer;
@@ -124,6 +225,9 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~su
       ~finally:(fun () -> Option.iter Journal.close writer)
       (fun () -> Conferr_pool.map ~jobs:settings.jobs (fun _ p -> run_one p) pending)
   in
+  (match settings.quarantine_dir with
+   | Some dir -> Repro.record_flaky ~dir !flaky_ids
+   | None -> ());
   (* assemble the profile in scenario-list order, merging journaled and
      freshly-run entries, then checkpoint the compacted journal *)
   let slots = Array.make total None in

@@ -7,20 +7,29 @@
     scenarios on restart, guards each scenario with a timeout, and
     streams {!Progress} events.
 
+    Since the hardening pass (see [doc/harden.md]) each scenario runs
+    inside {!Conferr_harden.Sandbox}, so a SUT that raises — including
+    [Stack_overflow] and [Out_of_memory] — classifies as
+    [Outcome.Crashed] instead of killing its worker; crash outcomes can
+    be re-voted by a quorum, gated by a circuit breaker, and dumped as
+    minimal-repro bundles into a quarantine directory.
+
     Determinism: profile entries are always assembled in scenario-list
-    order and [Engine.run_scenario] is a pure function of the scenario,
-    so for a fixed faultload the resulting {!Conferr.Profile.t} is
-    identical for any [jobs] — [jobs = 1] {e is} the engine's classic
-    sequential loop. *)
+    order and a sandboxed run is a pure function of the scenario for
+    any SUT that does not crash, so for a fixed faultload the resulting
+    {!Conferr.Profile.t} is identical for any [jobs] — [jobs = 1] {e is}
+    the engine's classic sequential loop. *)
 
 type settings = {
   jobs : int;
-      (** worker domains; 1 = sequential in the calling domain *)
+      (** worker domains; 1 = sequential in the calling domain.  Values
+          outside [\[1; max 64 scenario-count\]] are clamped — see
+          {!clamp_jobs} *)
   timeout_s : float option;
       (** per-scenario deadline; [None] disables the watchdog *)
   retries : int;
       (** extra attempts after a timeout before classifying the
-          scenario as a functional failure *)
+          scenario as [Crashed (Timeout _)] *)
   campaign_seed : int;
       (** campaign-level seed; each scenario derives its own journaled
           seed from it, independent of execution order *)
@@ -29,11 +38,35 @@ type settings = {
   resume : bool;
       (** load [journal_path] and skip scenarios already recorded;
           when false an existing journal is truncated *)
+  quorum : int;
+      (** total attempts for a nondeterminism-suspect (crashed) outcome;
+          1 disables re-running.  Majority vote wins; disagreements are
+          journaled as flaky with every attempt's outcome *)
+  breaker : int option;
+      (** consecutive-crash threshold per (SUT × fault class) bucket;
+          once crossed, following bucket scenarios are classified as
+          [Crashed (Breaker_open _)] without execution for an
+          exponentially growing window.  [None] disables the breaker *)
+  quarantine_dir : string option;
+      (** where crash repro bundles and the flaky-id list are written;
+          [None] disables both *)
+  fuel : int option;
+      (** cooperative step budget per execution
+          ({!Conferr_harden.Sandbox.tick}); [None] = unlimited *)
 }
 
 val default_settings : settings
 (** [{ jobs = 1; timeout_s = None; retries = 0; campaign_seed = 42;
-      journal_path = None; resume = false }] *)
+      journal_path = None; resume = false; quorum = 1; breaker = None;
+      quarantine_dir = None; fuel = None }] — hardening off by default,
+    so existing callers behave exactly as before. *)
+
+val clamp_jobs :
+  ?scenario_count:int -> int -> (int * string option, string) result
+(** Validate a requested worker count.  [jobs <= 0] is an [Error] (the
+    CLI exits 2 on it); a value above [max 64 scenario-count] (64 when
+    the count is unknown) clamps to the cap and returns a warning
+    message.  {!run_from} applies the same clamp internally. *)
 
 val scenario_seed : campaign_seed:int -> string -> int64
 (** Deterministic per-scenario seed, a hash of the campaign seed and the

@@ -1,5 +1,7 @@
 module Outcome = Conferr.Outcome
 
+let format_version = 2
+
 type entry = {
   scenario_id : string;
   class_name : string;
@@ -7,15 +9,20 @@ type entry = {
   seed : int64;
   outcome : Outcome.t;
   elapsed_ms : float;
+  attempts : int;
+  votes : Outcome.t list;
 }
 
 (* The outcome is stored as its profile label plus the detail messages;
-   together they reconstruct the constructor exactly. *)
+   together they reconstruct the constructor exactly.  For [Crashed] the
+   detail carries cause, phase, then the backtrace. *)
 let outcome_detail = function
   | Outcome.Startup_failure msg -> [ msg ]
   | Outcome.Test_failure msgs -> msgs
   | Outcome.Passed -> []
   | Outcome.Not_applicable msg -> [ msg ]
+  | Outcome.Crashed c ->
+    [ Outcome.cause_to_string c.cause; Outcome.phase_label c.phase; c.backtrace ]
 
 let outcome_of_parts label detail =
   match label with
@@ -25,10 +32,28 @@ let outcome_of_parts label detail =
   | "ignored" -> Ok Outcome.Passed
   | "n/a" ->
     Ok (Outcome.Not_applicable (match detail with m :: _ -> m | [] -> ""))
+  | "crashed" -> (
+    match detail with
+    | cause_s :: phase_s :: rest -> (
+      match (Outcome.cause_of_string cause_s, Outcome.phase_of_label phase_s) with
+      | Some cause, Some phase ->
+        Ok
+          (Outcome.Crashed
+             { cause; phase; backtrace = String.concat "\n" rest })
+      | None, _ -> Error (Printf.sprintf "unknown crash cause %S" cause_s)
+      | _, None -> Error (Printf.sprintf "unknown crash phase %S" phase_s))
+    | _ -> Error "crashed outcome needs cause and phase detail")
   | other -> Error (Printf.sprintf "unknown outcome label %S" other)
 
-let entry_to_json e =
+let outcome_to_json o =
   Json.Obj
+    [
+      ("outcome", Json.Str (Outcome.label o));
+      ("detail", Json.Arr (List.map (fun m -> Json.Str m) (outcome_detail o)));
+    ]
+
+let entry_to_json e =
+  let base =
     [
       ("id", Json.Str e.scenario_id);
       ("class", Json.Str e.class_name);
@@ -36,8 +61,15 @@ let entry_to_json e =
       ("outcome", Json.Str (Outcome.label e.outcome));
       ("detail", Json.Arr (List.map (fun m -> Json.Str m) (outcome_detail e.outcome)));
       ("ms", Json.Num e.elapsed_ms);
+      ("attempts", Json.Num (float_of_int e.attempts));
       ("desc", Json.Str e.description);
     ]
+  in
+  let votes =
+    if e.votes = [] then []
+    else [ ("votes", Json.Arr (List.map outcome_to_json e.votes)) ]
+  in
+  Json.Obj (base @ votes)
 
 let ( let* ) = Result.bind
 
@@ -45,6 +77,11 @@ let field name conv j =
   match Option.bind (Json.member name j) conv with
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let outcome_of_json j =
+  let* label = field "outcome" Json.str j in
+  let* detail = field "detail" Json.str_list j in
+  outcome_of_parts label detail
 
 let entry_of_json j =
   let* scenario_id = field "id" Json.str j in
@@ -56,11 +93,76 @@ let entry_of_json j =
     | Some s -> Ok s
     | None -> Error (Printf.sprintf "bad seed %S" seed_text)
   in
-  let* label = field "outcome" Json.str j in
-  let* detail = field "detail" Json.str_list j in
-  let* outcome = outcome_of_parts label detail in
+  let* outcome = outcome_of_json j in
   let* elapsed_ms = field "ms" Json.num j in
-  Ok { scenario_id; class_name; description; seed; outcome; elapsed_ms }
+  (* [attempts] and [votes] arrived with format v2; a v1 entry is one
+     clean attempt. *)
+  let* attempts =
+    match Json.member "attempts" j with
+    | None -> Ok 1
+    | Some a -> (
+      match Json.num a with
+      | Some n when n >= 0.0 -> Ok (int_of_float n)
+      | _ -> Error "ill-typed field \"attempts\"")
+  in
+  let* votes =
+    match Json.member "votes" j with
+    | None -> Ok []
+    | Some (Json.Arr vs) ->
+      List.fold_left
+        (fun acc v ->
+          let* acc = acc in
+          let* o = outcome_of_json v in
+          Ok (o :: acc))
+        (Ok []) vs
+      |> Result.map List.rev
+    | Some _ -> Error "ill-typed field \"votes\""
+  in
+  Ok
+    { scenario_id; class_name; description; seed; outcome; elapsed_ms;
+      attempts; votes }
+
+(* v2 line: {"v":2,"crc":"<8 hex>","entry":{...}}.  The CRC covers the
+   canonical serialization of the entry member; the codec round-trips
+   its own output byte-for-byte, so verification re-serializes the
+   parsed member.  A v1 line is the bare entry object. *)
+let line_to_json e =
+  let body = entry_to_json e in
+  let crc = Crc32.string (Json.to_string body) in
+  Json.Obj
+    [
+      ("v", Json.Num (float_of_int format_version));
+      ("crc", Json.Str (Crc32.to_hex crc));
+      ("entry", body);
+    ]
+
+let entry_of_line j =
+  match Json.member "v" j with
+  | None -> entry_of_json j
+  | Some v -> (
+    match Json.num v with
+    | Some f when f = float_of_int format_version ->
+      let* crc_hex = field "crc" Json.str j in
+      let* crc =
+        match Crc32.of_hex crc_hex with
+        | Some c -> Ok c
+        | None -> Error (Printf.sprintf "bad crc %S" crc_hex)
+      in
+      let* body =
+        match Json.member "entry" j with
+        | Some b -> Ok b
+        | None -> Error "missing field \"entry\""
+      in
+      let actual = Crc32.string (Json.to_string body) in
+      if actual <> crc then
+        Error
+          (Printf.sprintf "crc mismatch: line says %s, entry hashes to %s"
+             crc_hex (Crc32.to_hex actual))
+      else entry_of_json body
+    | Some f -> Error (Printf.sprintf "unsupported journal line version %g" f)
+    | None -> Error "ill-typed field \"v\"")
+
+let entry_of_string line = Result.bind (Json.of_string line) entry_of_line
 
 let load path =
   match open_in_bin path with
@@ -76,9 +178,9 @@ let load path =
             let acc =
               if String.trim line = "" then acc
               else
-                match Result.bind (Json.of_string line) entry_of_json with
+                match entry_of_string line with
                 | Ok e -> e :: acc
-                | Error _ -> acc (* torn or foreign line: tolerate *)
+                | Error _ -> acc (* torn, corrupt or foreign line: tolerate *)
             in
             lines acc
         in
@@ -94,7 +196,7 @@ let open_append ?(fresh = false) path =
   { oc = open_out_gen flags 0o644 path; lock = Mutex.create () }
 
 let append w e =
-  let line = Json.to_string (entry_to_json e) in
+  let line = Json.to_string (line_to_json e) in
   Mutex.lock w.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock w.lock)
@@ -113,8 +215,82 @@ let checkpoint path entries =
     (fun () ->
       List.iter
         (fun e ->
-          output_string oc (Json.to_string (entry_to_json e));
+          output_string oc (Json.to_string (line_to_json e));
           output_char oc '\n')
         entries;
       flush oc);
   Sys.rename tmp path
+
+(* ---- fsck ---- *)
+
+type fsck_report = {
+  valid : int;
+  torn : int;
+  corrupt : int;
+  valid_prefix_bytes : int;
+}
+
+let clean r = r.torn = 0 && r.corrupt = 0
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ""
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A blank line is harmless: it extends the valid prefix but counts as
+   no entry.  Torn = not even JSON (the truncated-write shape); corrupt
+   = parses as JSON but fails CRC or decoding. *)
+let classify_line line =
+  if String.trim line = "" then `Blank
+  else
+    match Json.of_string line with
+    | Error _ -> `Torn
+    | Ok j -> ( match entry_of_line j with Ok _ -> `Valid | Error _ -> `Corrupt)
+
+let fsck path =
+  let data = read_file path in
+  let len = String.length data in
+  let rec loop pos valid torn corrupt prefix prefix_ok =
+    if pos >= len then { valid; torn; corrupt; valid_prefix_bytes = prefix }
+    else
+      let nl =
+        match String.index_from_opt data pos '\n' with
+        | Some i -> i
+        | None -> len
+      in
+      let line = String.sub data pos (nl - pos) in
+      let line_end = if nl >= len then len else nl + 1 in
+      match classify_line line with
+      | `Blank ->
+        loop line_end valid torn corrupt
+          (if prefix_ok then line_end else prefix)
+          prefix_ok
+      | `Valid ->
+        loop line_end (valid + 1) torn corrupt
+          (if prefix_ok then line_end else prefix)
+          prefix_ok
+      | `Torn -> loop line_end valid (torn + 1) corrupt prefix false
+      | `Corrupt -> loop line_end valid torn (corrupt + 1) prefix false
+  in
+  loop 0 0 0 0 0 true
+
+let repair path =
+  let report = fsck path in
+  if not (clean report) then begin
+    let data = read_file path in
+    let keep =
+      String.sub data 0 (min report.valid_prefix_bytes (String.length data))
+    in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc keep;
+        flush oc);
+    Sys.rename tmp path
+  end;
+  report

@@ -3,15 +3,23 @@
     Every finished injection is appended (and flushed) as one line, so a
     campaign killed mid-run loses at most the entry being written; on
     restart the executor loads the journal and skips every scenario that
-    already has an entry.  Line format (see [doc/exec.md]):
+    already has an entry.  Format version {!format_version} wraps each
+    entry with a CRC-32 so torn or rotted lines are detected, not
+    silently mis-read (see [doc/exec.md]):
 
     {v
-    {"id":"typo-0001","class":"typo/name","seed":"8386958","outcome":"startup",
-     "detail":["unknown directive"],"ms":0.41,"desc":"omission of ..."}
+    {"v":2,"crc":"9f2a11c3","entry":{"id":"typo-0001","class":"typo/name",
+     "seed":"8386958","outcome":"startup","detail":["unknown directive"],
+     "ms":0.41,"attempts":1,"desc":"omission of ..."}}
     v}
 
+    The CRC covers the canonical serialization of the ["entry"] member.
+    Version-1 journals (the bare entry object, no wrapper) still load.
     [seed] is the per-scenario RNG seed as a decimal [int64] string
     (JSON numbers cannot carry 64 bits losslessly). *)
+
+val format_version : int
+(** Currently 2. *)
 
 type entry = {
   scenario_id : string;
@@ -20,15 +28,28 @@ type entry = {
   seed : int64;          (** per-scenario seed derived from the campaign seed *)
   outcome : Conferr.Outcome.t;
   elapsed_ms : float;    (** wall-clock time of the injection *)
+  attempts : int;        (** executions behind this entry: 1 + timeout
+                             retries + quorum re-runs; 0 for a breaker skip *)
+  votes : Conferr.Outcome.t list;
+      (** every quorum attempt, in order, when they disagreed (the
+          scenario is flaky); [[]] otherwise *)
 }
 
 val entry_to_json : entry -> Json.t
+(** The bare entry object (no CRC wrapper). *)
+
 val entry_of_json : Json.t -> (entry, string) result
+(** Decode a bare (v1-style) entry object; [attempts] defaults to 1 and
+    [votes] to [[]] when absent. *)
+
+val entry_of_string : string -> (entry, string) result
+(** Decode one journal line, v2 (wrapper, CRC verified) or v1 (bare). *)
 
 val load : string -> entry list
-(** Load every parseable entry, in file order.  A missing file is an
-    empty journal; a torn final line (the crash case) or any other
-    unparseable line is skipped rather than fatal. *)
+(** Load every verifiable entry, in file order.  A missing file is an
+    empty journal; a torn final line (the crash case), a CRC-failing
+    line, or any other unparseable line is skipped rather than fatal —
+    run {!fsck} to count what was skipped. *)
 
 type writer
 (** Append handle; internally serialized, safe to share across the
@@ -48,3 +69,26 @@ val checkpoint : string -> entry list -> unit
     (write-then-rename to a [.tmp] sibling): compacts duplicate lines
     from resumed runs and guarantees readers never observe a torn
     file. *)
+
+(** {1 Integrity checking} *)
+
+type fsck_report = {
+  valid : int;    (** lines that parse and pass CRC/decoding *)
+  torn : int;     (** lines that are not even JSON — truncated writes *)
+  corrupt : int;  (** JSON lines failing CRC or entry decoding *)
+  valid_prefix_bytes : int;
+      (** byte length of the leading run of valid (or blank) lines —
+          what {!repair} keeps *)
+}
+
+val clean : fsck_report -> bool
+(** No torn and no corrupt lines. *)
+
+val fsck : string -> fsck_report
+(** Classify every line.  Blank lines count as no entry but do extend
+    the valid prefix; a missing file reports all-zero. *)
+
+val repair : string -> fsck_report
+(** {!fsck}, then — if anything is torn or corrupt — truncate the file
+    to its valid prefix (atomically, write-then-rename).  Returns the
+    {e pre}-repair report. *)

@@ -7,6 +7,9 @@ type event =
   | Finished of { index : int; id : string; label : string; elapsed_ms : float }
   | Timed_out of { index : int; id : string; attempt : int }
   | Resumed of { count : int }
+  | Flaky of { index : int; id : string; attempts : int }
+  | Breaker_skipped of { index : int; id : string; bucket : string }
+  | Breaker_tripped of { bucket : string }
 
 type t = {
   total : int;
@@ -17,7 +20,10 @@ type t = {
   mutable finished : int;
   mutable timeouts : int;
   mutable retries : int;
+  mutable flaky : int;
+  mutable breaker_skipped : int;
   mutable by_label : (string * int) list;
+  mutable breaker_trips : (string * int) list;
 }
 
 let create ~total =
@@ -30,7 +36,10 @@ let create ~total =
     finished = 0;
     timeouts = 0;
     retries = 0;
+    flaky = 0;
+    breaker_skipped = 0;
     by_label = [];
+    breaker_trips = [];
   }
 
 let bump_label counts label =
@@ -47,7 +56,11 @@ let note t event =
    | Timed_out { attempt; _ } ->
      t.timeouts <- t.timeouts + 1;
      if attempt > 1 then t.retries <- t.retries + 1
-   | Resumed { count } -> t.resumed <- t.resumed + count);
+   | Resumed { count } -> t.resumed <- t.resumed + count
+   | Flaky _ -> t.flaky <- t.flaky + 1
+   | Breaker_skipped _ -> t.breaker_skipped <- t.breaker_skipped + 1
+   | Breaker_tripped { bucket } ->
+     t.breaker_trips <- bump_label t.breaker_trips bucket);
   Mutex.unlock t.lock
 
 type snapshot = {
@@ -57,7 +70,11 @@ type snapshot = {
   finished : int;
   timeouts : int;
   retries : int;
+  flaky : int;
+  breaker_skipped : int;
   by_label : (string * int) list;
+  breaker_trips : (string * int) list;
+  crashed : int;
   elapsed_s : float;
   rate : float;
 }
@@ -73,7 +90,11 @@ let snapshot t =
       finished = t.finished;
       timeouts = t.timeouts;
       retries = t.retries;
+      flaky = t.flaky;
+      breaker_skipped = t.breaker_skipped;
       by_label = List.sort compare t.by_label;
+      breaker_trips = List.sort compare t.breaker_trips;
+      crashed = Option.value ~default:0 (List.assoc_opt "crashed" t.by_label);
       elapsed_s;
       rate = (if elapsed_s > 0. then float_of_int t.finished /. elapsed_s else 0.);
     }
@@ -81,6 +102,8 @@ let snapshot t =
   Mutex.unlock t.lock;
   s
 
+(* The hardening lines only appear when their counters are nonzero, so a
+   clean campaign renders exactly the block it always has. *)
 let render s =
   let labels =
     if s.by_label = [] then "-"
@@ -88,16 +111,38 @@ let render s =
       String.concat ", "
         (List.map (fun (l, n) -> Printf.sprintf "%s %d" l n) s.by_label)
   in
+  let extra =
+    List.concat
+      [
+        (if s.flaky > 0 then
+           [ Printf.sprintf "  flaky:     %d (quorum disagreed; quarantined)" s.flaky ]
+         else []);
+        (if s.breaker_skipped > 0 then
+           [
+             Printf.sprintf "  breaker:   %d scenario(s) skipped while open"
+               s.breaker_skipped;
+           ]
+         else []);
+        List.map
+          (fun (bucket, n) ->
+            Printf.sprintf "  breaker:   %s tripped %d time%s" bucket n
+              (if n = 1 then "" else "s"))
+          s.breaker_trips;
+      ]
+  in
   String.concat "\n"
-    [
-      "Campaign execution";
-      Printf.sprintf "  scenarios: %d total, %d run, %d resumed from journal"
-        s.total s.finished s.resumed;
-      Printf.sprintf "  outcomes:  %s" labels;
-      Printf.sprintf "  timeouts:  %d (%d retried)" s.timeouts s.retries;
-      Printf.sprintf "  wall time: %.2fs (%.0f scenarios/s)" s.elapsed_s s.rate;
-      "";
-    ]
+    ([
+       "Campaign execution";
+       Printf.sprintf "  scenarios: %d total, %d run, %d resumed from journal"
+         s.total s.finished s.resumed;
+       Printf.sprintf "  outcomes:  %s" labels;
+       Printf.sprintf "  timeouts:  %d (%d retried)" s.timeouts s.retries;
+     ]
+    @ extra
+    @ [
+        Printf.sprintf "  wall time: %.2fs (%.0f scenarios/s)" s.elapsed_s s.rate;
+        "";
+      ])
 
 let log_event = function
   | Started { index; id } -> Log.debug (fun m -> m "start %s (#%d)" id index)
@@ -107,3 +152,9 @@ let log_event = function
     Log.warn (fun m -> m "timeout %s (attempt %d)" id attempt)
   | Resumed { count } ->
     Log.info (fun m -> m "resumed %d scenario(s) from journal" count)
+  | Flaky { id; attempts; _ } ->
+    Log.warn (fun m -> m "flaky %s (%d attempts disagreed)" id attempts)
+  | Breaker_skipped { id; bucket; _ } ->
+    Log.warn (fun m -> m "breaker open: skipped %s [%s]" id bucket)
+  | Breaker_tripped { bucket } ->
+    Log.warn (fun m -> m "breaker tripped [%s]" bucket)

@@ -15,6 +15,12 @@ type event =
           it is retried while attempts remain, then classified *)
   | Resumed of { count : int }
       (** [count] scenarios were restored from the journal, not re-run *)
+  | Flaky of { index : int; id : string; attempts : int }
+      (** the quorum's [attempts] re-runs disagreed on the outcome *)
+  | Breaker_skipped of { index : int; id : string; bucket : string }
+      (** classified without execution: the bucket's breaker was open *)
+  | Breaker_tripped of { bucket : string }
+      (** a (SUT × fault class) bucket crossed its crash threshold *)
 
 type t
 
@@ -30,7 +36,11 @@ type snapshot = {
   finished : int;        (** completed this run (excludes resumed) *)
   timeouts : int;        (** timeout events, including retried attempts *)
   retries : int;         (** re-runs after a timeout *)
+  flaky : int;           (** scenarios whose quorum disagreed *)
+  breaker_skipped : int; (** scenarios classified without execution *)
   by_label : (string * int) list;  (** finished outcomes per label, sorted *)
+  breaker_trips : (string * int) list;  (** trips per bucket, sorted *)
+  crashed : int;         (** finished scenarios with the "crashed" label *)
   elapsed_s : float;     (** wall time since [create] *)
   rate : float;          (** finished scenarios per second, 0 when idle *)
 }
@@ -38,8 +48,11 @@ type snapshot = {
 val snapshot : t -> snapshot
 
 val render : snapshot -> string
-(** Human-readable summary block, e.g. for the end of a CLI run. *)
+(** Human-readable summary block, e.g. for the end of a CLI run.  The
+    hardening lines (flaky, breaker) only appear when nonzero, so a
+    clean campaign's block is unchanged from earlier versions. *)
 
 val log_event : event -> unit
 (** Default event sink: one [Logs] line per event (debug for
-    start/finish, info for resume, warning for timeouts). *)
+    start/finish, info for resume, warning for timeouts, flaky runs and
+    breaker activity). *)

@@ -104,6 +104,9 @@ let outcome_message = function
   | Outcome.Test_failure msgs -> String.concat "; " msgs
   | Outcome.Passed -> ""
   | Outcome.Not_applicable msg -> msg
+  (* cause + phase only: the backtrace is run-specific noise that would
+     split one crash signature into many *)
+  | Outcome.Crashed c -> Outcome.crash_summary c
 
 let of_entry (e : Profile.entry) =
   {

@@ -1,0 +1,112 @@
+type bucket = {
+  mutable consecutive : int;  (* harness crashes since the last success *)
+  mutable countdown : int;    (* scenarios still to skip while open *)
+  mutable backoff : int;      (* width of the next skip window *)
+  mutable skipped : int;
+  mutable trips : int;
+}
+
+type t = {
+  threshold : int;
+  base_backoff : int;
+  max_backoff : int;
+  lock : Mutex.t;
+  buckets : (string * string, bucket) Hashtbl.t;
+}
+
+type trip = {
+  sut_name : string;
+  class_name : string;
+  trip_count : int;
+  skipped : int;
+  consecutive : int;
+}
+
+let create ?(threshold = 5) ?(base_backoff = 8) ?(max_backoff = 1024) () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  {
+    threshold;
+    base_backoff = max 1 base_backoff;
+    max_backoff = max 1 max_backoff;
+    lock = Mutex.create ();
+    buckets = Hashtbl.create 16;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let bucket_of t key =
+  match Hashtbl.find_opt t.buckets key with
+  | Some b -> b
+  | None ->
+    let b =
+      { consecutive = 0; countdown = 0; backoff = t.base_backoff; skipped = 0;
+        trips = 0 }
+    in
+    Hashtbl.add t.buckets key b;
+    b
+
+let bucket_name (sut_name, class_name) = sut_name ^ " x " ^ class_name
+
+let admit t ~sut_name ~class_name =
+  let key = (sut_name, class_name) in
+  with_lock t (fun () ->
+      let b = bucket_of t key in
+      if b.countdown > 0 then begin
+        b.countdown <- b.countdown - 1;
+        b.skipped <- b.skipped + 1;
+        `Skip (bucket_name key)
+      end
+      else `Run)
+
+let note t ~sut_name ~class_name ~crashed =
+  let key = (sut_name, class_name) in
+  with_lock t (fun () ->
+      let b = bucket_of t key in
+      if crashed then begin
+        b.consecutive <- b.consecutive + 1;
+        if b.consecutive >= t.threshold && b.countdown = 0 then begin
+          (* trip (or re-trip after a failed half-open probe): skip the
+             next [backoff] scenarios of this bucket, then probe again
+             with a doubled window queued behind it *)
+          b.countdown <- b.backoff;
+          b.backoff <- min (b.backoff * 2) t.max_backoff;
+          b.trips <- b.trips + 1;
+          `Tripped (bucket_name key)
+        end
+        else `Counted
+      end
+      else begin
+        b.consecutive <- 0;
+        b.countdown <- 0;
+        b.backoff <- t.base_backoff;
+        `Counted
+      end)
+
+let trips t =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun (sut_name, class_name) b acc ->
+          if b.trips = 0 then acc
+          else
+            {
+              sut_name;
+              class_name;
+              trip_count = b.trips;
+              skipped = b.skipped;
+              consecutive = b.consecutive;
+            }
+            :: acc)
+        t.buckets []
+      |> List.sort (fun a b ->
+             compare (a.sut_name, a.class_name) (b.sut_name, b.class_name)))
+
+let render_trip tr =
+  Printf.sprintf
+    "%s x %s: tripped %d time%s after %d consecutive crashes, %d scenario%s \
+     classified without execution"
+    tr.sut_name tr.class_name tr.trip_count
+    (if tr.trip_count = 1 then "" else "s")
+    tr.consecutive tr.skipped
+    (if tr.skipped = 1 then "" else "s")

@@ -1,0 +1,41 @@
+(** Per-(SUT × fault class) circuit breaker with exponential backoff
+    (doc/harden.md).
+
+    After [threshold] consecutive harness-level crashes in one bucket
+    the breaker opens: the next [backoff] scenarios of that bucket are
+    classified as [Crashed (Breaker_open …)] without execution, then a
+    single half-open probe runs; a probe that crashes again re-opens the
+    breaker with a doubled window (capped), a success closes it and
+    resets the backoff.  All operations are mutex-protected and safe to
+    share across worker domains. *)
+
+type t
+
+type trip = {
+  sut_name : string;
+  class_name : string;
+  trip_count : int;    (** times this bucket tripped *)
+  skipped : int;       (** scenarios classified without execution *)
+  consecutive : int;   (** crash streak at the end of the campaign *)
+}
+
+val create : ?threshold:int -> ?base_backoff:int -> ?max_backoff:int -> unit -> t
+(** Defaults: [threshold = 5] consecutive crashes, first skip window
+    [base_backoff = 8] scenarios, windows capped at [max_backoff = 1024]. *)
+
+val admit : t -> sut_name:string -> class_name:string -> [ `Run | `Skip of string ]
+(** Gate one scenario.  [`Skip bucket] means the breaker is open and the
+    scenario must be classified without execution; the payload is the
+    human-readable bucket name for [Outcome.Breaker_open]. *)
+
+val note :
+  t -> sut_name:string -> class_name:string -> crashed:bool ->
+  [ `Counted | `Tripped of string ]
+(** Record one executed scenario's fate.  Returns [`Tripped bucket] on
+    the execution that opens (or re-opens) the breaker. *)
+
+val trips : t -> trip list
+(** Buckets that tripped at least once, sorted by (SUT, class). *)
+
+val render_trip : trip -> string
+(** One summary line for the campaign report. *)

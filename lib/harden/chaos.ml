@@ -1,0 +1,105 @@
+module Rng = Conferr_util.Rng
+module Sut = Suts.Sut
+
+type fault = Crash | Hang | Storm | Flip
+
+let fault_label = function
+  | Crash -> "crash"
+  | Hang -> "hang"
+  | Storm -> "storm"
+  | Flip -> "flip"
+
+type settings = {
+  seed : int;
+  rate : float;
+  hang_s : float;
+  storm_blocks : int;
+  faults : fault list;
+}
+
+let default_settings =
+  {
+    seed = 0xC405;
+    rate = 0.1;
+    hang_s = 30.0;
+    storm_blocks = 500_000;
+    faults = [ Crash; Hang; Storm; Flip ];
+  }
+
+type stats = { mutable injected : int; mutable by_fault : (fault * int) list }
+
+let injected stats = stats.injected
+
+let by_fault stats =
+  List.sort (fun (a, _) (b, _) -> compare a b) stats.by_fault
+
+let bump stats fault =
+  stats.injected <- stats.injected + 1;
+  let n = try List.assoc fault stats.by_fault with Not_found -> 0 in
+  stats.by_fault <- (fault, n + 1) :: List.remove_assoc fault stats.by_fault
+
+(* The crash menu covers the sandbox's whole taxonomy, including the
+   asynchronous-looking ones it must specifically contain. *)
+let raise_crash rng =
+  match Rng.int rng 3 with
+  | 0 -> failwith "chaos: injected crash"
+  | 1 -> raise Stack_overflow
+  | _ -> raise Out_of_memory
+
+(* Touch memory and burn sandbox fuel so the storm is stoppable by
+   either the fuel budget or the watchdog; without both it still
+   terminates after [blocks] allocations. *)
+let allocation_storm blocks =
+  let sink = ref [] in
+  for i = 0 to blocks - 1 do
+    Sandbox.tick ();
+    sink := Bytes.create 4096 :: !sink;
+    if i land 0xFF = 0 then sink := []
+  done;
+  ignore (Sys.opaque_identity !sink)
+
+let wrap ?(settings = default_settings) sut =
+  if settings.faults = [] then invalid_arg "Chaos.wrap: empty fault list";
+  let rng = Rng.create settings.seed in
+  let lock = Mutex.create () in
+  let stats = { injected = 0; by_fault = [] } in
+  (* Workers share one generator: chaos is intentionally nondeterministic
+     under parallelism — that is the storm the quorum and journal must
+     survive; determinism lives in the chaos-off path. *)
+  let draw f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> f rng)
+  in
+  let inject () =
+    let hit = draw (fun rng -> Rng.float rng 1.0 < settings.rate) in
+    if hit then begin
+      let fault = draw (fun rng -> Rng.pick rng settings.faults) in
+      Mutex.lock lock;
+      bump stats fault;
+      Mutex.unlock lock;
+      match fault with
+      | Crash -> draw raise_crash
+      | Hang ->
+        Thread.delay settings.hang_s;
+        failwith "chaos: injected hang expired"
+      | Storm ->
+        allocation_storm settings.storm_blocks;
+        failwith "chaos: allocation storm survived"
+      | Flip -> if draw Rng.bool then failwith "chaos: coin-flip failure"
+    end
+  in
+  let boot files =
+    inject ();
+    match sut.Sut.boot files with
+    | Error _ as e -> e
+    | Ok instance ->
+      Ok
+        {
+          Sut.run_tests =
+            (fun () ->
+              inject ();
+              instance.Sut.run_tests ());
+          shutdown = instance.Sut.shutdown;
+        }
+  in
+  ({ sut with Sut.boot }, stats)

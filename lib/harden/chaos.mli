@@ -1,0 +1,45 @@
+(** Chaos self-injection: a seeded SUT wrapper that randomly sabotages
+    boot and test calls (doc/harden.md).
+
+    The wrapper exercises the hardened executor against the crash
+    taxonomy it claims to contain: uncaught exceptions (including
+    [Stack_overflow] and [Out_of_memory]), hangs that only the watchdog
+    can interrupt, fuel-burning allocation storms, and coin-flip
+    nondeterminism that the quorum must out-vote.  One generator is
+    shared by all workers, so outcomes under [--jobs N] are
+    intentionally nondeterministic — the invariants that must survive
+    are termination, exactly-once journaling and deterministic resume,
+    not the outcomes themselves. *)
+
+type fault =
+  | Crash  (** raise Failure / Stack_overflow / Out_of_memory *)
+  | Hang   (** sleep [hang_s], then fail — interruptible by the watchdog *)
+  | Storm  (** allocate [storm_blocks] blocks, burning sandbox fuel *)
+  | Flip   (** fail on a coin flip — the nondeterminism the quorum votes on *)
+
+val fault_label : fault -> string
+
+type settings = {
+  seed : int;
+  rate : float;        (** injection probability per boot/test call *)
+  hang_s : float;      (** hang duration; keep above the campaign timeout *)
+  storm_blocks : int;  (** allocations per storm *)
+  faults : fault list; (** menu to draw from; must be non-empty *)
+}
+
+val default_settings : settings
+(** rate 0.1, hang 30s, 500k blocks, all four faults. *)
+
+type stats
+(** Injection counters, updated as the wrapped SUT runs. *)
+
+val injected : stats -> int
+
+val by_fault : stats -> (fault * int) list
+(** Sorted by fault constructor. *)
+
+val wrap : ?settings:settings -> Suts.Sut.t -> Suts.Sut.t * stats
+(** [wrap sut] returns a SUT with the same name, files and default
+    configuration whose [boot] (and the resulting instance's
+    [run_tests]) may inject a fault first.  Raises [Invalid_argument]
+    on an empty fault menu. *)

@@ -1,0 +1,44 @@
+module Outcome = Conferr.Outcome
+
+type verdict = {
+  outcome : Outcome.t;
+  attempts : Outcome.t list;
+  flaky : bool;
+}
+
+let suspect = function
+  | Outcome.Crashed { cause = Outcome.Breaker_open _; _ } -> false
+  | Outcome.Crashed _ -> true
+  | Outcome.Startup_failure _ | Outcome.Test_failure _ | Outcome.Passed
+  | Outcome.Not_applicable _ ->
+    false
+
+(* Majority by outcome label; ties go to the label seen first, so the
+   vote is deterministic in the attempt order.  The representative
+   outcome is the earliest attempt carrying the winning label (its
+   messages are as good as any other member's). *)
+let vote = function
+  | [] -> invalid_arg "Quorum.vote: no attempts"
+  | attempts ->
+    let counts : (string, int) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (fun o ->
+        let l = Outcome.label o in
+        Hashtbl.replace counts l
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+      attempts;
+    let winner, _ =
+      List.fold_left
+        (fun (best_label, best_count) o ->
+          let l = Outcome.label o in
+          let c = Hashtbl.find counts l in
+          if c > best_count then (l, c) else (best_label, best_count))
+        ("", 0) attempts
+    in
+    List.find (fun o -> Outcome.label o = winner) attempts
+
+let run ~attempts f =
+  if attempts < 1 then invalid_arg "Quorum.run: attempts must be >= 1";
+  let outcomes = List.init attempts f in
+  let labels = List.sort_uniq compare (List.map Outcome.label outcomes) in
+  { outcome = vote outcomes; attempts = outcomes; flaky = List.length labels > 1 }

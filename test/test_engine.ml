@@ -176,7 +176,7 @@ let test_profile_class_filter () =
 let test_detection_rate () =
   let s =
     { Conferr.Profile.total = 4; startup = 2; functional = 1; ignored = 1;
-      not_applicable = 3 }
+      crashed = 0; not_applicable = 3 }
   in
   Alcotest.(check bool) "3/4" true (abs_float (Conferr.Profile.detection_rate s -. 0.75) < 1e-9)
 

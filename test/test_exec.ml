@@ -203,7 +203,7 @@ let test_json_roundtrip () =
 
 let test_journal_entry_roundtrip () =
   List.iter
-    (fun outcome ->
+    (fun (outcome, votes) ->
       let e =
         {
           Journal.scenario_id = "typo-0042";
@@ -212,16 +212,33 @@ let test_journal_entry_roundtrip () =
           seed = -3482680871274110419L;
           outcome;
           elapsed_ms = 0.25;
+          attempts = 3;
+          votes;
         }
       in
       match Journal.entry_of_json (Journal.entry_to_json e) with
       | Ok e' -> Alcotest.(check bool) "entry roundtrips" true (e = e')
       | Error msg -> Alcotest.failf "decode: %s" msg)
     [
-      Outcome.Passed;
-      Outcome.Startup_failure "bad directive";
-      Outcome.Test_failure [ "t1 failed"; "t2 failed" ];
-      Outcome.Not_applicable "inexpressible";
+      (Outcome.Passed, []);
+      (Outcome.Startup_failure "bad directive", []);
+      (Outcome.Test_failure [ "t1 failed"; "t2 failed" ], []);
+      (Outcome.Not_applicable "inexpressible", []);
+      ( Outcome.Crashed
+          {
+            cause = Outcome.Uncaught "Failure(\"boom\")";
+            phase = Outcome.Boot;
+            backtrace = "Raised at line 1\nCalled from line 2";
+          },
+        [
+          Outcome.Crashed
+            { cause = Outcome.Stack_overflow_crash; phase = Outcome.Test;
+              backtrace = "" };
+          Outcome.Passed;
+        ] );
+      ( Outcome.Crashed
+          { cause = Outcome.Timeout 0.5; phase = Outcome.Harness; backtrace = "" },
+        [] );
     ]
 
 let test_scenario_seed_deterministic () =
@@ -269,9 +286,15 @@ let test_executor_timeout_classified () =
       ~sut ~base ~scenarios:[ hang ] ()
   in
   Alcotest.(check int) "timeout counted" 1 snapshot.Progress.timeouts;
-  match (Profile.summarize profile).Profile.functional with
-  | 1 -> ()
-  | n -> Alcotest.failf "expected 1 functional failure, got %d" n
+  (* a scenario that exhausts its timeout budget is a harness crash
+     (the SUT never answered), not a functional failure of the SUT *)
+  (match (Profile.summarize profile).Profile.crashed with
+   | 1 -> ()
+   | n -> Alcotest.failf "expected 1 crashed, got %d" n);
+  match profile.Profile.entries with
+  | [ { outcome = Outcome.Crashed { cause = Outcome.Timeout _; phase = Outcome.Harness; _ }; _ } ] ->
+    ()
+  | _ -> Alcotest.fail "expected Crashed (Timeout) in harness phase"
 
 let suite =
   [
