@@ -8,14 +8,19 @@ build:
 test:
 	dune runtest
 
-# Three smoke campaigns through the CLI, each run twice so the second
-# run must resume from the first's journal and re-execute nothing:
+# Four smoke campaigns through the CLI, each campaign run twice so the
+# second run must resume from the first's journal and re-execute nothing:
 #   1. a fixed faultload through the parallel executor (profile);
 #   2. a small feedback-directed search (explore);
 #   3. a chaos campaign (10% fault injection into the SUT itself), whose
-#      journal must then pass fsck (doc/harden.md).
+#      journal must then pass fsck (doc/harden.md);
+#   4. an observed explore (--trace/--metrics, doc/obsv.md) whose trace
+#      must validate and whose journal+metrics must render the HTML
+#      dashboard, from the fresh journal and again after a resume.
 smoke: build
 	rm -f /tmp/conferr.jsonl /tmp/conferr-explore.jsonl /tmp/conferr-chaos.jsonl
+	rm -f /tmp/conferr-obsv.jsonl /tmp/conferr-trace.json \
+	  /tmp/conferr-metrics.prom /tmp/conferr-report.html
 	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
 	  --journal /tmp/conferr.jsonl --stats
 	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
@@ -29,6 +34,20 @@ smoke: build
 	dune exec bin/main.exe -- fsck /tmp/conferr-chaos.jsonl
 	dune exec bin/main.exe -- chaos --sut postgres --jobs 2 --timeout 0.5 \
 	  --journal /tmp/conferr-chaos.jsonl --resume --stats
+	dune exec bin/main.exe -- explore --sut postgres --jobs 2 \
+	  --budget 48 --batch 16 --journal /tmp/conferr-obsv.jsonl \
+	  --trace /tmp/conferr-trace.json --metrics /tmp/conferr-metrics.prom
+	dune exec bin/main.exe -- report --check-trace /tmp/conferr-trace.json
+	dune exec bin/main.exe -- report --journal /tmp/conferr-obsv.jsonl \
+	  --metrics /tmp/conferr-metrics.prom --html /tmp/conferr-report.html
+	test -s /tmp/conferr-metrics.prom
+	test -s /tmp/conferr-report.html
+	dune exec bin/main.exe -- explore --sut postgres --jobs 2 \
+	  --budget 48 --batch 16 --journal /tmp/conferr-obsv.jsonl --resume \
+	  --trace /tmp/conferr-trace.json --metrics /tmp/conferr-metrics.prom
+	dune exec bin/main.exe -- report --journal /tmp/conferr-obsv.jsonl \
+	  --html /tmp/conferr-report.html
+	test -s /tmp/conferr-report.html
 
 check: build test smoke
 

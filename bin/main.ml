@@ -117,6 +117,51 @@ let stats_arg =
     value & flag
     & info [ "stats" ] ~doc:"Also print campaign execution statistics.")
 
+(* Observability flags (see doc/obsv.md). *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record per-scenario phase spans and write them to $(docv) as \
+           Chrome trace-event JSON (load it in ui.perfetto.dev or \
+           chrome://tracing).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect campaign metrics and write a Prometheus text-format \
+           snapshot to $(docv) when the run finishes.")
+
+(* Build the observers requested by --trace/--metrics, run the campaign,
+   then write the files.  With neither flag the campaign runs exactly as
+   before (no clock, byte-identical journal and profile). *)
+let with_observers ~trace ~metrics f =
+  let tracer = Option.map (fun _ -> Conferr_obsv.Trace.create ()) trace in
+  let registry = Option.map (fun _ -> Conferr_obsv.Metrics.create ()) metrics in
+  let result = f tracer registry in
+  (try
+     (match (trace, tracer) with
+      | Some path, Some t ->
+        Conferr_obsv.Trace.write_file t path;
+        if Conferr_obsv.Trace.dropped t > 0 then
+          Printf.eprintf
+            "conferr: warning: trace ring overflow, %d scenario(s) not recorded\n"
+            (Conferr_obsv.Trace.dropped t)
+      | _ -> ());
+     match (metrics, registry) with
+     | Some path, Some r -> Conferr_obsv.Metrics.write_file r path
+     | _ -> ()
+   with Sys_error msg ->
+     Printf.eprintf "conferr: %s\n" msg;
+     exit 1);
+  result
+
 (* --resume without --journal used to be silently ignored (there is
    nothing to resume from); fail loudly instead. *)
 let require_journal_for_resume ~journal ~resume =
@@ -174,7 +219,7 @@ let list_cmd =
 
 let profile_cmd =
   let run sut seed entries csv by_level verbose jobs journal resume timeout retries
-      signatures stats =
+      signatures stats trace metrics =
     setup_logging verbose;
     let rng = Conferr_util.Rng.create seed in
     match Conferr.Engine.parse_default_config sut with
@@ -186,12 +231,18 @@ let profile_cmd =
         Conferr.Campaign.typo_scenarios ~rng
           ~faultload:Conferr.Campaign.paper_faultload sut base
       in
-      let settings =
-        executor_settings ~scenario_count:(List.length scenarios) ~jobs ~seed
-          ~journal ~resume ~timeout ~retries ()
-      in
       let profile, snapshot =
-        run_campaign ~settings ~sut ~base ~scenarios ()
+        with_observers ~trace ~metrics (fun tracer registry ->
+            let settings =
+              {
+                (executor_settings ~scenario_count:(List.length scenarios)
+                   ~jobs ~seed ~journal ~resume ~timeout ~retries ())
+                with
+                trace = tracer;
+                metrics = registry;
+              }
+            in
+            run_campaign ~settings ~sut ~base ~scenarios ())
       in
       if csv then print_string (Conferr.Profile.to_csv profile)
       else begin
@@ -236,7 +287,7 @@ let profile_cmd =
     Term.(
       const run $ sut $ seed_arg $ entries_arg $ csv $ by_level $ verbose_arg
       $ jobs_arg $ journal_arg $ resume_arg $ timeout_arg $ retries_arg
-      $ signatures_arg $ stats_arg)
+      $ signatures_arg $ stats_arg $ trace_arg $ metrics_arg)
 
 let benchmark_cmd =
   let run seed experiments =
@@ -303,7 +354,7 @@ let variations_cmd =
     Term.(const run $ sut $ seed_arg)
 
 let semantic_cmd =
-  let run sut entries jobs journal resume stats =
+  let run sut entries jobs journal resume stats trace metrics =
     let codec =
       match sut.Suts.Sut.sut_name with
       | "bind" -> Dnsmodel.Codec.bind ~zones:Suts.Mini_bind.zones
@@ -321,12 +372,18 @@ let semantic_cmd =
         Dnsmodel.Rfc1912.scenarios ~codec ~faults:Dnsmodel.Rfc1912.all_faults base
         |> Errgen.Scenario.relabel_ids ~prefix:"semantic"
       in
-      let settings =
-        executor_settings ~scenario_count:(List.length scenarios) ~jobs ~seed:42
-          ~journal ~resume ~timeout:None ~retries:0 ()
-      in
       let profile, snapshot =
-        run_campaign ~settings ~sut ~base ~scenarios ()
+        with_observers ~trace ~metrics (fun tracer registry ->
+            let settings =
+              {
+                (executor_settings ~scenario_count:(List.length scenarios)
+                   ~jobs ~seed:42 ~journal ~resume ~timeout:None ~retries:0 ())
+                with
+                trace = tracer;
+                metrics = registry;
+              }
+            in
+            run_campaign ~settings ~sut ~base ~scenarios ())
       in
       print_string (Conferr.Profile.render profile);
       if entries then print_string (Conferr.Profile.render_entries profile);
@@ -346,29 +403,13 @@ let semantic_cmd =
        ~doc:"Run the full RFC-1912 semantic fault catalog against a DNS SUT.")
     Term.(
       const run $ sut $ entries_arg $ jobs_arg $ journal_arg $ resume_arg
-      $ stats_arg)
+      $ stats_arg $ trace_arg $ metrics_arg)
 
 let explore_cmd =
   let run sut seed entries verbose jobs journal resume timeout retries budget
-      batch plateau wallclock quarantine stats =
+      batch plateau wallclock quarantine stats trace metrics =
     setup_logging verbose;
     require_journal_for_resume ~journal ~resume;
-    let settings =
-      {
-        Conferr_adapt.Explore.default_settings with
-        jobs = checked_jobs jobs;
-        batch;
-        budget;
-        plateau;
-        wallclock_s = wallclock;
-        timeout_s = timeout;
-        retries;
-        campaign_seed = seed;
-        journal_path = journal;
-        resume;
-        quarantine_path = quarantine;
-      }
-    in
     let stream base =
       Errgen.Gen.of_generator ~prefix:"typo" ~seed
         (fun ~rng set ->
@@ -377,10 +418,29 @@ let explore_cmd =
         base
     in
     match
-      (try Conferr_adapt.Explore.run ~settings ~sut ~stream () with
-       | Sys_error msg ->
-         Printf.eprintf "conferr: %s\n" msg;
-         exit 1)
+      with_observers ~trace ~metrics (fun tracer registry ->
+          let settings =
+            {
+              Conferr_adapt.Explore.default_settings with
+              jobs = checked_jobs jobs;
+              batch;
+              budget;
+              plateau;
+              wallclock_s = wallclock;
+              timeout_s = timeout;
+              retries;
+              campaign_seed = seed;
+              journal_path = journal;
+              resume;
+              quarantine_path = quarantine;
+              trace = tracer;
+              metrics = registry;
+            }
+          in
+          try Conferr_adapt.Explore.run ~settings ~sut ~stream () with
+          | Sys_error msg ->
+            Printf.eprintf "conferr: %s\n" msg;
+            exit 1)
     with
     | Error e ->
       prerr_endline (Conferr.Engine.config_error_to_string e);
@@ -452,43 +512,55 @@ let explore_cmd =
     Term.(
       const run $ sut $ seed_arg $ entries_arg $ verbose_arg $ jobs_arg
       $ journal_arg $ resume_arg $ timeout_arg $ retries_arg $ budget $ batch
-      $ plateau $ wallclock $ quarantine $ stats_arg)
+      $ plateau $ wallclock $ quarantine $ stats_arg $ trace_arg $ metrics_arg)
 
 let chaos_cmd =
   let run sut seed chaos_seed rate verbose jobs journal resume timeout retries
-      quorum breaker quarantine fuel entries stats =
+      quorum breaker quarantine fuel entries stats trace metrics =
     setup_logging verbose;
     if rate < 0.0 || rate > 1.0 then begin
       prerr_endline "conferr: --chaos-rate must be within [0; 1]";
       exit 2
     end;
-    let chaos_settings =
-      { Conferr_harden.Chaos.default_settings with seed = chaos_seed; rate }
+    (* The observers wrap the whole campaign (not just the executor) so
+       the chaos injector can count its faults in the same registry. *)
+    let profile, chaos_stats, snapshot =
+      with_observers ~trace ~metrics (fun tracer registry ->
+          let chaos_settings =
+            { Conferr_harden.Chaos.default_settings with seed = chaos_seed; rate }
+          in
+          let chaotic, chaos_stats =
+            Conferr_harden.Chaos.wrap ~settings:chaos_settings ?metrics:registry
+              sut
+          in
+          match Conferr.Engine.parse_default_config sut with
+          | Error msg ->
+            prerr_endline msg;
+            exit 1
+          | Ok base ->
+            let scenarios =
+              Conferr.Campaign.typo_scenarios ~rng:(Conferr_util.Rng.create seed)
+                ~faultload:Conferr.Campaign.paper_faultload sut base
+            in
+            let settings =
+              {
+                (executor_settings ~scenario_count:(List.length scenarios) ~jobs
+                   ~seed ~journal ~resume ~timeout:(Some timeout) ~retries ())
+                with
+                quorum;
+                breaker = (if breaker <= 0 then None else Some breaker);
+                quarantine_dir = quarantine;
+                fuel;
+                trace = tracer;
+                metrics = registry;
+              }
+            in
+            let profile, snapshot =
+              run_campaign ~settings ~sut:chaotic ~base ~scenarios ()
+            in
+            (profile, chaos_stats, snapshot))
     in
-    let chaotic, chaos_stats = Conferr_harden.Chaos.wrap ~settings:chaos_settings sut in
-    match Conferr.Engine.parse_default_config sut with
-    | Error msg ->
-      prerr_endline msg;
-      exit 1
-    | Ok base ->
-      let scenarios =
-        Conferr.Campaign.typo_scenarios ~rng:(Conferr_util.Rng.create seed)
-          ~faultload:Conferr.Campaign.paper_faultload sut base
-      in
-      let settings =
-        {
-          (executor_settings ~scenario_count:(List.length scenarios) ~jobs ~seed
-             ~journal ~resume ~timeout:(Some timeout) ~retries ())
-          with
-          quorum;
-          breaker = (if breaker <= 0 then None else Some breaker);
-          quarantine_dir = quarantine;
-          fuel;
-        }
-      in
-      let profile, snapshot =
-        run_campaign ~settings ~sut:chaotic ~base ~scenarios ()
-      in
+    begin
       print_string (Conferr.Profile.render profile);
       if entries then print_string (Conferr.Profile.render_entries profile);
       Printf.printf "\nChaos injection: %d fault(s) injected%s\n"
@@ -506,6 +578,7 @@ let chaos_cmd =
         print_newline ();
         print_string (Conferr_exec.Progress.render snapshot)
       end
+    end
   in
   let sut =
     Arg.(
@@ -571,7 +644,7 @@ let chaos_cmd =
     Term.(
       const run $ sut $ seed_arg $ chaos_seed $ rate $ verbose_arg $ jobs_arg
       $ journal_arg $ resume_arg $ timeout $ retries_arg $ quorum $ breaker
-      $ quarantine $ fuel $ entries_arg $ stats_arg)
+      $ quarantine $ fuel $ entries_arg $ stats_arg $ trace_arg $ metrics_arg)
 
 let fsck_cmd =
   let run journal repair =
@@ -579,6 +652,16 @@ let fsck_cmd =
       if repair then Conferr_exec.Journal.repair journal
       else Conferr_exec.Journal.fsck journal
     in
+    if
+      report.Conferr_exec.Journal.valid = 0
+      && report.Conferr_exec.Journal.torn = 0
+      && report.Conferr_exec.Journal.corrupt = 0
+    then begin
+      (* A 0-byte journal is what a campaign that never reached its first
+         append leaves behind; it is clean, not damaged. *)
+      Printf.printf "%s: empty journal\n" journal;
+      exit 0
+    end;
     Printf.printf
       "%s: %d valid line(s), %d torn, %d corrupt (valid prefix: %d bytes)\n"
       journal report.Conferr_exec.Journal.valid report.Conferr_exec.Journal.torn
@@ -644,33 +727,142 @@ let suggest_cmd =
     Term.(const run $ sut $ seed_arg)
 
 let report_cmd =
-  let run sut seed =
-    let semantic_codec =
-      match sut.Suts.Sut.sut_name with
-      | "bind" -> Some (Dnsmodel.Codec.bind ~zones:Suts.Mini_bind.zones)
-      | "djbdns" -> Some (Dnsmodel.Codec.tinydns ~file:Suts.Mini_djbdns.data_file)
-      | _ -> None
+  let read_file path =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Printf.eprintf "conferr: %s\n" msg;
+      exit 1
+  in
+  let row_of_entry (e : Conferr_exec.Journal.entry) =
+    let profile_entry =
+      {
+        Conferr.Profile.scenario_id = e.Conferr_exec.Journal.scenario_id;
+        class_name = e.Conferr_exec.Journal.class_name;
+        description = e.Conferr_exec.Journal.description;
+        outcome = e.Conferr_exec.Journal.outcome;
+      }
     in
-    let excluded_variations =
-      if sut.Suts.Sut.sut_name = "apache" then
-        [ Errgen.Variations.Reorder_sections ]
-      else []
+    let key = Conferr_exec.Signature.of_entry profile_entry in
+    let detail =
+      match e.Conferr_exec.Journal.outcome with
+      | Conferr.Outcome.Startup_failure msg -> msg
+      | Conferr.Outcome.Test_failure msgs -> String.concat "; " msgs
+      | Conferr.Outcome.Passed -> ""
+      | Conferr.Outcome.Not_applicable msg -> msg
+      | Conferr.Outcome.Crashed c -> Conferr.Outcome.crash_summary c
     in
-    let report =
-      Conferr.Report.generate ~seed ~excluded_variations ?semantic_codec sut
-    in
-    print_string (Conferr.Report.render report)
+    {
+      Conferr_obsv.Report.id = e.Conferr_exec.Journal.scenario_id;
+      class_name = e.Conferr_exec.Journal.class_name;
+      outcome = Conferr.Outcome.label e.Conferr_exec.Journal.outcome;
+      detail;
+      signature =
+        Printf.sprintf "%s | %s | %s" key.Conferr_exec.Signature.class_name
+          key.Conferr_exec.Signature.label key.Conferr_exec.Signature.message;
+      elapsed_ms = e.Conferr_exec.Journal.elapsed_ms;
+      attempts = e.Conferr_exec.Journal.attempts;
+      flaky = e.Conferr_exec.Journal.votes <> [];
+      phase_ms = e.Conferr_exec.Journal.phase_ms;
+    }
+  in
+  let check_trace_file path =
+    let text = read_file path in
+    match Conferr_exec.Json.of_string (String.trim text) with
+    | Error msg ->
+      Printf.eprintf "conferr: %s: %s\n" path msg;
+      exit 1
+    | Ok json ->
+      (match Conferr_exec.Json.member "traceEvents" json with
+       | Some (Conferr_exec.Json.Arr events) ->
+         Printf.printf "trace OK: %d event(s)\n" (List.length events)
+       | _ ->
+         Printf.eprintf "conferr: %s: no traceEvents array\n" path;
+         exit 1)
+  in
+  let run sut seed journal html metrics check_trace =
+    match (check_trace, journal, sut) with
+    | Some path, _, _ -> check_trace_file path
+    | None, Some jpath, _ ->
+      let rows = List.map row_of_entry (Conferr_exec.Journal.load jpath) in
+      let metrics_text = Option.map read_file metrics in
+      let title = "conferr campaign \xe2\x80\x94 " ^ Filename.basename jpath in
+      (try Conferr_obsv.Report.write_file ~title ~rows ?metrics_text html
+       with Sys_error msg ->
+         Printf.eprintf "conferr: %s\n" msg;
+         exit 1);
+      Printf.printf "wrote %s (%d row(s))\n" html (List.length rows)
+    | None, None, Some sut ->
+      let semantic_codec =
+        match sut.Suts.Sut.sut_name with
+        | "bind" -> Some (Dnsmodel.Codec.bind ~zones:Suts.Mini_bind.zones)
+        | "djbdns" -> Some (Dnsmodel.Codec.tinydns ~file:Suts.Mini_djbdns.data_file)
+        | _ -> None
+      in
+      let excluded_variations =
+        if sut.Suts.Sut.sut_name = "apache" then
+          [ Errgen.Variations.Reorder_sections ]
+        else []
+      in
+      let report =
+        Conferr.Report.generate ~seed ~excluded_variations ?semantic_codec sut
+      in
+      print_string (Conferr.Report.render report)
+    | None, None, None ->
+      prerr_endline
+        "conferr: report needs --sut (full text report), --journal (HTML \
+         dashboard) or --check-trace";
+      exit 2
   in
   let sut =
     Arg.(
-      required
+      value
       & opt (some sut_conv) None
-      & info [ "sut" ] ~docv:"SUT" ~doc:"System under test.")
+      & info [ "sut" ] ~docv:"SUT"
+          ~doc:"System under test for the full text report.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Render the HTML resilience dashboard from this campaign journal \
+             instead of running campaigns (doc/obsv.md).")
+  in
+  let html =
+    Arg.(
+      value & opt string "report.html"
+      & info [ "html" ] ~docv:"PATH"
+          ~doc:"Output path of the HTML dashboard (with --journal).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Prometheus snapshot written by a campaign's --metrics flag; \
+             feeds the dashboard's hardening panels (with --journal).")
+  in
+  let check_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check-trace" ] ~docv:"PATH"
+          ~doc:
+            "Validate a Chrome trace-event file written by --trace and print \
+             its event count.")
   in
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Generate the full assessment report for one SUT (all campaigns).")
-    Term.(const run $ sut $ seed_arg)
+       ~doc:
+         "Generate the full assessment report for one SUT (all campaigns), \
+          or render the HTML dashboard for a recorded campaign journal.")
+    Term.(const run $ sut $ seed_arg $ journal $ html $ metrics $ check_trace)
 
 let main =
   Cmd.group

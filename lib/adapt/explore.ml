@@ -10,6 +10,9 @@ module Progress = Conferr_exec.Progress
 module Texttable = Conferr_util.Texttable
 module Sandbox = Conferr_harden.Sandbox
 module Repro = Conferr_harden.Repro
+module Clock = Conferr_obsv.Clock
+module Trace = Conferr_obsv.Trace
+module Metrics = Conferr_obsv.Metrics
 
 type settings = {
   jobs : int;
@@ -24,6 +27,8 @@ type settings = {
   resume : bool;
   quarantine_path : string option;
   fuel : int option;
+  trace : Trace.t option;
+  metrics : Metrics.t option;
 }
 
 let default_settings =
@@ -40,6 +45,8 @@ let default_settings =
     resume = false;
     quarantine_path = None;
     fuel = None;
+    trace = None;
+    metrics = None;
   }
 
 type stop_reason =
@@ -118,14 +125,14 @@ let timeout_crash ~timeout_s =
 (* Sandboxed boot+test: a raising SUT yields [Crashed], never an
    escaping exception; returns the outcome and how many executions it
    took (1 + timeout retries). *)
-let boot_with_deadline ~settings ~emit ~sut ~index (s : Scenario.t) files =
+let boot_with_deadline ?probe ~settings ~emit ~sut ~index (s : Scenario.t) files =
   match settings.timeout_s with
-  | None -> (Sandbox.boot_and_test ?fuel:settings.fuel sut files, 1)
+  | None -> (Sandbox.boot_and_test ?fuel:settings.fuel ?probe sut files, 1)
   | Some timeout_s ->
     let rec attempt k =
       match
         Conferr_pool.with_timeout ~timeout_s (fun () ->
-            Sandbox.boot_and_test ?fuel:settings.fuel sut files)
+            Sandbox.boot_and_test ?fuel:settings.fuel ?probe sut files)
       with
       | Some outcome -> (outcome, k)
       | None ->
@@ -294,7 +301,7 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
       discovery_rev := fr :: !discovery_rev;
       true
   in
-  let journal_entry ?(attempts = 1) (s : Scenario.t) outcome elapsed_ms =
+  let journal_entry ?(attempts = 1) ?(phase_ms = []) (s : Scenario.t) outcome elapsed_ms =
     {
       Journal.scenario_id = s.id;
       class_name = s.class_name;
@@ -304,7 +311,45 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
       elapsed_ms;
       attempts;
       votes = [];
+      phase_ms;
     }
+  in
+  (* Observability is inert unless asked for (doc/obsv.md).  Explore
+     traces the spawn/run/classify phases only: generate and serialize
+     happen inside the mutant cache, before scheduling. *)
+  let observing = settings.trace <> None || settings.metrics <> None in
+  (match settings.metrics with
+   | None -> ()
+   | Some reg ->
+     Metrics.declare reg Metrics.Counter "conferr_scenario_outcomes_total"
+       ~help:"Finished scenarios, by (SUT, fault class, outcome label)";
+     Metrics.declare reg Metrics.Histogram "conferr_scenario_ms"
+       ~help:"End-to-end wall milliseconds per scenario";
+     Metrics.declare reg Metrics.Histogram "conferr_phase_ms"
+       ~help:"Wall milliseconds per pipeline phase (doc/obsv.md)");
+  let observe_entry (s : Scenario.t) clock (je : Journal.entry) =
+    (match (settings.trace, clock) with
+     | Some tr, Some c -> Trace.record tr ~id:s.id ~class_name:s.class_name c
+     | _ -> ());
+    match settings.metrics with
+    | None -> ()
+    | Some reg ->
+      (* label lists in canonical key order so the registry's sortedness
+         fast path never re-allocates *)
+      let sut_name = sut.Suts.Sut.sut_name in
+      Metrics.inc reg "conferr_scenario_outcomes_total"
+        ~labels:
+          [ ("class", s.class_name); ("outcome", Outcome.label je.outcome);
+            ("sut", sut_name) ];
+      Metrics.observe reg "conferr_scenario_ms"
+        ~labels:[ ("class", s.class_name); ("sut", sut_name) ]
+        je.elapsed_ms;
+      List.iter
+        (fun (phase, ms) ->
+          Metrics.observe reg "conferr_phase_ms"
+            ~labels:[ ("phase", phase); ("sut", sut_name) ]
+            ms)
+        je.phase_ms
   in
   let process_batch picked =
     (* 1. classify sequentially: journal hit / duplicate / n-a / fresh *)
@@ -347,11 +392,17 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
         (fun index ((s : Scenario.t), files) ->
           emit (Progress.Started { index; id = s.id });
           let t_start = Unix.gettimeofday () in
+          let clock = if observing then Some (Clock.create ()) else None in
+          let probe = Option.map Clock.probe clock in
           let outcome, attempts =
-            boot_with_deadline ~settings ~emit ~sut ~index s files
+            boot_with_deadline ?probe ~settings ~emit ~sut ~index s files
           in
           let elapsed_ms = (Unix.gettimeofday () -. t_start) *. 1000. in
-          let je = journal_entry ~attempts s outcome elapsed_ms in
+          let phase_ms =
+            match clock with Some c -> Clock.phase_ms c | None -> []
+          in
+          let je = journal_entry ~attempts ~phase_ms s outcome elapsed_ms in
+          observe_entry s clock je;
           Option.iter (fun w -> Journal.append w je) writer;
           emit
             (Progress.Finished
@@ -426,6 +477,26 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
   Option.iter
     (fun path -> Journal.checkpoint path entries)
     settings.journal_path;
+  (match settings.metrics with
+   | None -> ()
+   | Some reg ->
+     (* final search state as gauges: exact values, resume-safe *)
+     Metrics.set reg "conferr_explore_considered" (float_of_int !considered);
+     Metrics.set reg "conferr_explore_executed" (float_of_int !executed);
+     Metrics.set reg "conferr_explore_duplicates" (float_of_int !duplicates);
+     Metrics.set reg "conferr_explore_not_applicable"
+       (float_of_int !not_applicable);
+     Metrics.set reg "conferr_explore_resumed" (float_of_int !resumed);
+     Metrics.set reg "conferr_explore_deferred" (float_of_int !deferred);
+     Metrics.set reg "conferr_explore_batches" (float_of_int !batch_no);
+     Metrics.set reg "conferr_explore_signatures"
+       (float_of_int (Hashtbl.length seen));
+     Hashtbl.iter
+       (fun (class_name, file) (b : bucket) ->
+         Metrics.set reg "conferr_explore_energy"
+           ~labels:[ ("class", class_name); ("file", file) ]
+           b.energy)
+       buckets);
   {
     sut_name = sut.Suts.Sut.sut_name;
     frontier = List.rev_map (fun fr -> !fr) !discovery_rev;

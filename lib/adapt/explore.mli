@@ -47,13 +47,22 @@ type settings = {
   fuel : int option;
       (** cooperative step budget per execution
           ({!Conferr_harden.Sandbox.tick}); [None] = unlimited *)
+  trace : Conferr_obsv.Trace.t option;
+      (** span tracer for executed scenarios (doc/obsv.md).  Explore
+          records the spawn/run/classify phases only: generate and
+          serialize happen inside {!Mutant_cache}, before scheduling.
+          [None] (default) records nothing *)
+  metrics : Conferr_obsv.Metrics.t option;
+      (** metrics registry: per-scenario outcome/latency families plus
+          the final search state ([conferr_explore_*] gauges, including
+          per-bucket energies); [None] (default) records nothing *)
 }
 
 val default_settings : settings
 (** [{ jobs = 1; batch = 32; budget = None; wallclock_s = None;
       plateau = 4; timeout_s = None; retries = 0; campaign_seed = 42;
       journal_path = None; resume = false; quarantine_path = None;
-      fuel = None }] *)
+      fuel = None; trace = None; metrics = None }] *)
 
 type stop_reason =
   | Budget_exhausted

@@ -6,6 +6,9 @@ module Sandbox = Conferr_harden.Sandbox
 module Quorum = Conferr_harden.Quorum
 module Breaker = Conferr_harden.Breaker
 module Repro = Conferr_harden.Repro
+module Clock = Conferr_obsv.Clock
+module Trace = Conferr_obsv.Trace
+module Metrics = Conferr_obsv.Metrics
 
 type settings = {
   jobs : int;
@@ -18,6 +21,8 @@ type settings = {
   breaker : int option;
   quarantine_dir : string option;
   fuel : int option;
+  trace : Trace.t option;
+  metrics : Metrics.t option;
 }
 
 let default_settings =
@@ -32,6 +37,8 @@ let default_settings =
     breaker = None;
     quarantine_dir = None;
     fuel = None;
+    trace = None;
+    metrics = None;
   }
 
 let jobs_floor = 64
@@ -96,14 +103,33 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~su
   in
   let arr = Array.of_list scenarios in
   let total = Array.length arr in
-  let progress = Progress.create ~total in
+  (* Observability is inert unless asked for: with both [trace] and
+     [metrics] at [None] no clock is created and the journal/profile
+     bytes are identical to an unobserved run (doc/obsv.md). *)
+  let observing = settings.trace <> None || settings.metrics <> None in
+  (match settings.metrics with
+   | None -> ()
+   | Some reg ->
+     Metrics.declare reg Metrics.Counter "conferr_scenario_outcomes_total"
+       ~help:"Finished scenarios, by (SUT, fault class, outcome label)";
+     Metrics.declare reg Metrics.Histogram "conferr_scenario_ms"
+       ~help:"End-to-end wall milliseconds per scenario";
+     Metrics.declare reg Metrics.Histogram "conferr_phase_ms"
+       ~help:"Wall milliseconds per pipeline phase (doc/obsv.md)";
+     Metrics.declare reg Metrics.Counter "conferr_quorum_attempts_total"
+       ~help:"SUT executions behind finished scenarios (retries included)");
+  let progress = Progress.create ?metrics:settings.metrics ~total () in
   let emit_lock = Mutex.create () in
   let emit ev =
     Progress.note progress ev;
     Mutex.lock emit_lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock emit_lock) (fun () -> on_event ev)
   in
-  let breaker = Option.map (fun threshold -> Breaker.create ~threshold ()) settings.breaker in
+  let breaker =
+    Option.map
+      (fun threshold -> Breaker.create ~threshold ?metrics:settings.metrics ())
+      settings.breaker
+  in
   let flaky_lock = Mutex.create () in
   let flaky_ids = ref [] in
   let journaled : (string, Journal.entry) Hashtbl.t = Hashtbl.create 64 in
@@ -134,19 +160,21 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~su
     emit (Progress.Started { index; id = s.id });
     let t0 = Unix.gettimeofday () in
     let attempts = ref 0 in
+    let clock = if observing then Some (Clock.create ()) else None in
+    let probe = Option.map Clock.probe clock in
     (* one sandboxed execution, watchdogged and retried; timeout
        exhaustion is a harness-phase crash, not a functional failure *)
     let execute () =
       match settings.timeout_s with
       | None ->
         incr attempts;
-        Sandbox.run_scenario ?fuel:settings.fuel ~sut ~base s
+        Sandbox.run_scenario ?fuel:settings.fuel ?probe ~sut ~base s
       | Some timeout_s ->
         let rec attempt k =
           incr attempts;
           match
             Conferr_pool.with_timeout ~timeout_s (fun () ->
-                Sandbox.run_scenario ?fuel:settings.fuel ~sut ~base s)
+                Sandbox.run_scenario ?fuel:settings.fuel ?probe ~sut ~base s)
           with
           | Some outcome -> outcome
           | None ->
@@ -202,6 +230,7 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~su
          (Repro.write ~dir ~sut ~base ~seed:settings.campaign_seed s crash)
      | _ -> ());
     let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let phase_ms = match clock with Some c -> Clock.phase_ms c | None -> [] in
     let entry =
       {
         Journal.scenario_id = s.id;
@@ -212,8 +241,33 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~su
         elapsed_ms;
         attempts = !attempts;
         votes;
+        phase_ms;
       }
     in
+    (match (settings.trace, clock) with
+     | Some tr, Some c -> Trace.record tr ~id:s.id ~class_name:s.class_name c
+     | _ -> ());
+    (match settings.metrics with
+     | None -> ()
+     | Some reg ->
+       (* label lists in canonical key order, the shared one built once:
+          the registry's sortedness fast path then never re-allocates *)
+       let sut_name = sut.Suts.Sut.sut_name in
+       let class_sut = [ ("class", s.class_name); ("sut", sut_name) ] in
+       Metrics.inc reg "conferr_scenario_outcomes_total"
+         ~labels:
+           [ ("class", s.class_name); ("outcome", Outcome.label outcome);
+             ("sut", sut_name) ];
+       Metrics.observe reg "conferr_scenario_ms" ~labels:class_sut elapsed_ms;
+       List.iter
+         (fun (phase, ms) ->
+           Metrics.observe reg "conferr_phase_ms"
+             ~labels:[ ("phase", phase); ("sut", sut_name) ]
+             ms)
+         phase_ms;
+       if !attempts > 0 then
+         Metrics.inc reg "conferr_quorum_attempts_total"
+           ~by:(float_of_int !attempts) ~labels:class_sut);
     Option.iter (fun w -> Journal.append w entry) writer;
     emit
       (Progress.Finished

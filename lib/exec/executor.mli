@@ -53,13 +53,24 @@ type settings = {
   fuel : int option;
       (** cooperative step budget per execution
           ({!Conferr_harden.Sandbox.tick}); [None] = unlimited *)
+  trace : Conferr_obsv.Trace.t option;
+      (** span tracer: each scenario records its pipeline phases
+          (generate/serialize/spawn/run/classify) for Chrome
+          trace-event export; [None] (default) records nothing *)
+  metrics : Conferr_obsv.Metrics.t option;
+      (** metrics registry shared with {!Progress}, the breaker and the
+          per-scenario outcome/latency families (doc/obsv.md); [None]
+          (default) records nothing.  With either observer set, journal
+          entries also carry per-phase wall times ([phase_ms]) *)
 }
 
 val default_settings : settings
 (** [{ jobs = 1; timeout_s = None; retries = 0; campaign_seed = 42;
       journal_path = None; resume = false; quorum = 1; breaker = None;
-      quarantine_dir = None; fuel = None }] — hardening off by default,
-    so existing callers behave exactly as before. *)
+      quarantine_dir = None; fuel = None; trace = None;
+      metrics = None }] — hardening and observability off by default,
+    so existing callers behave exactly as before (profiles and
+    journals are byte-identical to an unobserved run). *)
 
 val clamp_jobs :
   ?scenario_count:int -> int -> (int * string option, string) result

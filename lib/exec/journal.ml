@@ -11,6 +11,7 @@ type entry = {
   elapsed_ms : float;
   attempts : int;
   votes : Outcome.t list;
+  phase_ms : (string * float) list;
 }
 
 (* The outcome is stored as its profile label plus the detail messages;
@@ -69,7 +70,14 @@ let entry_to_json e =
     if e.votes = [] then []
     else [ ("votes", Json.Arr (List.map outcome_to_json e.votes)) ]
   in
-  Json.Obj (base @ votes)
+  (* "phase" arrived with v2.1 (observability); omitted when empty so
+     journals written with tracing off are byte-identical to v2. *)
+  let phase =
+    if e.phase_ms = [] then []
+    else
+      [ ("phase", Json.Obj (List.map (fun (p, ms) -> (p, Json.Num ms)) e.phase_ms)) ]
+  in
+  Json.Obj (base @ votes @ phase)
 
 let ( let* ) = Result.bind
 
@@ -118,9 +126,23 @@ let entry_of_json j =
       |> Result.map List.rev
     | Some _ -> Error "ill-typed field \"votes\""
   in
+  let* phase_ms =
+    match Json.member "phase" j with
+    | None -> Ok []
+    | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (p, v) ->
+          let* acc = acc in
+          match Json.num v with
+          | Some ms when ms >= 0.0 -> Ok ((p, ms) :: acc)
+          | _ -> Error "ill-typed field \"phase\"")
+        (Ok []) fields
+      |> Result.map List.rev
+    | Some _ -> Error "ill-typed field \"phase\""
+  in
   Ok
     { scenario_id; class_name; description; seed; outcome; elapsed_ms;
-      attempts; votes }
+      attempts; votes; phase_ms }
 
 (* v2 line: {"v":2,"crc":"<8 hex>","entry":{...}}.  The CRC covers the
    canonical serialization of the entry member; the codec round-trips

@@ -16,10 +16,19 @@
     The CRC covers the canonical serialization of the ["entry"] member.
     Version-1 journals (the bare entry object, no wrapper) still load.
     [seed] is the per-scenario RNG seed as a decimal [int64] string
-    (JSON numbers cannot carry 64 bits losslessly). *)
+    (JSON numbers cannot carry 64 bits losslessly).
+
+    Format v2.1 (the observability layer, doc/obsv.md) added one
+    optional field: ["phase":{"generate":0.02,…}] records per-phase
+    wall milliseconds when the campaign ran with [--trace] or
+    [--metrics].  The field is omitted when empty, so journals written
+    with observability off are byte-identical to plain v2; v2 and v1
+    files still load, and {!fsck} validates the field's shape when
+    present. *)
 
 val format_version : int
-(** Currently 2. *)
+(** Currently 2 (v2.1 is the same wire version plus the optional
+    ["phase"] field). *)
 
 type entry = {
   scenario_id : string;
@@ -33,6 +42,10 @@ type entry = {
   votes : Conferr.Outcome.t list;
       (** every quorum attempt, in order, when they disagreed (the
           scenario is flaky); [[]] otherwise *)
+  phase_ms : (string * float) list;
+      (** per-phase wall milliseconds keyed by {!Conferr_obsv.Span}
+          label, in pipeline order; [[]] when the campaign ran without
+          observability (v2.1) *)
 }
 
 val entry_to_json : entry -> Json.t

@@ -1,31 +1,11 @@
-(** Minimal JSON encoder/decoder for the result journal.
+(** Alias of {!Conferr_obsv.Json}, the minimal JSON codec.
 
-    The journal needs exactly the JSON subset below (objects of strings,
-    numbers, and string arrays, one object per line); depending on an
-    external JSON package for that would be the only third-party data
-    dependency in the tree, so the codec is written out here.  Strings
-    are treated as raw bytes: any byte outside printable ASCII is
-    emitted as a [\u00XX] escape, so journal lines are always 7-bit
-    clean and newline-free. *)
+    The implementation moved to [lib/obsv] when the observability layer
+    was added (its trace exporter needs the codec and sits below the
+    executor); this module keeps the historical [Conferr_exec.Json]
+    path — including the type equality, so values flow freely between
+    the two names. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
-
-val to_string : t -> string
-(** One-line rendering (no newlines, no insignificant whitespace). *)
-
-val of_string : string -> (t, string) result
-(** Parse one value; trailing garbage is an error.  Only the constructs
-    [to_string] emits are guaranteed to round-trip. *)
-
-(** {1 Accessors} — all total, returning [None] on shape mismatch. *)
-
-val member : string -> t -> t option
-val str : t -> string option
-val num : t -> float option
-val str_list : t -> string list option
+include module type of struct
+  include Conferr_obsv.Json
+end

@@ -1,3 +1,5 @@
+module Metrics = Conferr_obsv.Metrics
+
 let src = Logs.Src.create "conferr.exec" ~doc:"ConfErr campaign executor"
 
 module Log = (val Logs.src_log src : Logs.LOG)
@@ -11,57 +13,45 @@ type event =
   | Breaker_skipped of { index : int; id : string; bucket : string }
   | Breaker_tripped of { bucket : string }
 
-type t = {
-  total : int;
-  t0 : float;
-  lock : Mutex.t;
-  mutable resumed : int;
-  mutable started : int;
-  mutable finished : int;
-  mutable timeouts : int;
-  mutable retries : int;
-  mutable flaky : int;
-  mutable breaker_skipped : int;
-  mutable by_label : (string * int) list;
-  mutable breaker_trips : (string * int) list;
-}
+(* The counters live in a metrics registry (doc/obsv.md) instead of a
+   private record, so a campaign run with [--metrics] exports exactly
+   the numbers the progress block prints — one source of truth. *)
+type t = { total : int; t0 : float; reg : Metrics.t }
 
-let create ~total =
-  {
-    total;
-    t0 = Unix.gettimeofday ();
-    lock = Mutex.create ();
-    resumed = 0;
-    started = 0;
-    finished = 0;
-    timeouts = 0;
-    retries = 0;
-    flaky = 0;
-    breaker_skipped = 0;
-    by_label = [];
-    breaker_trips = [];
-  }
+let m_started = "conferr_scenarios_started_total"
+let m_finished = "conferr_scenarios_finished_total"
+let m_resumed = "conferr_scenarios_resumed_total"
+let m_timeouts = "conferr_timeouts_total"
+let m_retries = "conferr_timeout_retries_total"
+let m_flaky = "conferr_flaky_total"
+let m_breaker_skipped = "conferr_breaker_skipped_total"
+let m_breaker_trips = "conferr_breaker_trips_total"
 
-let bump_label counts label =
-  let n = Option.value ~default:0 (List.assoc_opt label counts) in
-  (label, n + 1) :: List.remove_assoc label counts
+let create ?metrics ~total () =
+  let reg = match metrics with Some r -> r | None -> Metrics.create () in
+  Metrics.declare reg Metrics.Counter m_started ~help:"Scenarios handed to a worker this run";
+  Metrics.declare reg Metrics.Counter m_finished ~help:"Scenarios classified this run, by outcome label";
+  Metrics.declare reg Metrics.Counter m_resumed ~help:"Scenarios restored from the journal, not re-run";
+  Metrics.declare reg Metrics.Counter m_timeouts ~help:"Deadline overruns, including retried attempts";
+  Metrics.declare reg Metrics.Counter m_retries ~help:"Re-runs after a timeout";
+  Metrics.declare reg Metrics.Counter m_flaky ~help:"Scenarios whose quorum attempts disagreed";
+  Metrics.declare reg Metrics.Counter m_breaker_skipped
+    ~help:"Scenarios classified without execution while a breaker was open";
+  Metrics.declare reg Metrics.Counter m_breaker_trips
+    ~help:"Circuit-breaker trips, by (SUT x fault class) bucket";
+  { total; t0 = Unix.gettimeofday (); reg }
 
 let note t event =
-  Mutex.lock t.lock;
-  (match event with
-   | Started _ -> t.started <- t.started + 1
-   | Finished { label; _ } ->
-     t.finished <- t.finished + 1;
-     t.by_label <- bump_label t.by_label label
-   | Timed_out { attempt; _ } ->
-     t.timeouts <- t.timeouts + 1;
-     if attempt > 1 then t.retries <- t.retries + 1
-   | Resumed { count } -> t.resumed <- t.resumed + count
-   | Flaky _ -> t.flaky <- t.flaky + 1
-   | Breaker_skipped _ -> t.breaker_skipped <- t.breaker_skipped + 1
-   | Breaker_tripped { bucket } ->
-     t.breaker_trips <- bump_label t.breaker_trips bucket);
-  Mutex.unlock t.lock
+  match event with
+  | Started _ -> Metrics.inc t.reg m_started
+  | Finished { label; _ } -> Metrics.inc t.reg m_finished ~labels:[ ("outcome", label) ]
+  | Timed_out { attempt; _ } ->
+    Metrics.inc t.reg m_timeouts;
+    if attempt > 1 then Metrics.inc t.reg m_retries
+  | Resumed { count } -> Metrics.inc t.reg m_resumed ~by:(float_of_int count)
+  | Flaky _ -> Metrics.inc t.reg m_flaky
+  | Breaker_skipped _ -> Metrics.inc t.reg m_breaker_skipped
+  | Breaker_tripped { bucket } -> Metrics.inc t.reg m_breaker_trips ~labels:[ ("bucket", bucket) ]
 
 type snapshot = {
   total : int;
@@ -79,28 +69,35 @@ type snapshot = {
   rate : float;
 }
 
+let read t name = match Metrics.value t.reg name with Some v -> int_of_float v | None -> 0
+
+let labeled t name key =
+  List.filter_map
+    (fun (labels, v) ->
+      match List.assoc_opt key labels with
+      | Some l -> Some (l, int_of_float v)
+      | None -> None)
+    (Metrics.family t.reg name)
+
 let snapshot t =
-  Mutex.lock t.lock;
   let elapsed_s = Unix.gettimeofday () -. t.t0 in
-  let s =
-    {
-      total = t.total;
-      resumed = t.resumed;
-      started = t.started;
-      finished = t.finished;
-      timeouts = t.timeouts;
-      retries = t.retries;
-      flaky = t.flaky;
-      breaker_skipped = t.breaker_skipped;
-      by_label = List.sort compare t.by_label;
-      breaker_trips = List.sort compare t.breaker_trips;
-      crashed = Option.value ~default:0 (List.assoc_opt "crashed" t.by_label);
-      elapsed_s;
-      rate = (if elapsed_s > 0. then float_of_int t.finished /. elapsed_s else 0.);
-    }
-  in
-  Mutex.unlock t.lock;
-  s
+  let by_label = labeled t m_finished "outcome" in
+  let finished = List.fold_left (fun acc (_, n) -> acc + n) 0 by_label in
+  {
+    total = t.total;
+    resumed = read t m_resumed;
+    started = read t m_started;
+    finished;
+    timeouts = read t m_timeouts;
+    retries = read t m_retries;
+    flaky = read t m_flaky;
+    breaker_skipped = read t m_breaker_skipped;
+    by_label;
+    breaker_trips = labeled t m_breaker_trips "bucket";
+    crashed = Option.value ~default:0 (List.assoc_opt "crashed" by_label);
+    elapsed_s;
+    rate = (if elapsed_s > 0. then float_of_int finished /. elapsed_s else 0.);
+  }
 
 (* The hardening lines only appear when their counters are nonzero, so a
    clean campaign renders exactly the block it always has. *)

@@ -24,8 +24,14 @@ type event =
 
 type t
 
-val create : total:int -> t
-(** [total] is the campaign size, including journaled scenarios. *)
+val create : ?metrics:Conferr_obsv.Metrics.t -> total:int -> unit -> t
+(** [total] is the campaign size, including journaled scenarios.  The
+    counters live in a {!Conferr_obsv.Metrics} registry — pass
+    [?metrics] to share the campaign's registry so a [--metrics]
+    snapshot exports exactly the numbers this tracker prints; omitted,
+    a private registry is used and behaviour is unchanged.  Counter
+    names are the [conferr_scenarios_*] / [conferr_breaker_*] families
+    listed in [doc/obsv.md]. *)
 
 val note : t -> event -> unit
 

@@ -6,12 +6,15 @@ type bucket = {
   mutable trips : int;
 }
 
+module Metrics = Conferr_obsv.Metrics
+
 type t = {
   threshold : int;
   base_backoff : int;
   max_backoff : int;
   lock : Mutex.t;
   buckets : (string * string, bucket) Hashtbl.t;
+  metrics : Metrics.t option;
 }
 
 type trip = {
@@ -22,7 +25,7 @@ type trip = {
   consecutive : int;
 }
 
-let create ?(threshold = 5) ?(base_backoff = 8) ?(max_backoff = 1024) () =
+let create ?(threshold = 5) ?(base_backoff = 8) ?(max_backoff = 1024) ?metrics () =
   if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
   {
     threshold;
@@ -30,6 +33,7 @@ let create ?(threshold = 5) ?(base_backoff = 8) ?(max_backoff = 1024) () =
     max_backoff = max 1 max_backoff;
     lock = Mutex.create ();
     buckets = Hashtbl.create 16;
+    metrics;
   }
 
 let with_lock t f =
@@ -49,6 +53,18 @@ let bucket_of t key =
 
 let bucket_name (sut_name, class_name) = sut_name ^ " x " ^ class_name
 
+(* Gauges only: the skip/trip *counters* are the executor's progress
+   events (conferr_breaker_* in Progress), so a shared registry never
+   double-counts.  These expose the live breaker state instead. *)
+let publish t (sut_name, class_name) (b : bucket) =
+  match t.metrics with
+  | None -> ()
+  | Some reg ->
+    let labels = [ ("sut", sut_name); ("class", class_name) ] in
+    Metrics.set reg "conferr_breaker_consecutive" ~labels (float_of_int b.consecutive);
+    Metrics.set reg "conferr_breaker_backoff" ~labels (float_of_int b.backoff);
+    Metrics.set reg "conferr_breaker_open" ~labels (float_of_int b.countdown)
+
 let admit t ~sut_name ~class_name =
   let key = (sut_name, class_name) in
   with_lock t (fun () ->
@@ -56,6 +72,7 @@ let admit t ~sut_name ~class_name =
       if b.countdown > 0 then begin
         b.countdown <- b.countdown - 1;
         b.skipped <- b.skipped + 1;
+        publish t key b;
         `Skip (bucket_name key)
       end
       else `Run)
@@ -64,25 +81,29 @@ let note t ~sut_name ~class_name ~crashed =
   let key = (sut_name, class_name) in
   with_lock t (fun () ->
       let b = bucket_of t key in
-      if crashed then begin
-        b.consecutive <- b.consecutive + 1;
-        if b.consecutive >= t.threshold && b.countdown = 0 then begin
-          (* trip (or re-trip after a failed half-open probe): skip the
-             next [backoff] scenarios of this bucket, then probe again
-             with a doubled window queued behind it *)
-          b.countdown <- b.backoff;
-          b.backoff <- min (b.backoff * 2) t.max_backoff;
-          b.trips <- b.trips + 1;
-          `Tripped (bucket_name key)
+      let verdict =
+        if crashed then begin
+          b.consecutive <- b.consecutive + 1;
+          if b.consecutive >= t.threshold && b.countdown = 0 then begin
+            (* trip (or re-trip after a failed half-open probe): skip the
+               next [backoff] scenarios of this bucket, then probe again
+               with a doubled window queued behind it *)
+            b.countdown <- b.backoff;
+            b.backoff <- min (b.backoff * 2) t.max_backoff;
+            b.trips <- b.trips + 1;
+            `Tripped (bucket_name key)
+          end
+          else `Counted
         end
-        else `Counted
-      end
-      else begin
-        b.consecutive <- 0;
-        b.countdown <- 0;
-        b.backoff <- t.base_backoff;
-        `Counted
-      end)
+        else begin
+          b.consecutive <- 0;
+          b.countdown <- 0;
+          b.backoff <- t.base_backoff;
+          `Counted
+        end
+      in
+      publish t key b;
+      verdict)
 
 let trips t =
   with_lock t (fun () ->

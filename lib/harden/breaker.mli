@@ -19,9 +19,20 @@ type trip = {
   consecutive : int;   (** crash streak at the end of the campaign *)
 }
 
-val create : ?threshold:int -> ?base_backoff:int -> ?max_backoff:int -> unit -> t
+val create :
+  ?threshold:int ->
+  ?base_backoff:int ->
+  ?max_backoff:int ->
+  ?metrics:Conferr_obsv.Metrics.t ->
+  unit ->
+  t
 (** Defaults: [threshold = 5] consecutive crashes, first skip window
-    [base_backoff = 8] scenarios, windows capped at [max_backoff = 1024]. *)
+    [base_backoff = 8] scenarios, windows capped at [max_backoff = 1024].
+    With [?metrics] the breaker publishes its live per-bucket state as
+    gauges ([conferr_breaker_consecutive] / [_backoff] / [_open],
+    labeled [sut]/[class]); skip and trip {e counters} stay with the
+    executor's progress events so a shared registry never
+    double-counts (doc/obsv.md). *)
 
 val admit : t -> sut_name:string -> class_name:string -> [ `Run | `Skip of string ]
 (** Gate one scenario.  [`Skip bucket] means the breaker is open and the

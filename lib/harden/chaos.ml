@@ -58,8 +58,14 @@ let allocation_storm blocks =
   done;
   ignore (Sys.opaque_identity !sink)
 
-let wrap ?(settings = default_settings) sut =
+let wrap ?(settings = default_settings) ?metrics sut =
   if settings.faults = [] then invalid_arg "Chaos.wrap: empty fault list";
+  (match metrics with
+  | Some reg ->
+    Conferr_obsv.Metrics.declare reg Conferr_obsv.Metrics.Counter
+      "conferr_chaos_injections_total"
+      ~help:"Faults injected by the chaos wrapper, by kind"
+  | None -> ());
   let rng = Rng.create settings.seed in
   let lock = Mutex.create () in
   let stats = { injected = 0; by_fault = [] } in
@@ -77,6 +83,11 @@ let wrap ?(settings = default_settings) sut =
       Mutex.lock lock;
       bump stats fault;
       Mutex.unlock lock;
+      (match metrics with
+      | Some reg ->
+        Conferr_obsv.Metrics.inc reg "conferr_chaos_injections_total"
+          ~labels:[ ("fault", fault_label fault) ]
+      | None -> ());
       match fault with
       | Crash -> draw raise_crash
       | Hang ->

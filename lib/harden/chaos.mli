@@ -38,8 +38,10 @@ val injected : stats -> int
 val by_fault : stats -> (fault * int) list
 (** Sorted by fault constructor. *)
 
-val wrap : ?settings:settings -> Suts.Sut.t -> Suts.Sut.t * stats
+val wrap :
+  ?settings:settings -> ?metrics:Conferr_obsv.Metrics.t -> Suts.Sut.t -> Suts.Sut.t * stats
 (** [wrap sut] returns a SUT with the same name, files and default
     configuration whose [boot] (and the resulting instance's
     [run_tests]) may inject a fault first.  Raises [Invalid_argument]
-    on an empty fault menu. *)
+    on an empty fault menu.  With [?metrics] every injection also bumps
+    [conferr_chaos_injections_total{fault=…}] (doc/obsv.md). *)

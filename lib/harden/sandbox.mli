@@ -20,14 +20,22 @@ val fuel_left : unit -> int option
 (** Remaining budget of the calling thread, if one is installed. *)
 
 val boot_and_test :
-  ?fuel:int -> Suts.Sut.t -> (string * string) list -> Conferr.Outcome.t
+  ?fuel:int ->
+  ?probe:Conferr_obsv.Span.probe ->
+  Suts.Sut.t ->
+  (string * string) list ->
+  Conferr.Outcome.t
 (** Sandboxed tail of the injection pipeline: boot the SUT on serialized
     files and run its functional tests.  Exceptions (including
     [Stack_overflow] and [Out_of_memory]) become
     [Crashed {cause; phase; backtrace}] instead of propagating; [fuel]
-    installs a step budget that {!tick} burns. *)
+    installs a step budget that {!tick} burns.  [probe] (default
+    {!Conferr_obsv.Span.null}, a no-op) marks the [Spawn] (boot), [Run]
+    (tests + shutdown) and [Classify] phases for span tracing
+    (doc/obsv.md). *)
 
 val materialize :
+  ?probe:Conferr_obsv.Span.probe ->
   sut:Suts.Sut.t ->
   base:Conftree.Config_set.t ->
   Errgen.Scenario.t ->
@@ -35,10 +43,12 @@ val materialize :
 (** Apply the mutation and serialize the faulty files — the head of the
     pipeline, with [Engine.run_scenario]'s exact [Not_applicable]
     messages on failure.  Used to rebuild the faulty files for a crash
-    repro bundle. *)
+    repro bundle.  [probe] marks the [Generate] and [Serialize]
+    phases. *)
 
 val run_scenario :
   ?fuel:int ->
+  ?probe:Conferr_obsv.Span.probe ->
   sut:Suts.Sut.t ->
   base:Conftree.Config_set.t ->
   Errgen.Scenario.t ->

@@ -1,0 +1,34 @@
+(** Self-contained HTML resilience dashboard (doc/obsv.md).
+
+    Renders one static [report.html] — no external scripts, fonts or
+    network fetches — from journal-shaped rows plus an optional metrics
+    snapshot ({!Metrics.expose} text).  Sections: headline stat tiles,
+    the per-class resilience profile as a table with stacked outcome
+    bars, per-phase and end-to-end latency histograms (log-2 buckets),
+    the explore signature-frontier timeline, and a hardening panel
+    (crash clusters, flaky retries, breaker and chaos counters pulled
+    from the metrics text).
+
+    The row type deliberately repeats the journal fields as plain
+    strings/floats so this module sits at the bottom of the dependency
+    stack; [bin/main.ml] maps [Journal.entry] values into it. *)
+
+type row = {
+  id : string;                      (** scenario id *)
+  class_name : string;              (** fault class, e.g. ["typo/value"] *)
+  outcome : string;                 (** outcome label: startup/functional/ignored/n/a/crashed *)
+  detail : string;                  (** outcome message/summary *)
+  signature : string;               (** normalized outcome signature (clustering key) *)
+  elapsed_ms : float;
+  attempts : int;
+  flaky : bool;                     (** succeeded only on a retry *)
+  phase_ms : (string * float) list; (** per-phase wall time, journal v2.1 *)
+}
+
+val html : title:string -> rows:row list -> ?metrics_text:string -> unit -> string
+(** The complete document.  [rows] in journal order (the frontier
+    timeline reads order as campaign progress); [metrics_text] is a
+    Prometheus exposition snapshot to mine for breaker/chaos panels and
+    embed verbatim in a collapsible section. *)
+
+val write_file : title:string -> rows:row list -> ?metrics_text:string -> string -> unit

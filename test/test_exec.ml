@@ -214,6 +214,7 @@ let test_journal_entry_roundtrip () =
           elapsed_ms = 0.25;
           attempts = 3;
           votes;
+          phase_ms = [];
         }
       in
       match Journal.entry_of_json (Journal.entry_to_json e) with

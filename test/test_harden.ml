@@ -490,6 +490,7 @@ let sample_entries n =
         elapsed_ms = 0.5;
         attempts = 1;
         votes = [];
+        phase_ms = [];
       })
 
 let write_journal entries =
