@@ -1,4 +1,4 @@
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke lint-smoke check bench clean
 
 all: build
 
@@ -49,7 +49,39 @@ smoke: build
 	  --html /tmp/conferr-report.html
 	test -s /tmp/conferr-report.html
 
-check: build test smoke
+# Static-analysis smoke (doc/lint.md):
+#   1. every SUT's stock configuration — and the checked-in copies under
+#      examples/configs/ — must lint clean;
+#   2. a validator-gap scan over a fresh postgres campaign journal must
+#      find gaps (exit 1), be byte-identical for --jobs 1 and --jobs 4,
+#      and render the dashboard's validator-gaps panel + gap metrics.
+lint-smoke: build
+	rm -f /tmp/conferr-lint.jsonl /tmp/conferr-gaps-j1.txt \
+	  /tmp/conferr-gaps-j4.txt /tmp/conferr-gaps.html /tmp/conferr-gaps.prom
+	for sut in postgres mysql apache bind djbdns appserver; do \
+	  dune exec bin/main.exe -- lint --sut $$sut --fail-on warn || exit 1; \
+	done
+	dune exec bin/main.exe -- lint --sut postgres --fail-on warn \
+	  examples/configs/postgresql.conf
+	dune exec bin/main.exe -- lint --sut bind --fail-on warn \
+	  examples/configs/named.conf examples/configs/example.com.zone \
+	  examples/configs/0.0.10.in-addr.arpa.zone
+	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
+	  --journal /tmp/conferr-lint.jsonl
+	dune exec bin/main.exe -- gaps --sut postgres \
+	  --journal /tmp/conferr-lint.jsonl > /tmp/conferr-gaps-j1.txt; \
+	  test $$? -eq 1
+	dune exec bin/main.exe -- gaps --sut postgres --jobs 4 \
+	  --journal /tmp/conferr-lint.jsonl > /tmp/conferr-gaps-j4.txt; \
+	  test $$? -eq 1
+	cmp /tmp/conferr-gaps-j1.txt /tmp/conferr-gaps-j4.txt
+	dune exec bin/main.exe -- gaps --sut postgres \
+	  --journal /tmp/conferr-lint.jsonl --html /tmp/conferr-gaps.html \
+	  --metrics /tmp/conferr-gaps.prom > /dev/null; test $$? -eq 1
+	grep -q "Validator gaps" /tmp/conferr-gaps.html
+	grep -q conferr_gap_total /tmp/conferr-gaps.prom
+
+check: build test smoke lint-smoke
 
 bench:
 	dune exec bench/main.exe

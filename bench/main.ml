@@ -363,6 +363,56 @@ let print_adaptive_discovery () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Lint throughput: Checker.run over each SUT's stock configuration    *)
+(* ------------------------------------------------------------------ *)
+
+(* The gap scan (conferr gaps) lints every mutant of a campaign, so the
+   static checker sits on an O(scenarios) path; this section times
+   Checker.run over each SUT's parsed stock configuration set (best of
+   3 loops of 100 runs) so rule-set growth shows up as a measured
+   regression.  doc/lint.md points here. *)
+let print_lint_throughput () =
+  print_endline "=== Lint throughput (stock configuration sets) ===\n";
+  List.iter
+    (fun (name, sut) ->
+      let base =
+        match Conferr.Engine.parse_default_config sut with
+        | Ok base -> base
+        | Error msg -> failwith msg
+      in
+      let rules =
+        match Suts.Lint_rules.for_sut name with
+        | Some rules -> rules
+        | None -> failwith ("no rule set for " ^ name)
+      in
+      let nearest = Conferr.Suggest.nearest in
+      let runs = 100 in
+      let loop () =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to runs do
+          ignore (Conferr_lint.Checker.run ~nearest ~rules base)
+        done;
+        Unix.gettimeofday () -. t0
+      in
+      ignore (loop ());
+      let best = ref infinity in
+      for _ = 1 to 3 do
+        best := Float.min !best (loop ())
+      done;
+      let per_run_us = !best /. float_of_int runs *. 1e6 in
+      Printf.printf "  %-10s %2d rules  %8.1f us / check  %8.0f checks/s\n"
+        name (List.length rules) per_run_us (1e6 /. per_run_us))
+    [
+      ("postgres", Suts.Mini_pg.sut);
+      ("mysql", Suts.Mini_mysql.sut);
+      ("apache", Suts.Mini_apache.sut);
+      ("bind", Suts.Mini_bind.sut);
+      ("djbdns", Suts.Mini_djbdns.sut);
+      ("appserver", Suts.Mini_appserver.sut);
+    ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timings                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -522,4 +572,5 @@ let () =
   print_sandbox_overhead ();
   print_tracer_overhead ();
   print_adaptive_discovery ();
+  print_lint_throughput ();
   print_benchmarks ()

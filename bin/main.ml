@@ -172,6 +172,15 @@ let require_journal_for_resume ~journal ~resume =
     exit 2
   end
 
+(* Journals named as *inputs* (fsck, gaps, report --journal) follow the
+   shared exit-code convention (doc/exec.md): a path that does not exist
+   is a usage error (exit 2), never an empty-journal success. *)
+let require_journal_file path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "conferr: %s: no such journal\n" path;
+    exit 2
+  end
+
 (* Validate --jobs against the scenario count; exit 2 on nonsense (0 or
    negative), warn and clamp on excess. *)
 let checked_jobs ?scenario_count jobs =
@@ -648,6 +657,7 @@ let chaos_cmd =
 
 let fsck_cmd =
   let run journal repair =
+    require_journal_file journal;
     let report =
       if repair then Conferr_exec.Journal.repair journal
       else Conferr_exec.Journal.fsck journal
@@ -726,18 +736,17 @@ let suggest_cmd =
           repair for one SUT.")
     Term.(const run $ sut $ seed_arg)
 
-let report_cmd =
-  let read_file path =
-    try
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    with Sys_error msg ->
-      Printf.eprintf "conferr: %s\n" msg;
-      exit 1
-  in
-  let row_of_entry (e : Conferr_exec.Journal.entry) =
+let read_file ?(missing_exit = 1) path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg ->
+    Printf.eprintf "conferr: %s\n" msg;
+    exit missing_exit
+
+let row_of_entry (e : Conferr_exec.Journal.entry) =
     let profile_entry =
       {
         Conferr.Profile.scenario_id = e.Conferr_exec.Journal.scenario_id;
@@ -768,9 +777,20 @@ let report_cmd =
       flaky = e.Conferr_exec.Journal.votes <> [];
       phase_ms = e.Conferr_exec.Journal.phase_ms;
     }
-  in
+
+(* Journals are inputs here, not outputs: a path that cannot be read is
+   a usage error (exit 2) under the shared exit-code convention
+   (doc/exec.md). *)
+let load_journal path =
+  require_journal_file path;
+  try Conferr_exec.Journal.load path
+  with Sys_error msg ->
+    Printf.eprintf "conferr: %s\n" msg;
+    exit 2
+
+let report_cmd =
   let check_trace_file path =
-    let text = read_file path in
+    let text = read_file ~missing_exit:2 path in
     match Conferr_exec.Json.of_string (String.trim text) with
     | Error msg ->
       Printf.eprintf "conferr: %s: %s\n" path msg;
@@ -787,8 +807,8 @@ let report_cmd =
     match (check_trace, journal, sut) with
     | Some path, _, _ -> check_trace_file path
     | None, Some jpath, _ ->
-      let rows = List.map row_of_entry (Conferr_exec.Journal.load jpath) in
-      let metrics_text = Option.map read_file metrics in
+      let rows = List.map row_of_entry (load_journal jpath) in
+      let metrics_text = Option.map (fun p -> read_file ~missing_exit:2 p) metrics in
       let title = "conferr campaign \xe2\x80\x94 " ^ Filename.basename jpath in
       (try Conferr_obsv.Report.write_file ~title ~rows ?metrics_text html
        with Sys_error msg ->
@@ -864,14 +884,245 @@ let report_cmd =
           or render the HTML dashboard for a recorded campaign journal.")
     Term.(const run $ sut $ seed_arg $ journal $ html $ metrics $ check_trace)
 
+(* ------------------------------------------------------------------ *)
+(* Static analysis (doc/lint.md).  lint and gaps share the repo-wide
+   exit-code convention: 0 clean, 1 findings, 2 usage error. *)
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format, $(b,text) or $(b,json).")
+
+let required_sut = function
+  | Some sut -> sut
+  | None ->
+    prerr_endline "conferr: --sut SUT is required";
+    exit 2
+
+let rules_for sut =
+  match Suts.Lint_rules.for_sut sut.Suts.Sut.sut_name with
+  | Some rules -> rules
+  | None ->
+    Printf.eprintf "conferr: no rule set for SUT %s\n" sut.Suts.Sut.sut_name;
+    exit 2
+
+(* Parse one configuration set for linting: the SUT's default files,
+   with any FILE arguments (matched to config files by base name)
+   substituted in.  A file that does not parse is not fatal — it becomes
+   a SYNTAX finding at the file root, like any other diagnostic. *)
+let lint_parse sut overrides =
+  List.fold_left
+    (fun (set, syntax) (name, fmt) ->
+      let text =
+        match List.assoc_opt name overrides with
+        | Some t -> t
+        | None ->
+          Option.value ~default:""
+            (List.assoc_opt name sut.Suts.Sut.default_config)
+      in
+      match fmt.Formats.Registry.parse text with
+      | Ok tree -> (Conftree.Config_set.add set name tree, syntax)
+      | Error e ->
+        ( set,
+          {
+            Conferr_lint.Finding.rule_id = "SYNTAX";
+            severity = Conferr_lint.Finding.Error;
+            file = name;
+            path = [];
+            address = "/";
+            message = Formats.Parse_error.to_string e;
+            suggestion = None;
+          }
+          :: syntax ))
+    (Conftree.Config_set.empty, [])
+    sut.Suts.Sut.config_files
+
+let lint_cmd =
+  let run sut files format fail_on =
+    let sut = required_sut sut in
+    let rules = rules_for sut in
+    let overrides =
+      List.map
+        (fun path ->
+          let name = Filename.basename path in
+          if not (List.mem_assoc name sut.Suts.Sut.config_files) then begin
+            Printf.eprintf
+              "conferr: %s: %s is not a configuration file of %s (expected: %s)\n"
+              path name sut.Suts.Sut.sut_name
+              (String.concat ", " (List.map fst sut.Suts.Sut.config_files));
+            exit 2
+          end;
+          (name, read_file ~missing_exit:2 path))
+        files
+    in
+    let set, syntax = lint_parse sut overrides in
+    let findings =
+      Conferr_lint.Checker.run ~nearest:Conferr.Suggest.nearest ~rules set
+    in
+    let findings =
+      List.sort_uniq
+        (Conferr_lint.Finding.compare
+           ~file_order:(List.map fst sut.Suts.Sut.config_files))
+        (syntax @ findings)
+    in
+    (match format with
+    | `Text -> print_string (Conferr_lint.Checker.render_text findings)
+    | `Json ->
+      print_endline
+        (Conferr_obsv.Json.to_string (Conferr_lint.Checker.to_json findings)));
+    if Conferr_lint.Checker.exceeds ~threshold:fail_on findings then exit 1
+  in
+  let sut =
+    Arg.(
+      value
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT" ~doc:"System under test whose rule set to apply.")
+  in
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Configuration files to lint, matched to the SUT's configuration \
+             files by base name; files not given keep the SUT's default text.  \
+             With no $(docv) the SUT's stock configuration is linted.")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("warn", Conferr_lint.Finding.Warning);
+               ("error", Conferr_lint.Finding.Error);
+             ])
+          Conferr_lint.Finding.Error
+      & info [ "fail-on" ] ~docv:"SEVERITY"
+          ~doc:"Exit 1 when a finding at or above $(docv) (warn or error) exists.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check configuration files against the SUT's declarative \
+          rule set (doc/lint.md).  Exit 0 when clean, 1 on findings at or \
+          above --fail-on, 2 on usage errors.")
+    Term.(const run $ sut $ files $ format_arg $ fail_on)
+
+let gaps_cmd =
+  let run sut journal seed format jobs html metrics =
+    let sut = required_sut sut in
+    let rules = rules_for sut in
+    let jpath =
+      match journal with
+      | Some p -> p
+      | None ->
+        prerr_endline "conferr: gaps requires --journal PATH (a recorded campaign)";
+        exit 2
+    in
+    let entries = load_journal jpath in
+    match Conferr.Engine.parse_default_config sut with
+    | Error msg ->
+      Printf.eprintf "conferr: %s\n" msg;
+      exit 2
+    | Ok base ->
+      let typo =
+        Conferr.Campaign.typo_scenarios ~rng:(Conferr_util.Rng.create seed)
+          ~faultload:Conferr.Campaign.paper_faultload sut base
+      in
+      let semantic =
+        let relabel codec =
+          Dnsmodel.Rfc1912.scenarios ~codec ~faults:Dnsmodel.Rfc1912.all_faults
+            base
+          |> Errgen.Scenario.relabel_ids ~prefix:"semantic"
+        in
+        match sut.Suts.Sut.sut_name with
+        | "bind" -> relabel (Dnsmodel.Codec.bind ~zones:Suts.Mini_bind.zones)
+        | "djbdns" ->
+          relabel (Dnsmodel.Codec.tinydns ~file:Suts.Mini_djbdns.data_file)
+        | _ -> []
+      in
+      let report =
+        Conferr_lint_replay.scan
+          ~jobs:(checked_jobs ~scenario_count:(List.length entries) jobs)
+          ~nearest:Conferr.Suggest.nearest ~sut ~rules
+          ~scenarios:(typo @ semantic) ~entries ~base ()
+      in
+      (match format with
+      | `Text -> print_string (Conferr_lint_replay.render report)
+      | `Json ->
+        print_endline
+          (Conferr_obsv.Json.to_string (Conferr_lint_replay.to_json report)));
+      Option.iter
+        (fun path ->
+          let registry = Conferr_obsv.Metrics.create () in
+          Conferr_lint_replay.record_metrics registry report;
+          try Conferr_obsv.Metrics.write_file registry path
+          with Sys_error msg ->
+            Printf.eprintf "conferr: %s\n" msg;
+            exit 2)
+        metrics;
+      Option.iter
+        (fun path ->
+          let rows = List.map row_of_entry entries in
+          let title =
+            "conferr validator gaps \xe2\x80\x94 " ^ Filename.basename jpath
+          in
+          try
+            Conferr_obsv.Report.write_file ~title ~rows
+              ~gaps:(Conferr_lint_replay.dashboard_rows report)
+              path
+          with Sys_error msg ->
+            Printf.eprintf "conferr: %s\n" msg;
+            exit 2)
+        html;
+      if Conferr_lint_replay.gap_total report > 0 then exit 1
+  in
+  let sut =
+    Arg.(
+      value
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT" ~doc:"System under test the journal was recorded for.")
+  in
+  let html =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"PATH"
+          ~doc:
+            "Also write the HTML dashboard with the validator-gaps panel to \
+             $(docv).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Write a Prometheus snapshot of the gap counters \
+             (conferr_gap_total, conferr_lint_findings_total) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "gaps"
+       ~doc:
+         "Replay a recorded campaign journal through the static checker and \
+          diff the static verdict against each dynamic outcome: silent \
+          acceptances, late failures and over-strict rejections (doc/lint.md).  \
+          Scenarios are regenerated from --seed, which must match the \
+          campaign's.  Exit 0 when the two sides agree everywhere, 1 when \
+          gaps were found, 2 on usage errors.")
+    Term.(
+      const run $ sut $ journal_arg $ seed_arg $ format_arg $ jobs_arg $ html
+      $ metrics)
+
 let main =
   Cmd.group
     (Cmd.info "conferr" ~version:"1.0.0"
        ~doc:"Assess resilience to human configuration errors (DSN'08 reproduction).")
     [
       list_cmd; profile_cmd; explore_cmd; chaos_cmd; fsck_cmd; benchmark_cmd;
-      report_cmd; suggest_cmd; table1_cmd; table2_cmd; table3_cmd; figure3_cmd;
-      all_cmd; variations_cmd; semantic_cmd;
+      report_cmd; suggest_cmd; lint_cmd; gaps_cmd; table1_cmd; table2_cmd;
+      table3_cmd; figure3_cmd; all_cmd; variations_cmd; semantic_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,33 @@
+(** Rule evaluation engine over configuration trees.
+
+    Evaluates a {!Rule.t} list against a {!Conftree.Config_set.t} and
+    returns deterministic, byte-stable diagnostics: findings are sorted
+    by (file order in the set, document order, rule id, message) and
+    rendered without any wall-clock or environment dependence, so two
+    runs over the same input produce identical bytes. *)
+
+type nearest = vocabulary:string list -> string -> (string * int) option
+(** Nearest-name oracle for "did you mean" hints on unknown-name
+    findings; wire {!Conferr.Suggest.nearest} here.  Injected rather
+    than imported so [conferr_lint] stays below [lib/core] in the
+    dependency order. *)
+
+val run :
+  ?nearest:nearest -> rules:Rule.t list -> Conftree.Config_set.t ->
+  Finding.t list
+(** Evaluate every rule; the result is sorted and duplicate-free.
+    Suggestions are attached to {!Rule.Unknown} findings when the
+    nearest vocabulary name is within edit distance 3. *)
+
+val exceeds : threshold:Finding.severity -> Finding.t list -> bool
+(** At least one finding at or above the threshold. *)
+
+val summary : Finding.t list -> int * int * int
+(** [(errors, warnings, info)] counts. *)
+
+val render_text : Finding.t list -> string
+(** One line per finding plus a trailing count line; ["no findings\n"]
+    when the list is empty. *)
+
+val to_json : Finding.t list -> Conferr_obsv.Json.t
+(** [{"findings":[...],"errors":E,"warnings":W,"info":I}]. *)

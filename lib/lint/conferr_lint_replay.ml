@@ -1,0 +1,232 @@
+(** Validator-gap scan: replay a campaign journal through the static
+    checker and diff the static verdict against each journaled dynamic
+    outcome (doc/lint.md).
+
+    Each journal entry is matched back to its generating scenario by id
+    (the scenario's recorded provenance); the mutation is re-applied to
+    the base configuration, serialized, re-parsed with the SUT's native
+    formats — so the linter sees exactly the bytes the SUT saw — and
+    linted.  Rows come back in journal order and the whole report is
+    byte-identical for any [jobs] value. *)
+
+module Journal = Conferr_exec.Journal
+module Finding = Conferr_lint.Finding
+module Gap = Conferr_lint.Gap
+module Checker = Conferr_lint.Checker
+
+type row = {
+  entry : Journal.entry;
+  static : Gap.static_verdict;
+  findings : Finding.t list;
+  gap : Gap.kind;
+}
+
+type report = {
+  sut_name : string;
+  rows : row list;  (** journal order *)
+  unmatched : string list;
+      (** journal entry ids with no regenerated scenario, in order *)
+}
+
+let static_of ~nearest ~rules ~sut ~base (sc : Errgen.Scenario.t) =
+  match sc.apply base with
+  | Error m -> (Gap.Inexpressible m, [])
+  | Ok mutated -> (
+    match Conferr.Engine.serialize_config sut mutated with
+    | Error m -> (Gap.Inexpressible m, [])
+    | Ok files -> (
+      match Conferr.Engine.parse_config sut files with
+      | Error m -> (Gap.Unparseable m, [])
+      | Ok set ->
+        let findings = Checker.run ?nearest ~rules set in
+        (Gap.verdict_of_findings findings, findings)))
+
+let scan ?jobs ?nearest ~sut ~rules ~scenarios ~entries ~base () =
+  let by_id = Hashtbl.create (List.length scenarios * 2) in
+  List.iter
+    (fun (sc : Errgen.Scenario.t) ->
+      if not (Hashtbl.mem by_id sc.id) then Hashtbl.add by_id sc.id sc)
+    scenarios;
+  let arr = Array.of_list entries in
+  let rows =
+    Conferr_pool.map ?jobs
+      (fun _ (entry : Journal.entry) ->
+        let outcome_label = Conferr.Outcome.label entry.outcome in
+        match Hashtbl.find_opt by_id entry.scenario_id with
+        | None ->
+          let static = Gap.Inexpressible "scenario not regenerated" in
+          ( { entry; static; findings = []; gap = Gap.Not_comparable },
+            true )
+        | Some sc ->
+          let static, findings = static_of ~nearest ~rules ~sut ~base sc in
+          let gap = Gap.classify ~static ~outcome_label in
+          ({ entry; static; findings; gap }, false))
+      arr
+  in
+  let rows = Array.to_list rows in
+  let unmatched =
+    List.filter_map
+      (fun (r, missing) ->
+        if missing then Some r.entry.Journal.scenario_id else None)
+      rows
+  in
+  { sut_name = sut.Suts.Sut.sut_name; rows = List.map fst rows; unmatched }
+
+let count kind report =
+  List.length (List.filter (fun r -> r.gap = kind) report.rows)
+
+(* Distinct gap clusters for one kind: (fault class, rule id) pairs in
+   first-appearance order, with occurrence count and one example.  The
+   rule id is the first finding's (["syntax"] for unparseable mutants,
+   ["-"] when the static side was clean). *)
+type cluster = {
+  c_class : string;
+  c_rule : string;
+  c_count : int;
+  c_example_id : string;
+  c_example : string;
+}
+
+let cluster_rule r =
+  match r.static with
+  | Gap.Unparseable _ -> "syntax"
+  | _ -> (
+    match r.findings with
+    | f :: _ -> f.Finding.rule_id
+    | [] -> "-")
+
+let clusters kind report =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      if r.gap = kind then begin
+        let key = (r.entry.Journal.class_name, cluster_rule r) in
+        match Hashtbl.find_opt tbl key with
+        | Some c -> Hashtbl.replace tbl key { c with c_count = c.c_count + 1 }
+        | None ->
+          let example =
+            match r.findings with
+            | f :: _ -> f.Finding.message
+            | [] -> (
+              match r.static with
+              | Gap.Unparseable m -> m
+              | _ -> r.entry.Journal.description)
+          in
+          order := key :: !order;
+          Hashtbl.add tbl key
+            {
+              c_class = fst key;
+              c_rule = snd key;
+              c_count = 1;
+              c_example_id = r.entry.Journal.scenario_id;
+              c_example = example;
+            }
+      end)
+    report.rows;
+  List.rev_map (fun key -> Hashtbl.find tbl key) !order
+
+let gap_total report =
+  List.length (List.filter (fun r -> Gap.is_gap r.gap) report.rows)
+
+let render report =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "validator-gap scan: %s\n" report.sut_name;
+  Printf.bprintf buf "journal entries: %d (unmatched: %d)\n\n"
+    (List.length report.rows)
+    (List.length report.unmatched);
+  Buffer.add_string buf "gap kinds:\n";
+  List.iter
+    (fun kind ->
+      Printf.bprintf buf "  %-18s %d\n" (Gap.kind_label kind)
+        (count kind report))
+    Gap.all_kinds;
+  List.iter
+    (fun kind ->
+      let cs = clusters kind report in
+      if cs <> [] then begin
+        Printf.bprintf buf "\n%s clusters (%d distinct):\n"
+          (Gap.kind_label kind) (List.length cs);
+        List.iter
+          (fun c ->
+            Printf.bprintf buf "  %s x %s  %d  e.g. %s: %s\n" c.c_class
+              c.c_rule c.c_count c.c_example_id c.c_example)
+          cs
+      end)
+    [ Gap.Silent_acceptance; Gap.Late_failure; Gap.Over_strict ];
+  Buffer.contents buf
+
+let row_to_json r =
+  let open Conferr_obsv.Json in
+  Obj
+    [
+      ("id", Str r.entry.Journal.scenario_id);
+      ("class", Str r.entry.Journal.class_name);
+      ("static", Str (Gap.static_label r.static));
+      ("outcome", Str (Conferr.Outcome.label r.entry.Journal.outcome));
+      ("gap", Str (Gap.kind_label r.gap));
+      ("findings", Arr (List.map Finding.to_json r.findings));
+    ]
+
+let to_json report =
+  let open Conferr_obsv.Json in
+  Obj
+    [
+      ("sut", Str report.sut_name);
+      ("entries", Num (float_of_int (List.length report.rows)));
+      ("unmatched", Arr (List.map (fun id -> Str id) report.unmatched));
+      ( "kinds",
+        Obj
+          (List.map
+             (fun kind ->
+               (Gap.kind_label kind, Num (float_of_int (count kind report))))
+             Gap.all_kinds) );
+      ("rows", Arr (List.map row_to_json report.rows));
+    ]
+
+let record_metrics metrics report =
+  let module M = Conferr_obsv.Metrics in
+  M.declare ~help:"Validator-gap rows by kind" metrics M.Counter
+    "conferr_gap_total";
+  M.declare ~help:"Static lint findings over replayed mutants by severity"
+    metrics M.Counter "conferr_lint_findings_total";
+  List.iter
+    (fun r ->
+      M.inc
+        ~labels:
+          [ ("sut", report.sut_name); ("gap", Gap.kind_label r.gap) ]
+        metrics "conferr_gap_total";
+      List.iter
+        (fun (f : Finding.t) ->
+          M.inc
+            ~labels:
+              [
+                ("severity", Finding.severity_label f.severity);
+                ("sut", report.sut_name);
+              ]
+            metrics "conferr_lint_findings_total")
+        r.findings)
+    report.rows
+
+let dashboard_rows report =
+  List.filter_map
+    (fun r ->
+      if r.gap = Gap.Not_comparable then None
+      else
+        Some
+          {
+            Conferr_obsv.Report.gap_id = r.entry.Journal.scenario_id;
+            gap_class = r.entry.Journal.class_name;
+            gap_static = Gap.static_label r.static;
+            gap_outcome = Conferr.Outcome.label r.entry.Journal.outcome;
+            gap_kind = Gap.kind_label r.gap;
+            gap_detail =
+              (match r.findings with
+              | f :: _ -> f.Finding.message
+              | [] -> (
+                match r.static with
+                | Gap.Unparseable m -> m
+                | _ -> ""));
+          }
+    )
+    report.rows

@@ -1,0 +1,136 @@
+type severity = Info | Warning | Error
+
+let severity_label = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_of_label = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let at_least ~threshold s = severity_rank s >= severity_rank threshold
+
+type t = {
+  rule_id : string;
+  severity : severity;
+  file : string;
+  path : Conftree.Path.t;
+  address : string;
+  message : string;
+  suggestion : string option;
+}
+
+(* A node name usable verbatim as a ConfPath step: lexes as one IDENT
+   (no leading digit, only name characters) and is not a keyword. *)
+let step_name_ok name =
+  name <> "" && name <> "and" && name <> "or"
+  && (match name.[0] with '0' .. '9' -> false | _ -> true)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+         | _ -> false)
+       name
+
+let address_of_path root path =
+  let buf = Buffer.create 32 in
+  let rec walk (node : Conftree.Node.t) = function
+    | [] -> ()
+    | i :: rest ->
+      let child = List.nth node.children i in
+      (if step_name_ok child.name then begin
+         (* positional predicate among same-named siblings, 1-based;
+            omitted when the name is unique at this level *)
+         let same =
+           List.filter
+             (fun (c : Conftree.Node.t) -> c.name = child.name)
+             node.children
+         in
+         Buffer.add_char buf '/';
+         Buffer.add_string buf child.name;
+         if List.length same > 1 then begin
+           let pos =
+             let rec count k = function
+               | [] -> k
+               | (c : Conftree.Node.t) :: tl ->
+                 if c == child then k + 1
+                 else count (if c.name = child.name then k + 1 else k) tl
+             in
+             count 0 node.children
+           in
+           Buffer.add_string buf (Printf.sprintf "[%d]" pos)
+         end
+       end
+       else Buffer.add_string buf (Printf.sprintf "/*[%d]" (i + 1)));
+      walk child rest
+  in
+  walk root path;
+  if Buffer.length buf = 0 then "/" else Buffer.contents buf
+
+let make ?suggestion ~rule_id ~severity ~file ~root ~path message =
+  {
+    rule_id;
+    severity;
+    file;
+    path;
+    address = address_of_path root path;
+    message;
+    suggestion;
+  }
+
+let compare ~file_order a b =
+  let file_key f =
+    let rec index i = function
+      | [] -> None
+      | x :: tl -> if x = f then Some i else index (i + 1) tl
+    in
+    match index 0 file_order with
+    | Some i -> (i, "")
+    | None -> (List.length file_order, f)
+  in
+  let c = Stdlib.compare (file_key a.file) (file_key b.file) in
+  if c <> 0 then c
+  else
+    let c = Conftree.Path.compare a.path b.path in
+    if c <> 0 then c
+    else
+      let c = String.compare a.rule_id b.rule_id in
+      if c <> 0 then c else String.compare a.message b.message
+
+let max_severity = function
+  | [] -> None
+  | findings ->
+    Some
+      (List.fold_left
+         (fun acc f -> if severity_rank f.severity > severity_rank acc then f.severity else acc)
+         Info findings)
+
+let to_text f =
+  let hint =
+    match f.suggestion with
+    | None -> ""
+    | Some s -> Printf.sprintf " (did you mean '%s'?)" s
+  in
+  Printf.sprintf "%s:%s: %s: [%s] %s%s" f.file f.address
+    (severity_label f.severity) f.rule_id f.message hint
+
+let to_json f =
+  let open Conferr_obsv.Json in
+  let base =
+    [
+      ("rule", Str f.rule_id);
+      ("severity", Str (severity_label f.severity));
+      ("file", Str f.file);
+      ("path", Str (Conftree.Path.to_string f.path));
+      ("address", Str f.address);
+      ("message", Str f.message);
+    ]
+  in
+  let tail =
+    match f.suggestion with None -> [] | Some s -> [ ("suggestion", Str s) ]
+  in
+  Obj (base @ tail)

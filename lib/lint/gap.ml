@@ -1,0 +1,65 @@
+type static_verdict =
+  | Clean
+  | Flagged of Finding.severity
+  | Unparseable of string
+  | Inexpressible of string
+
+let verdict_of_findings findings =
+  match Finding.max_severity findings with
+  | Some sev when Finding.at_least ~threshold:Finding.Warning sev -> Flagged sev
+  | _ -> Clean
+
+let static_label = function
+  | Clean -> "clean"
+  | Flagged sev -> Finding.severity_label sev
+  | Unparseable _ -> "syntax"
+  | Inexpressible _ -> "n/a"
+
+let flagged = function
+  | Flagged sev -> Finding.at_least ~threshold:Finding.Warning sev
+  | Unparseable _ -> true
+  | Clean | Inexpressible _ -> false
+
+type kind =
+  | Silent_acceptance
+  | Late_failure
+  | Over_strict
+  | Agree_detected
+  | Agree_clean
+  | Lint_miss
+  | Not_comparable
+
+let all_kinds =
+  [
+    Silent_acceptance;
+    Late_failure;
+    Over_strict;
+    Agree_detected;
+    Agree_clean;
+    Lint_miss;
+    Not_comparable;
+  ]
+
+let kind_label = function
+  | Silent_acceptance -> "silent-acceptance"
+  | Late_failure -> "late-failure"
+  | Over_strict -> "over-strict"
+  | Agree_detected -> "agree-detected"
+  | Agree_clean -> "agree-clean"
+  | Lint_miss -> "lint-miss"
+  | Not_comparable -> "not-comparable"
+
+let is_gap = function
+  | Silent_acceptance | Late_failure | Over_strict -> true
+  | Agree_detected | Agree_clean | Lint_miss | Not_comparable -> false
+
+let classify ~static ~outcome_label =
+  match static with
+  | Inexpressible _ -> Not_comparable
+  | _ -> (
+    match outcome_label with
+    | "n/a" | "crashed" -> Not_comparable
+    | "ignored" -> if flagged static then Silent_acceptance else Agree_clean
+    | "functional" -> if flagged static then Late_failure else Lint_miss
+    | "startup" -> if flagged static then Agree_detected else Over_strict
+    | _ -> Not_comparable)

@@ -1,0 +1,70 @@
+type target = { in_file : string option; in_section : string option }
+
+let anywhere = { in_file = None; in_section = None }
+let top_level = { in_file = None; in_section = Some "" }
+let in_file f = { in_file = Some f; in_section = None }
+
+let in_section ?file s =
+  { in_file = file; in_section = Some (String.lowercase_ascii s) }
+
+type vtype =
+  | Int_range of int * int
+  | Bool_word
+  | Enum of { allowed : string list; ci : bool }
+  | Custom of { expect : string; check : string -> string option }
+
+type raw = {
+  raw_file : string;
+  raw_path : Conftree.Path.t;
+  raw_message : string;
+  raw_suggestion : string option;
+}
+
+type body =
+  | Value of {
+      target : target;
+      name : string;
+      canon : string -> string;
+      vtype : vtype;
+      missing : string option;
+    }
+  | Required of {
+      target : target;
+      file : string;
+      name : string;
+      canon : string -> string;
+    }
+  | No_duplicates of {
+      target : target;
+      names : string list option;
+      canon : string -> string;
+    }
+  | Unknown of {
+      target : target;
+      kind : string;
+      known : string -> bool;
+      vocabulary : string list;
+      what : string;
+    }
+  | Implies of {
+      target : target;
+      anchor : string option;
+      check : lookup:(string -> string option) -> string option;
+      canon : string -> string;
+    }
+  | Reference of {
+      target : target;
+      name : string;
+      canon : string -> string;
+      what : string;
+      exists : string -> bool;
+    }
+  | Check_set of (Conftree.Config_set.t -> raw list)
+
+type t = { id : string; severity : Finding.severity; doc : string; body : body }
+
+let make ~id ~severity ~doc body = { id; severity; doc; body }
+
+let id_string s = s
+
+let lower = String.lowercase_ascii

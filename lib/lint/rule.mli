@@ -1,0 +1,111 @@
+(** Declarative constraint IR for static configuration analysis.
+
+    A rule set captures, ahead of execution, the constraints a SUT's own
+    validator enforces {e and} the ones it silently omits — the flaw
+    tables of the paper's §5 expressed as checkable data.  Rules are
+    evaluated by {!Checker} against a {!Conftree.Config_set.t}; each
+    violation becomes a {!Finding.t} with a ConfPath address.
+
+    The IR is deliberately small: scoped value checks, required and
+    duplicate directives, unknown-name detection with vocabulary-based
+    suggestions, cross-directive implications, dangling references, and
+    an escape hatch for whole-set semantic analyses (DNS zone
+    consistency, XML attribute schemas). *)
+
+(** Where a structural rule applies within a configuration set. *)
+type target = {
+  in_file : string option;
+      (** restrict to this file of the set; [None] = every file *)
+  in_section : string option;
+      (** restrict by enclosing section name (lowercased); [Some ""]
+          means top level only (no enclosing section); [None] =
+          anywhere *)
+}
+
+val anywhere : target
+val top_level : target
+val in_file : string -> target
+val in_section : ?file:string -> string -> target
+
+(** Expected shape of a directive's value. *)
+type vtype =
+  | Int_range of int * int  (** decimal integer within bounds, inclusive *)
+  | Bool_word  (** on/off, true/false, yes/no, 1/0 (case-insensitive) *)
+  | Enum of { allowed : string list; ci : bool }
+  | Custom of { expect : string; check : string -> string option }
+      (** [expect] describes valid values for documentation; [check]
+          returns a violation message, [None] when the value is fine *)
+
+(* Raw finding emitted by a [Check_set] analysis: location plus message,
+   before the checker attaches rule id and severity. *)
+type raw = {
+  raw_file : string;
+  raw_path : Conftree.Path.t;
+  raw_message : string;
+  raw_suggestion : string option;
+}
+
+type body =
+  | Value of {
+      target : target;
+      name : string;
+      canon : string -> string;
+          (** name normalization applied to both sides before comparing
+              (identity, lowercase, dash-folding, ...) *)
+      vtype : vtype;
+      missing : string option;
+          (** violation message when the directive carries no value;
+              [None] = a bare directive is acceptable *)
+    }
+  | Required of { target : target; file : string; name : string; canon : string -> string }
+      (** the directive must appear in [file] (within [target.in_section]
+          when set) — deletions silently fall back to built-in defaults *)
+  | No_duplicates of {
+      target : target;
+      names : string list option;
+          (** restrict to these (canonicalized) names; [None] = all *)
+      canon : string -> string;
+    }
+  | Unknown of {
+      target : target;
+      kind : string;  (** node kind to check, e.g. [Node.kind_directive] *)
+      known : string -> bool;
+      vocabulary : string list;
+          (** candidate names for "did you mean" suggestions *)
+      what : string;  (** message noun: "directive", "element", ... *)
+    }
+  | Implies of {
+      target : target;
+      anchor : string option;
+          (** directive name to anchor the finding on (first match);
+              falls back to the file root *)
+      check : lookup:(string -> string option) -> string option;
+          (** [lookup] resolves a canonicalized directive name to its
+              last value within the target scope; returns the violation
+              message *)
+      canon : string -> string;
+    }
+  | Reference of {
+      target : target;
+      name : string;
+      canon : string -> string;
+      what : string;  (** "file", "directory", "zone file", ... *)
+      exists : string -> bool;
+    }
+  | Check_set of (Conftree.Config_set.t -> raw list)
+      (** whole-set analysis; used for cross-file and semantic rules *)
+
+type t = {
+  id : string;
+  severity : Finding.severity;
+  doc : string;  (** one-line statement of the constraint *)
+  body : body;
+}
+
+val make : id:string -> severity:Finding.severity -> doc:string -> body -> t
+
+val id_string : string -> string
+(** Identity; convenience canonicalizer for case-sensitive rule sets. *)
+
+val lower : string -> string
+(** [String.lowercase_ascii]. *)

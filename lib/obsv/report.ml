@@ -306,6 +306,73 @@ let hardening_section rows metrics_text =
       end));
   Buffer.contents b
 
+type gap_row = {
+  gap_id : string;
+  gap_class : string;
+  gap_static : string;
+  gap_outcome : string;
+  gap_kind : string;
+  gap_detail : string;
+}
+
+let gap_kind_class = function
+  | "silent-acceptance" -> "o-crashed"
+  | "late-failure" -> "o-ignored"
+  | "over-strict" -> "o-functional"
+  | _ -> "o-na"
+
+let gaps_section gaps =
+  let b = Buffer.create 2048 in
+  let is_gap g =
+    match g.gap_kind with
+    | "silent-acceptance" | "late-failure" | "over-strict" -> true
+    | _ -> false
+  in
+  let kcount k = count (fun g -> g.gap_kind = k) gaps in
+  Buffer.add_string b "<section class=\"tiles\">";
+  Buffer.add_string b
+    (tile "silent acceptance" (string_of_int (kcount "silent-acceptance"))
+       "lint error, SUT started fine");
+  Buffer.add_string b
+    (tile "late failure" (string_of_int (kcount "late-failure"))
+       "lint error, functional test failed");
+  Buffer.add_string b
+    (tile "over-strict" (string_of_int (kcount "over-strict"))
+       "lint clean, SUT rejected");
+  Buffer.add_string b
+    (tile "agreement"
+       (string_of_int (kcount "agree-detected" + kcount "agree-clean"))
+       "static and dynamic verdicts match");
+  Buffer.add_string b "</section>";
+  let disagreements = List.filter is_gap gaps in
+  (if disagreements = [] then
+     Buffer.add_string b
+       "<p class=\"muted\">no validator gaps: the static verdict matched the \
+        dynamic outcome on every replayed mutant.</p>"
+   else begin
+     Buffer.add_string b
+       "<table><thead><tr><th>scenario</th><th>class</th><th>static</th><th>dynamic</th><th>gap</th><th>detail</th></tr></thead><tbody>";
+     let shown = 40 in
+     List.iteri
+       (fun i g ->
+         if i < shown then
+           Buffer.add_string b
+             (Printf.sprintf
+                "<tr><td class=\"mono\">%s</td><td class=\"mono\">%s</td><td>%s</td><td>%s</td><td><span class=\"key\"><span class=\"swatch %s\"></span>%s</span></td><td class=\"mono\">%s</td></tr>"
+                (esc g.gap_id) (esc g.gap_class) (esc g.gap_static)
+                (esc g.gap_outcome)
+                (gap_kind_class g.gap_kind)
+                (esc g.gap_kind) (esc g.gap_detail)))
+       disagreements;
+     Buffer.add_string b "</tbody></table>";
+     if List.length disagreements > shown then
+       Buffer.add_string b
+         (Printf.sprintf
+            "<p class=\"muted\">%d further disagreement(s) not shown \xe2\x80\x94 use <code>conferr gaps --format json</code> for the full list.</p>"
+            (List.length disagreements - shown))
+   end);
+  Buffer.contents b
+
 let css =
   {|
 :root {
@@ -362,7 +429,7 @@ pre { background: var(--card); border: 1px solid var(--grid); border-radius: 8px
 code { font-family: ui-monospace, monospace; }
 |}
 
-let html ~title ~rows ?metrics_text () =
+let html ~title ~rows ?metrics_text ?gaps () =
   let total = List.length rows in
   let na = count (fun r -> r.outcome = "n/a") rows in
   let detected =
@@ -407,6 +474,15 @@ let html ~title ~rows ?metrics_text () =
   Buffer.add_string b "<section><h2>Hardening</h2>";
   Buffer.add_string b (hardening_section rows metrics_text);
   Buffer.add_string b "</section>";
+  (match gaps with
+  | None -> ()
+  | Some gaps ->
+    Buffer.add_string b "<section><h2>Validator gaps</h2>";
+    Buffer.add_string b
+      "<p class=\"muted\">static lint verdict \xc3\x97 dynamic outcome for every \
+       replayed mutant (doc/lint.md)</p>";
+    Buffer.add_string b (gaps_section gaps);
+    Buffer.add_string b "</section>");
   (match metrics_text with
   | Some text when String.trim text <> "" ->
     Buffer.add_string b "<details><summary>Raw metrics snapshot</summary><pre>";
@@ -416,8 +492,8 @@ let html ~title ~rows ?metrics_text () =
   Buffer.add_string b "</body></html>\n";
   Buffer.contents b
 
-let write_file ~title ~rows ?metrics_text path =
+let write_file ~title ~rows ?metrics_text ?gaps path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (html ~title ~rows ?metrics_text ()))
+    (fun () -> output_string oc (html ~title ~rows ?metrics_text ?gaps ()))

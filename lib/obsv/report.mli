@@ -25,10 +25,27 @@ type row = {
   phase_ms : (string * float) list; (** per-phase wall time, journal v2.1 *)
 }
 
-val html : title:string -> rows:row list -> ?metrics_text:string -> unit -> string
+type gap_row = {
+  gap_id : string;       (** scenario id *)
+  gap_class : string;    (** fault class *)
+  gap_static : string;   (** static lint verdict label: clean/warning/error/syntax *)
+  gap_outcome : string;  (** dynamic outcome label *)
+  gap_kind : string;     (** taxonomy label, e.g. ["silent-acceptance"] *)
+  gap_detail : string;   (** first lint finding message, possibly empty *)
+}
+(** One replayed journal entry for the validator-gaps panel
+    (doc/lint.md).  Plain strings for the same dependency-order reason
+    as {!row}; [conferr gaps] maps its scan rows into it. *)
+
+val html :
+  title:string -> rows:row list -> ?metrics_text:string ->
+  ?gaps:gap_row list -> unit -> string
 (** The complete document.  [rows] in journal order (the frontier
     timeline reads order as campaign progress); [metrics_text] is a
     Prometheus exposition snapshot to mine for breaker/chaos panels and
-    embed verbatim in a collapsible section. *)
+    embed verbatim in a collapsible section; [gaps] adds the validator
+    gaps panel (static verdict × dynamic outcome disagreements). *)
 
-val write_file : title:string -> rows:row list -> ?metrics_text:string -> string -> unit
+val write_file :
+  title:string -> rows:row list -> ?metrics_text:string ->
+  ?gaps:gap_row list -> string -> unit

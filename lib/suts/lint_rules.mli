@@ -1,0 +1,51 @@
+(** Static rule sets for the six mini SUTs (doc/lint.md).
+
+    Each list captures, as {!Conferr_lint.Rule.t} data, both the checks
+    the SUT's own validator performs at startup ("agreement" rules — a
+    hit predicts a startup rejection) and the checks it omits (the flaw
+    tables of the paper's §5 — a hit on a configuration the SUT boots is
+    a {e silent acceptance} validator gap).  Rule documentation strings
+    say which is which.
+
+    The rule sets live next to the SUT implementations so they can reuse
+    the very same parsers and namespaces ({!Mini_pg.parse_mem},
+    {!Mini_mysql.resolve_name}, {!Mini_apache.validate_directive}, ...):
+    the linter and the simulated server cannot drift apart. *)
+
+val postgres : Conferr_lint.Rule.t list
+(** postgresql.conf: unknown/duplicate/missing parameters, per-spec
+    value checks, the §5.2 cross-parameter constraints.  PostgreSQL
+    validates strictly, so most rules are agreement rules; the silent
+    gap is deletion (built-in defaults apply without a message). *)
+
+val mysql : Conferr_lint.Rule.t list
+(** my.cnf: the quirky value parsers (stop-at-first-multiplier,
+    silently-defaulted out-of-range values), abbreviated names, latent
+    errors in never-parsed tool sections, unknown sections. *)
+
+val apache : Conferr_lint.Rule.t list
+(** httpd.conf + ssl.conf: full mirror of the server's directive
+    processing (modules, [<IfModule>] skipping, value validators) plus
+    the freeform-string flaws (ServerName, ServerAdmin, MIME types) and
+    functional-failure predictions (Listen/DocumentRoot/DirectoryIndex). *)
+
+val bind : Conferr_lint.Rule.t list
+(** named.conf + zone files: option/zone declarations, dangling zone
+    file references, the zone-load consistency checks BIND performs, and
+    the RFC-1912 forward/reverse cross-checks it does {e not} perform
+    (missing PTR, PTR to alias, CNAME chains). *)
+
+val djbdns : Conferr_lint.Rule.t list
+(** tinydns [data]: syntax (agreement — tinydns-data checks it too) and
+    the referential checks tinydns-data never makes (CNAME collisions
+    and chains, NS/MX targets that are aliases). *)
+
+val appserver : Conferr_lint.Rule.t list
+(** server.xml: unknown elements (silently skipped by the server — the
+    XML flaw), strict attribute validation (agreement), connector/host
+    functional predictions. *)
+
+val all : (string * Conferr_lint.Rule.t list) list
+(** Keyed by {!Sut.t.sut_name}, in registry order. *)
+
+val for_sut : string -> Conferr_lint.Rule.t list option

@@ -424,6 +424,24 @@ let handle_directive state ~vhost_port name args =
                included in the server configuration"
               name))
 
+(* Keep in sync with the section match in [process]. *)
+let known_sections =
+  [ "ifmodule"; "virtualhost"; "directory"; "files"; "location"; "limit" ]
+
+let ifmodule_ref arg =
+  let a = Strutil.trim arg in
+  let negated = String.length a > 0 && a.[0] = '!' in
+  let a = if negated then String.sub a 1 (String.length a - 1) else a in
+  (* <IfModule mod_userdir.c> names the source file; map it to the
+     module identifier used by LoadModule. *)
+  let mod_name =
+    match Strutil.drop_prefix ~prefix:"mod_" a with
+    | Some rest when Filename.check_suffix rest ".c" ->
+      Filename.chop_suffix rest ".c" ^ "_module"
+    | Some _ | None -> a
+  in
+  (mod_name, negated)
+
 let rec process state ~vhost_port items =
   match items with
   | [] -> Ok ()
@@ -440,20 +458,7 @@ let rec process state ~vhost_port items =
     in
     (match lname with
      | "ifmodule" ->
-       let mod_name =
-         let a = Strutil.trim arg in
-         let a =
-           if String.length a > 0 && a.[0] = '!' then String.sub a 1 (String.length a - 1)
-           else a
-         in
-         (* <IfModule mod_userdir.c> names the source file; map it to the
-            module identifier used by LoadModule. *)
-         match Strutil.drop_prefix ~prefix:"mod_" a with
-         | Some rest when Filename.check_suffix rest ".c" ->
-           Filename.chop_suffix rest ".c" ^ "_module"
-         | Some _ | None -> a
-       in
-       let negated = String.length (Strutil.trim arg) > 0 && (Strutil.trim arg).[0] = '!' in
+       let mod_name, negated = ifmodule_ref arg in
        let present = List.mem mod_name state.loaded in
        if (present && not negated) || ((not present) && negated) then
          continue_with (process state ~vhost_port children)
@@ -477,6 +482,18 @@ let rec process state ~vhost_port items =
 (* ------------------------------------------------------------------ *)
 (* Functional test: an HTTP GET, like the paper's diagnosis script       *)
 (* ------------------------------------------------------------------ *)
+
+let validate_directive ~loaded name args =
+  let state =
+    {
+      listeners = [];
+      document_root = "";
+      loaded;
+      directory_index = [];
+      vhost_roots = [];
+    }
+  in
+  handle_directive state ~vhost_port:None name args
 
 let docroot_has_index root = root = "/var/www/html"
 

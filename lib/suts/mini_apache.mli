@@ -26,3 +26,22 @@ val known_module : string -> bool
 
 val directive_module : string -> string option
 (** The module a directive comes from ([None] = core). *)
+
+(** {1 Exposed for the static rule set ({!Lint_rules.apache})} *)
+
+val modules : (string * string) list
+(** Module identifier to canonical [LoadModule] path. *)
+
+val known_sections : string list
+(** Lowercased section names [process] understands. *)
+
+val ifmodule_ref : string -> string * bool
+(** The module identifier an [<IfModule>] argument names (mapping
+    [mod_x.c] to [x_module]) and whether the test is negated (["!"]). *)
+
+val validate_directive :
+  loaded:string list -> string -> string -> (unit, string) result
+(** [validate_directive ~loaded name args] runs the server's own
+    directive validation against a throwaway state: the exact
+    known/module-gating/value checks of startup, without the side
+    effects.  [loaded] is the set of loaded module identifiers. *)

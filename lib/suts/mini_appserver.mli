@@ -18,3 +18,8 @@
 val sut : Sut.t
 
 val known_elements : string list
+
+(** {1 Exposed for the static rule set ({!Lint_rules.appserver})} *)
+
+val existing_dirs : string list
+val existing_files : string list

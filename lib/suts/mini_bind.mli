@@ -20,3 +20,11 @@ val reverse_origin : string
 
 val zones : (string * string) list
 (** [(file, origin)] pairs, as needed by {!Dnsmodel.Codec.bind}. *)
+
+(** {1 Exposed for the static rule set ({!Lint_rules.bind})} *)
+
+val existing_directories : string list
+(** Directories the simulated host has; [options { directory ... }] must
+    name one of them. *)
+
+val known_zone_types : string list

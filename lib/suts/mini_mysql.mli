@@ -48,3 +48,27 @@ val parse_int : default:int64 -> min:int64 -> max:int64 -> string -> parsed
 val resolve_name : string -> [ `Known of string | `Ambiguous | `Unknown ]
 (** Variable-name resolution over the [\[mysqld\]] namespace: exact,
     dash/underscore-folded, or unambiguous-prefix match. *)
+
+(** {1 Exposed for the static rule set ({!Lint_rules.mysql})} *)
+
+type bounds = { min : int64; max : int64; default : int64 }
+
+type spec =
+  | Size of bounds  (** accepts K/M/G multiplier suffixes *)
+  | Int of bounds
+  | Bool of bool
+  | Path_existing of string  (** simulated filesystem lookup *)
+  | Path_any of string
+  | Flag  (** valueless directive *)
+
+val mysqld_specs : (string * spec) list
+(** The [\[mysqld\]] variable namespace (underscore-folded names). *)
+
+val existing_paths : string list
+(** The simulated host filesystem. *)
+
+val mysqldump_options : string list
+(** The option namespace of the [\[mysqldump\]] tool section. *)
+
+val fold_dashes : string -> string
+(** ['-'] to ['_'], MySQL's name normalization. *)

@@ -24,3 +24,31 @@ val full_config : string
 
 val validate_text : string -> (unit, string) result
 (** Run only the configuration validation phase of [boot]. *)
+
+(** {1 Exposed for the static rule set ({!Lint_rules.postgres})} *)
+
+type spec =
+  | Pint of { min : int; max : int; default : int }
+  | Pmem of { min_kb : int; max_kb : int; default_kb : int }
+  | Ptime of { min_ms : int; max_ms : int; default_ms : int }
+  | Pfloat of { fmin : float; fmax : float; fdefault : float }
+  | Pbool of bool
+  | Penum of string list * string
+  | Pstring of (string -> bool) * string
+
+val specs : (string * spec) list
+(** Parameter name (lowercase) to validation spec; the first eight are
+    the paper's default postgresql.conf. *)
+
+val parse_mem : string -> string -> (int, string) result
+(** [parse_mem name v] is the kB amount, or the server's error message.
+    Bare numbers are 8kB pages; units must be exactly kB/MB/GB. *)
+
+val parse_time : string -> string -> (int, string) result
+(** Milliseconds; units ms/s/min/h/d, bare numbers are ms. *)
+
+val parse_strict_int : string -> string -> (int, string) result
+val parse_float_strict : string -> string -> (float, string) result
+
+val valid_datestyle : string -> bool
+(** Comma-separated list of known datestyle tokens. *)
