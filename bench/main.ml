@@ -565,12 +565,114 @@ let print_benchmarks () =
            | Some [ ns ] -> Printf.printf "%-40s %s / run\n" name (pretty_duration ns)
            | Some _ | None -> Printf.printf "%-40s (no estimate)\n" name)
 
+(* ------------------------------------------------------------------ *)
+(* Serve throughput: the daemon's campaign service (doc/serve.md)       *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process daemon (Daemon.handle, no sockets — this measures the
+   service, not the loopback stack): submission latency, then aggregate
+   scenario throughput for one campaign vs two concurrent campaigns
+   multiplexed over the same single-domain scheduler pool.  On one
+   worker the concurrent number documents the multiplexing overhead of
+   round-robin tenancy (it should stay close to 1.0x); on a multi-core
+   host it shows two tenants sharing the pool fairly.  Results are also
+   written machine-readable to BENCH_serve.json, which is tracked
+   in-repo — regenerate it with `dune exec bench/main.exe serve`. *)
+let print_serve_throughput () =
+  print_endline "=== Serve throughput (in-process daemon, doc/serve.md) ===\n";
+  let module Daemon = Conferr_serve.Daemon in
+  let module Json = Conferr_obsv.Json in
+  let state_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "conferr-bench-serve.%d" (Unix.getpid ()))
+  in
+  let submission =
+    Json.Obj [ ("sut", Json.Str "mini_pg"); ("seed", Json.Num (float_of_int seed)) ]
+  in
+  let submit daemon =
+    match Daemon.submit daemon submission with
+    | Ok c -> c
+    | Error _ -> failwith "bench submission rejected"
+  in
+  let total_of c =
+    match Json.member "total" (Daemon.summary_json c) with
+    | Some (Json.Num n) -> int_of_float n
+    | _ -> 0
+  in
+  (* n concurrent campaigns over one pool: submission wall time, then
+     end-to-end wall time until every journal is checkpointed *)
+  let run_campaigns n =
+    let daemon =
+      Daemon.create ~jobs:1 ~max_campaigns:(max 4 n) ~state_dir ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let cs = List.init n (fun _ -> submit daemon) in
+    let submit_s = Unix.gettimeofday () -. t0 in
+    List.iter (fun c -> Daemon.wait daemon c) cs;
+    let total_s = Unix.gettimeofday () -. t0 in
+    let scenarios = List.fold_left (fun acc c -> acc + total_of c) 0 cs in
+    Daemon.drain daemon;
+    (submit_s, total_s, scenarios)
+  in
+  ignore (run_campaigns 1) (* warm up: page in the SUT code paths *);
+  let sub1, wall1, scen1 = run_campaigns 1 in
+  let sub2, wall2, scen2 = run_campaigns 2 in
+  let rate1 = float_of_int scen1 /. wall1 in
+  let rate2 = float_of_int scen2 /. wall2 in
+  let submissions_per_sec = 2.0 /. sub2 in
+  Printf.printf "  1 campaign : %4d scenarios in %7.2f ms  (%8.0f scenarios/s)\n"
+    scen1 (wall1 *. 1e3) rate1;
+  Printf.printf "  2 campaigns: %4d scenarios in %7.2f ms  (%8.0f scenarios/s, %.2fx)\n"
+    scen2 (wall2 *. 1e3) rate2 (rate2 /. rate1);
+  Printf.printf "  submissions: %.0f accepted/s (scenario generation included)\n"
+    submissions_per_sec;
+  let obj =
+    Json.Obj
+      [
+        ("bench", Json.Str "serve-throughput");
+        ("sut", Json.Str "postgres");
+        ("seed", Json.Num (float_of_int seed));
+        ("pool_jobs", Json.Num 1.);
+        ("submissions_per_sec", Json.Num submissions_per_sec);
+        ( "single_campaign",
+          Json.Obj
+            [
+              ("scenarios", Json.Num (float_of_int scen1));
+              ("wall_s", Json.Num wall1);
+              ("scenarios_per_sec", Json.Num rate1);
+              ("submit_s", Json.Num sub1);
+            ] );
+        ( "concurrent_2",
+          Json.Obj
+            [
+              ("scenarios", Json.Num (float_of_int scen2));
+              ("wall_s", Json.Num wall2);
+              ("scenarios_per_sec", Json.Num rate2);
+              ("submit_s", Json.Num sub2);
+              ("vs_single", Json.Num (rate2 /. rate1));
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Json.to_string obj);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "  wrote BENCH_serve.json";
+  print_newline ()
+
 let () =
-  print_tables ();
-  print_ablations ();
-  print_executor_scaling ();
-  print_sandbox_overhead ();
-  print_tracer_overhead ();
-  print_adaptive_discovery ();
-  print_lint_throughput ();
-  print_benchmarks ()
+  (* `bench/main.exe serve` regenerates only the serve section and its
+     BENCH_serve.json artifact, without the (slow) full sweep *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then
+    print_serve_throughput ()
+  else begin
+    print_tables ();
+    print_ablations ();
+    print_executor_scaling ();
+    print_sandbox_overhead ();
+    print_tracer_overhead ();
+    print_adaptive_discovery ();
+    print_lint_throughput ();
+    print_serve_throughput ();
+    print_benchmarks ()
+  end

@@ -7,47 +7,17 @@
 
 open Cmdliner
 
-let all_suts =
-  [
-    Suts.Mini_mysql.sut;
-    Suts.Mini_pg.sut;
-    Suts.Mini_apache.sut;
-    Suts.Mini_bind.sut;
-    Suts.Mini_djbdns.sut;
-    Suts.Mini_appserver.sut;
-  ]
-
-(* Accept the simulator module names and a few common aliases alongside
-   the canonical SUT names, so "--sut mini_pg" works as the docs and
-   Makefile use it. *)
-let sut_aliases =
-  [
-    ("mini_pg", "postgres"); ("pg", "postgres"); ("postgresql", "postgres");
-    ("mini_mysql", "mysql");
-    ("mini_apache", "apache"); ("httpd", "apache");
-    ("mini_bind", "bind"); ("named", "bind");
-    ("mini_djbdns", "djbdns"); ("tinydns", "djbdns");
-    ("mini_appserver", "appserver");
-  ]
-
-let find_sut name =
-  let name =
-    match List.assoc_opt (String.lowercase_ascii name) sut_aliases with
-    | Some canonical -> canonical
-    | None -> name
-  in
-  List.find_opt (fun s -> s.Suts.Sut.sut_name = name) all_suts
+let all_suts = Suts.Catalog.all
 
 let sut_conv =
   let parse s =
-    match find_sut s with
+    match Suts.Catalog.find s with
     | Some sut -> Ok sut
     | None ->
       Error
         (`Msg
            (Printf.sprintf "unknown SUT %S (expected one of: %s)" s
-              (String.concat ", "
-                 (List.map (fun s -> s.Suts.Sut.sut_name) all_suts))))
+              (String.concat ", " Suts.Catalog.names)))
   in
   let print fmt s = Format.pp_print_string fmt s.Suts.Sut.sut_name in
   Arg.conv (parse, print)
@@ -71,12 +41,12 @@ let entries_arg =
 
 let jobs_arg =
   Arg.(
-    value & opt int 1
+    value & opt string "1"
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
-          "Worker domains for the campaign (1 = sequential).  Must be at \
-           least 1; values beyond max(64, scenario count) are clamped with \
-           a warning.")
+          "Worker domains for the campaign (1 = sequential), or $(b,auto) \
+           to size the pool to the machine.  Must be at least 1; values \
+           beyond max(64, scenario count) are clamped with a warning.")
 
 let journal_arg =
   Arg.(
@@ -181,10 +151,18 @@ let require_journal_file path =
     exit 2
   end
 
-(* Validate --jobs against the scenario count; exit 2 on nonsense (0 or
-   negative), warn and clamp on excess. *)
-let checked_jobs ?scenario_count jobs =
-  match Conferr_exec.Executor.clamp_jobs ?scenario_count jobs with
+(* Validate --jobs: parse the grammar (a positive integer or "auto"),
+   then check the number against the scenario count; exit 2 on nonsense
+   (junk text, 0 or negative), warn and clamp on excess. *)
+let checked_jobs ?scenario_count jobs_text =
+  let parsed =
+    match Conferr_exec.Executor.parse_jobs jobs_text with
+    | Ok n -> n
+    | Error msg ->
+      Printf.eprintf "conferr: %s\n" msg;
+      exit 2
+  in
+  match Conferr_exec.Executor.clamp_jobs ?scenario_count parsed with
   | Error msg ->
     Printf.eprintf "conferr: %s\n" msg;
     exit 2
@@ -746,37 +724,7 @@ let read_file ?(missing_exit = 1) path =
     Printf.eprintf "conferr: %s\n" msg;
     exit missing_exit
 
-let row_of_entry (e : Conferr_exec.Journal.entry) =
-    let profile_entry =
-      {
-        Conferr.Profile.scenario_id = e.Conferr_exec.Journal.scenario_id;
-        class_name = e.Conferr_exec.Journal.class_name;
-        description = e.Conferr_exec.Journal.description;
-        outcome = e.Conferr_exec.Journal.outcome;
-      }
-    in
-    let key = Conferr_exec.Signature.of_entry profile_entry in
-    let detail =
-      match e.Conferr_exec.Journal.outcome with
-      | Conferr.Outcome.Startup_failure msg -> msg
-      | Conferr.Outcome.Test_failure msgs -> String.concat "; " msgs
-      | Conferr.Outcome.Passed -> ""
-      | Conferr.Outcome.Not_applicable msg -> msg
-      | Conferr.Outcome.Crashed c -> Conferr.Outcome.crash_summary c
-    in
-    {
-      Conferr_obsv.Report.id = e.Conferr_exec.Journal.scenario_id;
-      class_name = e.Conferr_exec.Journal.class_name;
-      outcome = Conferr.Outcome.label e.Conferr_exec.Journal.outcome;
-      detail;
-      signature =
-        Printf.sprintf "%s | %s | %s" key.Conferr_exec.Signature.class_name
-          key.Conferr_exec.Signature.label key.Conferr_exec.Signature.message;
-      elapsed_ms = e.Conferr_exec.Journal.elapsed_ms;
-      attempts = e.Conferr_exec.Journal.attempts;
-      flaky = e.Conferr_exec.Journal.votes <> [];
-      phase_ms = e.Conferr_exec.Journal.phase_ms;
-    }
+let row_of_entry = Conferr_exec.Dashboard.row_of_entry
 
 (* Journals are inputs here, not outputs: a path that cannot be read is
    a usage error (exit 2) under the shared exit-code convention
@@ -1115,6 +1063,316 @@ let gaps_cmd =
       const run $ sut $ journal_arg $ seed_arg $ format_arg $ jobs_arg $ html
       $ metrics)
 
+(* ------------------------------------------------------------------ *)
+(* Service mode (doc/serve.md).  serve runs the daemon; the client
+   subcommands talk to a running daemon over its JSON API. *)
+
+module Json = Conferr_obsv.Json
+
+let serve_cmd =
+  let run jobs port port_file state_dir max_campaigns =
+    let jobs = checked_jobs jobs in
+    if port < 0 || port > 65535 then begin
+      prerr_endline "conferr: --port must be within [0; 65535] (0 = ephemeral)";
+      exit 2
+    end;
+    if max_campaigns < 1 then begin
+      prerr_endline "conferr: --max-campaigns must be at least 1";
+      exit 2
+    end;
+    let daemon =
+      Conferr_serve.Daemon.create ~jobs ~max_campaigns ~state_dir ()
+    in
+    (try
+       Conferr_serve.Daemon.listen daemon ~port ?port_file
+         ~banner:(fun bound ->
+           Printf.printf
+             "conferr serve: listening on 127.0.0.1:%d (%d worker domain(s), \
+              max %d concurrent campaign(s), state in %s)\n%!"
+             bound jobs max_campaigns state_dir)
+         ()
+     with Unix.Unix_error (err, _, _) ->
+       Printf.eprintf "conferr: cannot listen on port %d: %s\n" port
+         (Unix.error_message err);
+       exit 1);
+    print_endline "conferr serve: drained, journals checkpointed"
+  in
+  let port =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (127.0.0.1 only); 0 picks an ephemeral \
+                port.")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"PATH"
+          ~doc:"Write the bound port number to $(docv) once listening (for \
+                scripts using --port 0).")
+  in
+  let state_dir =
+    Arg.(
+      value & opt string "conferr-serve"
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:"Directory for per-campaign journals (created if missing).")
+  in
+  let max_campaigns =
+    Arg.(
+      value & opt int 4
+      & info [ "max-campaigns" ] ~docv:"N"
+          ~doc:"Most campaigns queued or running at once; submissions beyond \
+                it are answered 429 with Retry-After.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign service daemon: one shared pool of worker domains, \
+          multiple concurrent campaigns as round-robin tenants, a JSON API \
+          with streaming progress, live /metrics and /dashboard, graceful \
+          SIGTERM drain (doc/serve.md).")
+    Term.(const run $ jobs_arg $ port $ port_file $ state_dir $ max_campaigns)
+
+(* Client-side plumbing: every client subcommand targets one daemon. *)
+
+let port_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Port of the running daemon.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address of the running daemon.")
+
+let id_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ID" ~doc:"Campaign id, as returned by submit.")
+
+let client_fail msg =
+  Printf.eprintf "conferr: %s\n" msg;
+  exit 1
+
+(* Shared exit-code convention: 2xx exits 0, anything else exits 1 after
+   printing the body (the daemon's JSON error objects are one line). *)
+let print_json_exit (status, json) =
+  print_endline (Json.to_string json);
+  if status >= 200 && status < 300 then () else exit 1
+
+let submit_cmd =
+  let run host port sut seed jobs_cap quorum breaker timeout retries fuel =
+    let members =
+      List.filter_map Fun.id
+        [
+          Some ("sut", Json.Str sut);
+          Some ("seed", Json.Num (float_of_int seed));
+          Option.map (fun n -> ("jobs", Json.Num (float_of_int n))) jobs_cap;
+          Option.map (fun n -> ("quorum", Json.Num (float_of_int n))) quorum;
+          Option.map (fun n -> ("breaker", Json.Num (float_of_int n))) breaker;
+          Option.map (fun s -> ("timeout", Json.Num s)) timeout;
+          Option.map (fun n -> ("retries", Json.Num (float_of_int n))) retries;
+          Option.map (fun n -> ("fuel", Json.Num (float_of_int n))) fuel;
+        ]
+    in
+    match
+      Conferr_serve.Client.post_json ~host ~port ~path:"/campaigns"
+        (Json.Obj members) ()
+    with
+    | Error msg -> client_fail msg
+    | Ok reply -> print_json_exit reply
+  in
+  let sut =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "sut" ] ~docv:"SUT" ~doc:"System under test (validated by the \
+                                         daemon).")
+  in
+  let opt_int name doc =
+    Arg.(value & opt (some int) None & info [ name ] ~docv:"N" ~doc)
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-scenario deadline of this campaign (0 = off).")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a campaign to a running daemon; prints the accepted \
+          campaign's status object (id, policy, journal path).")
+    Term.(
+      const run $ host_arg $ port_arg $ sut $ seed_arg
+      $ opt_int "jobs-cap" "Concurrent scenarios of this campaign on the \
+                            shared pool."
+      $ opt_int "quorum" "Total attempts for crash-suspect outcomes (1 = off)."
+      $ opt_int "breaker" "Consecutive-crash breaker threshold (0 = off)."
+      $ timeout
+      $ opt_int "retries" "Extra attempts after a timeout."
+      $ opt_int "fuel" "Cooperative step budget per execution (0 = off).")
+
+let status_cmd =
+  let run host port id =
+    let path =
+      match id with None -> "/campaigns" | Some id -> "/campaigns/" ^ id
+    in
+    match Conferr_serve.Client.get_json ~host ~port ~path () with
+    | Error msg -> client_fail msg
+    | Ok reply -> print_json_exit reply
+  in
+  let id =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Campaign id; omit to list every campaign.")
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Show one campaign's status object, or list all campaigns.")
+    Term.(const run $ host_arg $ port_arg $ id)
+
+let results_cmd =
+  let run host port id =
+    match
+      Conferr_serve.Client.get_json ~host ~port
+        ~path:("/campaigns/" ^ id ^ "/results") ()
+    with
+    | Error msg -> client_fail msg
+    | Ok reply -> print_json_exit reply
+  in
+  Cmd.v
+    (Cmd.info "results"
+       ~doc:"Fetch a finished campaign's outcome tally and per-scenario \
+             results as JSON.")
+    Term.(const run $ host_arg $ port_arg $ id_pos)
+
+let watch_cmd =
+  let run host port id from =
+    match
+      Conferr_serve.Client.stream ~host ~port
+        ~path:(Printf.sprintf "/campaigns/%s/events?from=%d" id from)
+        ~on_line:print_endline ()
+    with
+    | Error msg -> client_fail msg
+    | Ok 200 -> ()
+    | Ok status -> client_fail (Printf.sprintf "daemon answered %d" status)
+  in
+  let from =
+    Arg.(
+      value & opt int 0
+      & info [ "from" ] ~docv:"N"
+          ~doc:"Skip the first $(docv) events (resume an interrupted watch).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Stream a campaign's progress events as JSON lines until it \
+          finishes; the last line is the terminal campaign event.")
+    Term.(const run $ host_arg $ port_arg $ id_pos $ from)
+
+let cancel_cmd =
+  let run host port id =
+    match
+      Conferr_serve.Client.post_json ~host ~port
+        ~path:("/campaigns/" ^ id ^ "/cancel")
+        (Json.Obj []) ()
+    with
+    | Error msg -> client_fail msg
+    | Ok reply -> print_json_exit reply
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:"Drop a campaign's queued scenarios (running ones finish); its \
+             journal keeps the completed prefix and stays resumable.")
+    Term.(const run $ host_arg $ port_arg $ id_pos)
+
+let get_cmd =
+  let run host port path =
+    let path = if String.length path > 0 && path.[0] = '/' then path else "/" ^ path in
+    match
+      Conferr_serve.Client.request ~host ~port ~meth:"GET" ~path ()
+    with
+    | Error msg -> client_fail msg
+    | Ok (status, _, body) ->
+      print_string body;
+      if status >= 300 then exit 1
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH"
+          ~doc:"Raw path to fetch, e.g. /metrics, /dashboard, /healthz or \
+                /campaigns/ID/journal.")
+  in
+  Cmd.v
+    (Cmd.info "get"
+       ~doc:"Fetch one raw path from the daemon and print the body \
+             (scripting helper for /metrics, /dashboard, journals).")
+    Term.(const run $ host_arg $ port_arg $ path)
+
+let journal_diff_cmd =
+  let run left right =
+    require_journal_file left;
+    require_journal_file right;
+    (* The determinism contract (doc/serve.md) excludes wall-clock
+       fields: elapsed and per-phase times vary run to run, everything
+       else must match exactly. *)
+    let normalize (e : Conferr_exec.Journal.entry) =
+      Conferr_exec.Journal.entry_to_json
+        { e with elapsed_ms = 0.; phase_ms = [] }
+      |> Json.to_string
+    in
+    let load path = List.map normalize (load_journal path) in
+    let l = load left and r = load right in
+    if l = r then begin
+      Printf.printf "%s and %s: identical (%d entries, wall-clock fields \
+                     ignored)\n"
+        left right (List.length l);
+      exit 0
+    end
+    else begin
+      if List.length l <> List.length r then
+        Printf.printf "entry counts differ: %d vs %d\n" (List.length l)
+          (List.length r);
+      List.iteri
+        (fun i (a, b) ->
+          if a <> b then begin
+            Printf.printf "entry %d differs:\n- %s\n+ %s\n" i a b
+          end)
+        (List.combine
+           (List.filteri (fun i _ -> i < min (List.length l) (List.length r)) l)
+           (List.filteri (fun i _ -> i < min (List.length l) (List.length r)) r));
+      exit 1
+    end
+  in
+  let left =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LEFT" ~doc:"First journal.")
+  in
+  let right =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"RIGHT" ~doc:"Second journal.")
+  in
+  Cmd.v
+    (Cmd.info "journal-diff"
+       ~doc:
+         "Compare two campaign journals modulo wall-clock fields (elapsed_ms, \
+          phase_ms) — the serve determinism check: a daemon journal must \
+          equal the one-shot CLI journal for the same campaign.  Exit 0 \
+          identical, 1 different, 2 usage.")
+    Term.(const run $ left $ right)
+
 let main =
   Cmd.group
     (Cmd.info "conferr" ~version:"1.0.0"
@@ -1123,6 +1381,8 @@ let main =
       list_cmd; profile_cmd; explore_cmd; chaos_cmd; fsck_cmd; benchmark_cmd;
       report_cmd; suggest_cmd; lint_cmd; gaps_cmd; table1_cmd; table2_cmd;
       table3_cmd; figure3_cmd; all_cmd; variations_cmd; semantic_cmd;
+      serve_cmd; submit_cmd; status_cmd; results_cmd; watch_cmd; cancel_cmd;
+      get_cmd; journal_diff_cmd;
     ]
 
 let () = exit (Cmd.eval main)

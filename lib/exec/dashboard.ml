@@ -1,0 +1,33 @@
+let row_of_entry (e : Journal.entry) =
+  let profile_entry =
+    {
+      Conferr.Profile.scenario_id = e.Journal.scenario_id;
+      class_name = e.Journal.class_name;
+      description = e.Journal.description;
+      outcome = e.Journal.outcome;
+    }
+  in
+  let key = Signature.of_entry profile_entry in
+  let detail =
+    match e.Journal.outcome with
+    | Conferr.Outcome.Startup_failure msg -> msg
+    | Conferr.Outcome.Test_failure msgs -> String.concat "; " msgs
+    | Conferr.Outcome.Passed -> ""
+    | Conferr.Outcome.Not_applicable msg -> msg
+    | Conferr.Outcome.Crashed c -> Conferr.Outcome.crash_summary c
+  in
+  {
+    Conferr_obsv.Report.id = e.Journal.scenario_id;
+    class_name = e.Journal.class_name;
+    outcome = Conferr.Outcome.label e.Journal.outcome;
+    detail;
+    signature =
+      Printf.sprintf "%s | %s | %s" key.Signature.class_name key.Signature.label
+        key.Signature.message;
+    elapsed_ms = e.Journal.elapsed_ms;
+    attempts = e.Journal.attempts;
+    flaky = e.Journal.votes <> [];
+    phase_ms = e.Journal.phase_ms;
+  }
+
+let rows_of_entries entries = List.map row_of_entry entries

@@ -1,0 +1,14 @@
+(** Journal → dashboard adapter.
+
+    {!Conferr_obsv.Report} deliberately sits at the bottom of the
+    dependency stack and takes plain string/float rows; this module owns
+    the one mapping from {!Journal.entry} (outcome variants, signature
+    clustering) into those rows, shared by the CLI ([conferr report],
+    [conferr gaps]) and the live daemon dashboard ([GET /dashboard],
+    doc/serve.md). *)
+
+val row_of_entry : Journal.entry -> Conferr_obsv.Report.row
+
+val rows_of_entries : Journal.entry list -> Conferr_obsv.Report.row list
+(** [List.map row_of_entry], preserving journal order (the dashboard's
+    frontier timeline reads order as campaign progress). *)

@@ -23,6 +23,7 @@ type settings = {
   fuel : int option;
   trace : Trace.t option;
   metrics : Metrics.t option;
+  tenant : Conferr_pool.Scheduler.tenant option;
 }
 
 let default_settings =
@@ -39,6 +40,7 @@ let default_settings =
     fuel = None;
     trace = None;
     metrics = None;
+    tenant = None;
   }
 
 let jobs_floor = 64
@@ -64,6 +66,20 @@ let clamp_jobs ?scenario_count jobs =
                 workers than max %d scenario-count)"
                jobs cap jobs_floor) )
     else Ok (jobs, None)
+
+(* The CLI-facing --jobs grammar: a positive integer, or "auto" for the
+   hardware-sized default.  Anything else is a usage error (exit 2 at
+   the CLI layer); range checking stays in {!clamp_jobs}. *)
+let parse_jobs text =
+  match String.lowercase_ascii (String.trim text) with
+  | "auto" -> Ok (Conferr_pool.recommended_jobs ())
+  | s -> (
+    match int_of_string_opt s with
+    | Some n -> Ok n
+    | None ->
+      Error
+        (Printf.sprintf "--jobs expects a positive integer or \"auto\", got %S"
+           text))
 
 (* SplitMix64 finalizer (Stafford mix13), as in Conferr_util.Rng. *)
 let mix64 z =
@@ -277,7 +293,27 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~su
   let fresh =
     Fun.protect
       ~finally:(fun () -> Option.iter Journal.close writer)
-      (fun () -> Conferr_pool.map ~jobs:settings.jobs (fun _ p -> run_one p) pending)
+      (fun () ->
+        match settings.tenant with
+        | None ->
+          Conferr_pool.map ~jobs:settings.jobs (fun _ p -> run_one p) pending
+        | Some tenant ->
+          (* Service mode (doc/serve.md): scenarios are queued on a
+             shared multi-campaign scheduler instead of a private pool.
+             A cancel or daemon drain drops the queued remainder, so the
+             result array may be partial — exactly like a resumed run
+             whose journal only covers a prefix. *)
+          let slots = Array.make (Array.length pending) None in
+          Array.iteri
+            (fun i p ->
+              match
+                Conferr_pool.Scheduler.submit tenant (fun () ->
+                    slots.(i) <- Some (run_one p))
+              with
+              | `Queued | `Rejected -> ())
+            pending;
+          Conferr_pool.Scheduler.wait tenant;
+          Array.of_list (List.filter_map Fun.id (Array.to_list slots)))
   in
   (match settings.quarantine_dir with
    | Some dir -> Repro.record_flaky ~dir !flaky_ids

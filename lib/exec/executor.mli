@@ -62,15 +62,24 @@ type settings = {
           per-scenario outcome/latency families (doc/obsv.md); [None]
           (default) records nothing.  With either observer set, journal
           entries also carry per-phase wall times ([phase_ms]) *)
+  tenant : Conferr_pool.Scheduler.tenant option;
+      (** service mode (doc/serve.md): run scenarios as tasks of this
+          tenant on a shared multi-campaign scheduler instead of a
+          private [Conferr_pool.map] pool.  [jobs] is ignored (the
+          scheduler owns the domain count); a cancel or drain drops the
+          queued remainder and the campaign completes with a partial —
+          but checkpointed and resumable — journal.  [None] (default)
+          keeps the one-shot behaviour *)
 }
 
 val default_settings : settings
 (** [{ jobs = 1; timeout_s = None; retries = 0; campaign_seed = 42;
       journal_path = None; resume = false; quorum = 1; breaker = None;
       quarantine_dir = None; fuel = None; trace = None;
-      metrics = None }] — hardening and observability off by default,
-    so existing callers behave exactly as before (profiles and
-    journals are byte-identical to an unobserved run). *)
+      metrics = None; tenant = None }] — hardening, observability and
+    service mode off by default, so existing callers behave exactly as
+    before (profiles and journals are byte-identical to an unobserved
+    run). *)
 
 val clamp_jobs :
   ?scenario_count:int -> int -> (int * string option, string) result
@@ -78,6 +87,12 @@ val clamp_jobs :
     CLI exits 2 on it); a value above [max 64 scenario-count] (64 when
     the count is unknown) clamps to the cap and returns a warning
     message.  {!run_from} applies the same clamp internally. *)
+
+val parse_jobs : string -> (int, string) result
+(** The CLI-facing [--jobs] grammar: a decimal integer, or ["auto"]
+    (case-insensitive) for {!Conferr_pool.recommended_jobs}.  Any other
+    text is an [Error] — the CLI exits 2 on it (doc/exec.md).  Range
+    validation of the parsed number stays in {!clamp_jobs}. *)
 
 val scenario_seed : campaign_seed:int -> string -> int64
 (** Deterministic per-scenario seed, a hash of the campaign seed and the

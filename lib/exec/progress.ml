@@ -141,6 +141,44 @@ let render s =
         "";
       ])
 
+(* One JSON object per event, newline-free (the codec escapes to 7-bit
+   ASCII), so the daemon can stream a campaign as JSON lines
+   (doc/serve.md).  [ms] is wall-clock and therefore excluded from the
+   determinism contract. *)
+let event_to_json event =
+  let module J = Conferr_obsv.Json in
+  let obj kind fields = J.Obj (("event", J.Str kind) :: fields) in
+  match event with
+  | Started { index; id } ->
+    obj "started" [ ("index", J.Num (float_of_int index)); ("id", J.Str id) ]
+  | Finished { index; id; label; elapsed_ms } ->
+    obj "finished"
+      [
+        ("index", J.Num (float_of_int index)); ("id", J.Str id);
+        ("outcome", J.Str label); ("ms", J.Num elapsed_ms);
+      ]
+  | Timed_out { index; id; attempt } ->
+    obj "timeout"
+      [
+        ("index", J.Num (float_of_int index)); ("id", J.Str id);
+        ("attempt", J.Num (float_of_int attempt));
+      ]
+  | Resumed { count } -> obj "resumed" [ ("count", J.Num (float_of_int count)) ]
+  | Flaky { index; id; attempts } ->
+    obj "flaky"
+      [
+        ("index", J.Num (float_of_int index)); ("id", J.Str id);
+        ("attempts", J.Num (float_of_int attempts));
+      ]
+  | Breaker_skipped { index; id; bucket } ->
+    obj "breaker-skipped"
+      [
+        ("index", J.Num (float_of_int index)); ("id", J.Str id);
+        ("bucket", J.Str bucket);
+      ]
+  | Breaker_tripped { bucket } ->
+    obj "breaker-tripped" [ ("bucket", J.Str bucket) ]
+
 let log_event = function
   | Started { index; id } -> Log.debug (fun m -> m "start %s (#%d)" id index)
   | Finished { id; label; elapsed_ms; _ } ->

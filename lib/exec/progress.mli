@@ -58,6 +58,11 @@ val render : snapshot -> string
     hardening lines (flaky, breaker) only appear when nonzero, so a
     clean campaign's block is unchanged from earlier versions. *)
 
+val event_to_json : event -> Conferr_obsv.Json.t
+(** One newline-free JSON object per event (an ["event"] tag plus the
+    constructor's fields) — the wire format of the daemon's per-campaign
+    progress stream (doc/serve.md). *)
+
 val log_event : event -> unit
 (** Default event sink: one [Logs] line per event (debug for
     start/finish, info for resume, warning for timeouts, flaky runs and

@@ -1,0 +1,71 @@
+(** Multi-tenant domain-pool scheduler (doc/serve.md).
+
+    Extracted from {!Conferr_pool.map} so that a long-lived process — the
+    [conferr serve] daemon — can own {e one} pool of worker domains and
+    multiplex work from several concurrent campaigns over it, instead of
+    every campaign spawning (and tearing down) a private pool.
+
+    The model: a scheduler owns [jobs] worker domains; clients register
+    {e tenants} (one per campaign) and submit thunks to them.  Workers
+    pick runnable tenants {b round-robin} — after serving tenant [T] the
+    scan resumes {e after} [T] — so one full rotation of the tenant ring
+    (an {e epoch}) serves every tenant that has queued work and spare
+    concurrency.  No tenant can starve another, whatever their queue
+    lengths.  Two knobs bound a tenant's appetite:
+
+    - [max_active] caps how many of its tasks run concurrently (the
+      per-campaign job cap), and
+    - [queue_cap] bounds its submission queue; a full queue {e rejects}
+      instead of growing, which is what the daemon turns into HTTP 429
+      backpressure.
+
+    Tasks are [unit -> unit] thunks and must do their own result
+    plumbing; an escaping exception is caught, recorded as the tenant's
+    first failure, and re-raised by {!wait}.  The scheduler is safe to
+    drive from any mix of domains and systhreads. *)
+
+type t
+(** A pool of worker domains plus the tenant ring. *)
+
+type tenant
+
+val create : ?jobs:int -> unit -> t
+(** Spawn the pool.  [jobs] (default 1) worker domains are started
+    eagerly and live until {!shutdown}; values below 1 are clamped
+    to 1. *)
+
+val jobs : t -> int
+
+val tenant : ?queue_cap:int -> ?max_active:int -> ?name:string -> t -> tenant
+(** Register a tenant.  [queue_cap] bounds the submission queue
+    (default: unbounded); [max_active] caps concurrently running tasks
+    (default: the pool size); [name] is for diagnostics. *)
+
+val tenant_name : tenant -> string
+
+val submit : tenant -> (unit -> unit) -> [ `Queued | `Rejected ]
+(** Enqueue one task.  [`Rejected] when the tenant's queue is full, the
+    tenant was cancelled, or the scheduler is draining or shut down —
+    the caller decides whether that is backpressure or a fatal race. *)
+
+val pending : tenant -> int
+(** Queued (not yet started) plus currently running tasks. *)
+
+val cancel : tenant -> int
+(** Drop every queued task of this tenant (running ones finish) and
+    refuse further submissions.  Returns the number of tasks dropped. *)
+
+val wait : tenant -> unit
+(** Block until the tenant has no queued and no running tasks.  If any
+    of its tasks raised, the first such exception is re-raised here
+    (once — subsequent waits return normally). *)
+
+val drain : t -> unit
+(** Graceful stop: refuse new submissions, drop every {e queued} task of
+    every tenant, wait for all {e running} tasks to finish, then stop
+    and join the worker domains.  Tenant {!wait}ers are woken as their
+    tenants empty.  Idempotent. *)
+
+val shutdown : t -> unit
+(** {!drain} under another name, for the one-shot [map] path where the
+    queues are already empty. *)

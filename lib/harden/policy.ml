@@ -1,0 +1,82 @@
+module Json = Conferr_obsv.Json
+
+type t = {
+  jobs_cap : int;
+  quorum : int;
+  breaker : int option;
+  timeout_s : float option;
+  retries : int;
+  fuel : int option;
+}
+
+let default =
+  {
+    jobs_cap = 1;
+    quorum = 1;
+    breaker = None;
+    timeout_s = None;
+    retries = 0;
+    fuel = None;
+  }
+
+let ( let* ) = Result.bind
+
+(* A member that is present must be a number satisfying [check]; 0 maps
+   to [zero] for the opt-out knobs (breaker/fuel/timeout), so JSON —
+   which has no option type — can switch them off explicitly. *)
+let num_field obj name ~check ~msg k =
+  match Json.member name obj with
+  | None -> Ok None
+  | Some v -> (
+    match Json.num v with
+    | Some f when check f -> Ok (Some (k f))
+    | Some _ | None -> Error (Printf.sprintf "%s must be %s" name msg))
+
+let pos_int f = Float.is_integer f && f >= 1.
+let nonneg_int f = Float.is_integer f && f >= 0.
+
+let of_json ?(default = default) obj =
+  let field name ~check ~msg k fallback =
+    let* v = num_field obj name ~check ~msg k in
+    Ok (Option.value ~default:fallback v)
+  in
+  let* jobs_cap =
+    field "jobs" ~check:pos_int ~msg:"a positive integer" int_of_float
+      default.jobs_cap
+  in
+  let* quorum =
+    field "quorum" ~check:pos_int ~msg:"a positive integer" int_of_float
+      default.quorum
+  in
+  let* breaker =
+    field "breaker" ~check:nonneg_int ~msg:"a non-negative integer (0 = off)"
+      (fun f -> if f = 0. then None else Some (int_of_float f))
+      default.breaker
+  in
+  let* timeout_s =
+    field "timeout" ~check:(fun f -> f >= 0.) ~msg:"a non-negative number (0 = off)"
+      (fun f -> if f = 0. then None else Some f)
+      default.timeout_s
+  in
+  let* retries =
+    field "retries" ~check:nonneg_int ~msg:"a non-negative integer" int_of_float
+      default.retries
+  in
+  let* fuel =
+    field "fuel" ~check:nonneg_int ~msg:"a non-negative integer (0 = off)"
+      (fun f -> if f = 0. then None else Some (int_of_float f))
+      default.fuel
+  in
+  Ok { jobs_cap; quorum; breaker; timeout_s; retries; fuel }
+
+let to_json t =
+  Json.Obj
+    [
+      ("jobs", Json.Num (float_of_int t.jobs_cap));
+      ("quorum", Json.Num (float_of_int t.quorum));
+      ( "breaker",
+        Json.Num (float_of_int (Option.value ~default:0 t.breaker)) );
+      ("timeout", Json.Num (Option.value ~default:0. t.timeout_s));
+      ("retries", Json.Num (float_of_int t.retries));
+      ("fuel", Json.Num (float_of_int (Option.value ~default:0 t.fuel)));
+    ]

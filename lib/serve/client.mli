@@ -1,0 +1,30 @@
+(** Minimal HTTP client for the [conferr serve] daemon (doc/serve.md).
+
+    Backs the CLI subcommands ([conferr submit]/[status]/[watch]/…) and
+    the serve smoke test.  One request per connection — the daemon's
+    keep-alive is for external clients; the CLI has no use for it. *)
+
+val request :
+  ?host:string -> port:int -> meth:string -> path:string -> ?body:string ->
+  unit ->
+  (int * (string * string) list * string, string) result
+(** Send one request and read the whole response.  [body], when given,
+    is sent as [application/json] with a [Content-Length].  Returns
+    status, headers (names lowercased) and body; [Error] is a transport
+    or framing failure (connection refused, truncated response). *)
+
+val stream :
+  ?host:string -> port:int -> path:string -> on_line:(string -> unit) ->
+  unit ->
+  (int, string) result
+(** GET a streaming endpoint and deliver each line of the (chunked)
+    body through [on_line] as it arrives.  Returns the response status
+    once the stream ends. *)
+
+val get_json :
+  ?host:string -> port:int -> path:string -> unit ->
+  (int * Conferr_obsv.Json.t, string) result
+
+val post_json :
+  ?host:string -> port:int -> path:string -> Conferr_obsv.Json.t -> unit ->
+  (int * Conferr_obsv.Json.t, string) result

@@ -1,0 +1,529 @@
+module Json = Conferr_obsv.Json
+module Metrics = Conferr_obsv.Metrics
+module Scheduler = Conferr_pool.Scheduler
+module Executor = Conferr_exec.Executor
+module Progress = Conferr_exec.Progress
+module Journal = Conferr_exec.Journal
+module Policy = Conferr_harden.Policy
+
+type status =
+  | Queued
+  | Running
+  | Done
+  | Interrupted
+  | Cancelled
+  | Failed of string
+
+type campaign = {
+  cid : string;
+  sut : Suts.Sut.t;
+  seed : int;
+  policy : Policy.t;
+  tenant : Scheduler.tenant;
+  journal_path : string;
+  base : Conftree.Config_set.t;
+  scenarios : Errgen.Scenario.t list;
+  total : int;
+  mutable cstatus : status;
+  mutable done_count : int;  (* finished + resumed scenarios *)
+  mutable cancel_requested : bool;
+  mutable profile : Conferr.Profile.t option;
+  mutable events_rev : string list;  (* newest first *)
+  mutable events_n : int;
+  mutable closed : bool;  (* terminal event appended *)
+}
+
+type t = {
+  lock : Mutex.t;
+  changed : Condition.t;  (* any event append or status change *)
+  sched : Scheduler.t;
+  reg : Metrics.t;
+  state_dir : string;
+  max_campaigns : int;
+  mutable campaigns : campaign list;  (* oldest first *)
+  mutable next_id : int;
+  mutable draining : bool;
+  mutable threads : Thread.t list;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(jobs = 1) ?(max_campaigns = 4) ~state_dir () =
+  mkdir_p state_dir;
+  let reg = Metrics.create () in
+  Metrics.declare reg Metrics.Counter "conferr_serve_submissions_total"
+    ~help:"Campaign submissions, by result (accepted/rejected/invalid)";
+  Metrics.declare reg Metrics.Gauge "conferr_serve_active_campaigns"
+    ~help:"Campaigns currently queued or running";
+  Metrics.declare reg Metrics.Counter "conferr_serve_requests_total"
+    ~help:"HTTP requests served, by route and status";
+  {
+    lock = Mutex.create ();
+    changed = Condition.create ();
+    sched = Scheduler.create ~jobs ();
+    reg;
+    state_dir;
+    max_campaigns;
+    campaigns = [];
+    next_id = 1;
+    draining = false;
+    threads = [];
+  }
+
+let jobs t = Scheduler.jobs t.sched
+let registry t = t.reg
+
+let status_of = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Interrupted -> "interrupted"
+  | Cancelled -> "cancelled"
+  | Failed _ -> "failed"
+
+let status_label c = status_of c.cstatus
+let campaign_id c = c.cid
+
+let terminal = function
+  | Queued | Running -> false
+  | Done | Interrupted | Cancelled | Failed _ -> true
+
+let finished c = terminal c.cstatus
+
+let active_count t =
+  List.length (List.filter (fun c -> not (terminal c.cstatus)) t.campaigns)
+
+(* Caller holds the lock. *)
+let push_event t c line =
+  c.events_rev <- line :: c.events_rev;
+  c.events_n <- c.events_n + 1;
+  Condition.broadcast t.changed
+
+let campaigns t = locked t (fun () -> t.campaigns)
+let find t id = locked t (fun () -> List.find_opt (fun c -> c.cid = id) t.campaigns)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let settings_of c reg =
+  {
+    Executor.default_settings with
+    campaign_seed = c.seed;
+    journal_path = Some c.journal_path;
+    timeout_s = c.policy.Policy.timeout_s;
+    retries = c.policy.Policy.retries;
+    quorum = c.policy.Policy.quorum;
+    breaker = c.policy.Policy.breaker;
+    fuel = c.policy.Policy.fuel;
+    metrics = Some reg;
+    tenant = Some c.tenant;
+  }
+
+let terminal_event c =
+  Json.Obj
+    [
+      ("event", Json.Str "campaign");
+      ("id", Json.Str c.cid);
+      ("status", Json.Str (status_of c.cstatus));
+      ("finished", Json.Num (float_of_int c.done_count));
+      ("total", Json.Num (float_of_int c.total));
+    ]
+
+let run_campaign t c =
+  locked t (fun () -> if c.cstatus = Queued then c.cstatus <- Running);
+  let on_event ev =
+    locked t (fun () ->
+        (match ev with
+         | Progress.Finished _ -> c.done_count <- c.done_count + 1
+         | Progress.Resumed { count } -> c.done_count <- c.done_count + count
+         | _ -> ());
+        push_event t c (Json.to_string (Progress.event_to_json ev)))
+  in
+  let result =
+    match
+      Executor.run_from ~settings:(settings_of c t.reg) ~on_event ~sut:c.sut
+        ~base:c.base ~scenarios:c.scenarios ()
+    with
+    | profile, _snapshot -> Ok profile
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  locked t (fun () ->
+      (match result with
+       | Ok profile ->
+         c.profile <- Some profile;
+         let complete = List.length profile.Conferr.Profile.entries >= c.total in
+         c.cstatus <-
+           (if c.cancel_requested then Cancelled
+            else if complete then Done
+            else Interrupted)
+       | Error msg -> c.cstatus <- Failed msg);
+      push_event t c (Json.to_string (terminal_event c));
+      c.closed <- true;
+      Metrics.set t.reg "conferr_serve_active_campaigns"
+        (float_of_int (active_count t)))
+
+(* ------------------------------------------------------------------ *)
+(* Submission                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type submit_error = Bad_request of string | Busy | Unavailable
+
+let int_member name ~default obj =
+  match Json.member name obj with
+  | None -> Ok default
+  | Some v -> (
+    match Json.num v with
+    | Some f when Float.is_integer f -> Ok (int_of_float f)
+    | _ -> Error (Printf.sprintf "%s must be an integer" name))
+
+let submission_count t result =
+  Metrics.inc t.reg "conferr_serve_submissions_total"
+    ~labels:[ ("result", result) ]
+
+let submit t body =
+  let reject kind e = submission_count t kind; Error e in
+  match Json.member "sut" body with
+  | None -> reject "invalid" (Bad_request "missing required member \"sut\"")
+  | Some sut_json -> (
+    match Option.bind (Json.str sut_json) Suts.Catalog.find with
+    | None ->
+      reject "invalid"
+        (Bad_request
+           (Printf.sprintf "unknown sut (known: %s)"
+              (String.concat ", " Suts.Catalog.names)))
+    | Some sut -> (
+      match int_member "seed" ~default:42 body with
+      | Error msg -> reject "invalid" (Bad_request msg)
+      | Ok seed -> (
+        match Policy.of_json body with
+        | Error msg -> reject "invalid" (Bad_request msg)
+        | Ok policy -> (
+          match Conferr.Engine.parse_default_config sut with
+          | Error msg -> reject "invalid" (Bad_request msg)
+          | Ok base ->
+            let scenarios =
+              Conferr.Campaign.typo_scenarios
+                ~rng:(Conferr_util.Rng.create seed)
+                ~faultload:Conferr.Campaign.paper_faultload sut base
+            in
+            let outcome =
+              locked t (fun () ->
+                  if t.draining then Error Unavailable
+                  else if active_count t >= t.max_campaigns then Error Busy
+                  else begin
+                    let cid = Printf.sprintf "c%04d" t.next_id in
+                    t.next_id <- t.next_id + 1;
+                    let c =
+                      {
+                        cid;
+                        sut;
+                        seed;
+                        policy;
+                        tenant =
+                          Scheduler.tenant ~max_active:policy.Policy.jobs_cap
+                            ~name:cid t.sched;
+                        journal_path =
+                          Filename.concat t.state_dir (cid ^ ".jsonl");
+                        base;
+                        scenarios;
+                        total = List.length scenarios;
+                        cstatus = Queued;
+                        done_count = 0;
+                        cancel_requested = false;
+                        profile = None;
+                        events_rev = [];
+                        events_n = 0;
+                        closed = false;
+                      }
+                    in
+                    t.campaigns <- t.campaigns @ [ c ];
+                    t.threads <-
+                      Thread.create (fun () -> run_campaign t c) () :: t.threads;
+                    Metrics.set t.reg "conferr_serve_active_campaigns"
+                      (float_of_int (active_count t));
+                    Ok c
+                  end)
+            in
+            (match outcome with
+             | Ok _ -> submission_count t "accepted"
+             | Error Busy | Error Unavailable -> submission_count t "rejected"
+             | Error (Bad_request _) -> submission_count t "invalid");
+            outcome))))
+
+let cancel t c =
+  let dropped = Scheduler.cancel c.tenant in
+  locked t (fun () -> if not (terminal c.cstatus) then c.cancel_requested <- true);
+  dropped
+
+let wait t c =
+  locked t (fun () ->
+      while not c.closed do
+        Condition.wait t.changed t.lock
+      done)
+
+let drain t =
+  locked t (fun () -> t.draining <- true);
+  Scheduler.drain t.sched;
+  let threads = locked t (fun () -> let ts = t.threads in t.threads <- []; ts) in
+  List.iter Thread.join threads
+
+(* ------------------------------------------------------------------ *)
+(* JSON views                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let summary_json c =
+  Json.Obj
+    [
+      ("id", Json.Str c.cid);
+      ("sut", Json.Str c.sut.Suts.Sut.sut_name);
+      ("seed", Json.Num (float_of_int c.seed));
+      ("status", Json.Str (status_of c.cstatus));
+      ("total", Json.Num (float_of_int c.total));
+      ("finished", Json.Num (float_of_int c.done_count));
+      ("events", Json.Num (float_of_int c.events_n));
+      ("policy", Policy.to_json c.policy);
+      ("journal", Json.Str c.journal_path);
+    ]
+
+let results_json c profile =
+  let entries = profile.Conferr.Profile.entries in
+  let tally =
+    List.fold_left
+      (fun acc (e : Conferr.Profile.entry) ->
+        let label = Conferr.Outcome.label e.outcome in
+        let n = try List.assoc label acc with Not_found -> 0 in
+        (label, n + 1) :: List.remove_assoc label acc)
+      [] entries
+    |> List.sort compare
+  in
+  Json.Obj
+    [
+      ("id", Json.Str c.cid);
+      ("sut", Json.Str profile.Conferr.Profile.sut_name);
+      ("status", Json.Str (status_of c.cstatus));
+      ("total", Json.Num (float_of_int c.total));
+      ("entries", Json.Num (float_of_int (List.length entries)));
+      ( "outcomes",
+        Json.Obj (List.map (fun (l, n) -> (l, Json.Num (float_of_int n))) tally)
+      );
+      ( "scenarios",
+        Json.Arr
+          (List.map
+             (fun (e : Conferr.Profile.entry) ->
+               Json.Obj
+                 [
+                   ("id", Json.Str e.scenario_id);
+                   ("class", Json.Str e.class_name);
+                   ("outcome", Json.Str (Conferr.Outcome.label e.outcome));
+                 ])
+             entries) );
+    ]
+
+let events_after t c from =
+  locked t (fun () ->
+      let fresh =
+        List.filteri (fun i _ -> i < c.events_n - from) c.events_rev
+      in
+      (List.rev fresh, c.closed))
+
+(* ------------------------------------------------------------------ *)
+(* HTTP surface                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let error_json ?(status = 400) ?(headers = []) msg =
+  Http.response ~headers ~content_type:"application/json" status
+    (Json.to_string (Json.Obj [ ("error", Json.Str msg) ]) ^ "\n")
+
+let dashboard_html t =
+  let paths =
+    locked t (fun () -> List.map (fun c -> c.journal_path) t.campaigns)
+  in
+  let rows =
+    List.concat_map
+      (fun path ->
+        if Sys.file_exists path then
+          Conferr_exec.Dashboard.rows_of_entries (Journal.load path)
+        else [])
+      paths
+  in
+  Conferr_obsv.Report.html ~title:"conferr serve" ~rows
+    ~metrics_text:(Metrics.expose t.reg) ()
+
+let stream_events t c ~from write =
+  let i = ref from in
+  let continue = ref true in
+  while !continue do
+    let lines, closed = events_after t c !i in
+    (match lines with
+     | [] ->
+       (* nothing new: either finished, or block for the next event *)
+       if closed then continue := false
+       else
+         locked t (fun () ->
+             if c.events_n <= !i && not c.closed then
+               Condition.wait t.changed t.lock)
+     | _ ->
+       List.iter (fun line -> write (line ^ "\n")) lines;
+       i := !i + List.length lines)
+  done
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let segments path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+
+let query_int req name ~default =
+  match List.assoc_opt name req.Http.query with
+  | None -> default
+  | Some v -> ( match int_of_string_opt v with Some n when n >= 0 -> n | _ -> default)
+
+let handle t (req : Http.request) =
+  let count route status =
+    Metrics.inc t.reg "conferr_serve_requests_total"
+      ~labels:[ ("route", route); ("status", string_of_int status) ]
+  in
+  let respond route resp =
+    count route resp.Http.status;
+    `Response resp
+  in
+  let with_campaign route id k =
+    match find t id with
+    | None -> respond route (error_json ~status:404 "no such campaign")
+    | Some c -> k c
+  in
+  match (req.meth, segments req.path) with
+  | "GET", [ "healthz" ] -> respond "healthz" (Http.response 200 "ok\n")
+  | "GET", [ "metrics" ] ->
+    respond "metrics"
+      (Http.response ~content_type:"text/plain; version=0.0.4" 200
+         (Metrics.expose t.reg))
+  | "GET", [ "dashboard" ] ->
+    respond "dashboard"
+      (Http.response ~content_type:"text/html; charset=utf-8" 200
+         (dashboard_html t))
+  | "POST", [ "campaigns" ] -> (
+    match Json.of_string (if req.body = "" then "{}" else req.body) with
+    | Error msg -> respond "submit" (error_json ("invalid JSON body: " ^ msg))
+    | Ok body -> (
+      match submit t body with
+      | Ok c ->
+        respond "submit" (Http.json_response ~status:202 (summary_json c))
+      | Error (Bad_request msg) -> respond "submit" (error_json msg)
+      | Error Busy ->
+        respond "submit"
+          (error_json ~status:429
+             ~headers:[ ("retry-after", "1") ]
+             "daemon at max concurrent campaigns")
+      | Error Unavailable ->
+        respond "submit" (error_json ~status:503 "daemon is draining")))
+  | "GET", [ "campaigns" ] ->
+    respond "list"
+      (Http.json_response
+         (Json.Obj
+            [ ("campaigns", Json.Arr (List.map summary_json (campaigns t))) ]))
+  | "GET", [ "campaigns"; id ] ->
+    with_campaign "status" id (fun c ->
+        respond "status" (Http.json_response (summary_json c)))
+  | "POST", [ "campaigns"; id; "cancel" ] ->
+    with_campaign "cancel" id (fun c ->
+        let dropped = cancel t c in
+        respond "cancel"
+          (Http.json_response
+             (Json.Obj
+                [
+                  ("id", Json.Str c.cid);
+                  ("dropped", Json.Num (float_of_int dropped));
+                  ("status", Json.Str (status_label c));
+                ])))
+  | "GET", [ "campaigns"; id; "events" ] ->
+    with_campaign "events" id (fun c ->
+        let from = query_int req "from" ~default:0 in
+        count "events" 200;
+        `Stream
+          ( [ ("content-type", "application/jsonl") ],
+            fun write -> stream_events t c ~from write ))
+  | "GET", [ "campaigns"; id; "results" ] ->
+    with_campaign "results" id (fun c ->
+        match c.profile with
+        | Some profile ->
+          respond "results" (Http.json_response (results_json c profile))
+        | None ->
+          respond "results" (error_json ~status:409 "campaign not finished"))
+  | "GET", [ "campaigns"; id; "journal" ] ->
+    with_campaign "journal" id (fun c ->
+        if Sys.file_exists c.journal_path then
+          respond "journal" (Http.response 200 (read_file c.journal_path))
+        else respond "journal" (error_json ~status:404 "no journal yet"))
+  | _, ([ "healthz" ] | [ "metrics" ] | [ "dashboard" ] | [ "campaigns" ]
+       | [ "campaigns"; _ ] | [ "campaigns"; _; ("cancel" | "events" | "results" | "journal") ]) ->
+    respond "other" (error_json ~status:405 "method not allowed")
+  | _ -> respond "other" (error_json ~status:404 "not found")
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stop_requested = Atomic.make false
+
+let listen t ~port ?port_file ?banner () =
+  Atomic.set stop_requested false;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let on_signal _ = Atomic.set stop_requested true in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle on_signal)
+      with Invalid_argument _ -> ())
+    [ Sys.sigterm; Sys.sigint ];
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 64;
+  let bound =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (match port_file with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (string_of_int bound ^ "\n");
+     close_out oc);
+  Option.iter (fun f -> f bound) banner;
+  let conns = ref [] in
+  (* accept with a short timeout so a signal is noticed promptly even
+     when no connection ever arrives *)
+  while not (Atomic.get stop_requested) do
+    match Unix.select [ sock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept sock with
+      | fd, _ ->
+        let th =
+          Thread.create
+            (fun () ->
+              Fun.protect
+                ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () -> Http.serve_connection (handle t) fd))
+            ()
+        in
+        conns := th :: !conns
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  drain t;
+  List.iter (fun th -> try Thread.join th with _ -> ()) !conns

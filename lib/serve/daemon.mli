@@ -1,0 +1,103 @@
+(** The [conferr serve] campaign service (doc/serve.md).
+
+    One daemon owns one {!Conferr_pool.Scheduler} pool of worker
+    domains; every submitted campaign becomes a scheduler tenant, so
+    concurrent campaigns share the domains with round-robin fairness
+    instead of oversubscribing the machine with private pools.  Each
+    campaign journals to its own file under the state directory with
+    the same checkpoint discipline as the one-shot CLI — the journals
+    are byte-identical modulo wall-clock fields (the determinism
+    contract; [conferr journal-diff] checks it).
+
+    {!handle} is the complete HTTP surface as a plain function over
+    {!Http.request}, so tests drive the daemon without sockets;
+    {!listen} is the accept loop that puts it on a port. *)
+
+type t
+
+type campaign
+
+val create :
+  ?jobs:int -> ?max_campaigns:int -> state_dir:string -> unit -> t
+(** Start the pool ([jobs] worker domains, default 1) and create
+    [state_dir] if needed.  [max_campaigns] (default 4) bounds the
+    campaigns that may be queued or running at once — the submission
+    queue whose overflow {!handle} answers with 429. *)
+
+val jobs : t -> int
+
+val registry : t -> Conferr_obsv.Metrics.t
+(** The daemon's metrics registry: service counters
+    ([conferr_serve_*]) plus the executor families of every campaign.
+    [GET /metrics] exposes it. *)
+
+(** {1 Campaign lifecycle} *)
+
+type submit_error =
+  | Bad_request of string  (** unknown SUT, invalid policy/seed field *)
+  | Busy                   (** at [max_campaigns] — HTTP 429 *)
+  | Unavailable            (** draining — HTTP 503 *)
+
+val submit : t -> Conferr_obsv.Json.t -> (campaign, submit_error) result
+(** Accept a submission object — members [sut] (required), [seed]
+    (default 42) and the {!Conferr_harden.Policy} fields — generate its
+    scenario list, register a tenant, and start the campaign on its own
+    thread.  The campaign is visible in {!campaigns} immediately. *)
+
+val campaigns : t -> campaign list
+(** All campaigns, oldest first. *)
+
+val find : t -> string -> campaign option
+
+val campaign_id : campaign -> string
+
+val status_label : campaign -> string
+(** [queued] / [running] / [done] / [interrupted] / [cancelled] /
+    [failed]. *)
+
+val finished : campaign -> bool
+(** The campaign reached a terminal status and its journal is
+    checkpointed. *)
+
+val cancel : t -> campaign -> int
+(** Drop the campaign's queued scenarios (running ones finish) and mark
+    it cancelled; returns the number dropped.  Idempotent; 0 once the
+    campaign is terminal. *)
+
+val wait : t -> campaign -> unit
+(** Block until the campaign is terminal.  Test/bench helper — the HTTP
+    surface streams [/events] instead. *)
+
+val summary_json : campaign -> Conferr_obsv.Json.t
+(** The list/status object: id, sut, seed, status, total, finished,
+    events, policy, journal path. *)
+
+val events_after : t -> campaign -> int -> string list * bool
+(** Under the daemon lock: event JSON lines strictly after the given
+    index, and whether the stream is closed (terminal event written).
+    Building block of the [/events] chunked stream. *)
+
+(** {1 HTTP surface} *)
+
+val handle : t -> Http.handler
+(** Routes: [GET /healthz], [GET /metrics], [GET /dashboard],
+    [POST /campaigns], [GET /campaigns], [GET /campaigns/ID],
+    [POST /campaigns/ID/cancel], [GET /campaigns/ID/events] (chunked
+    JSON-lines stream), [GET /campaigns/ID/results],
+    [GET /campaigns/ID/journal].  Unknown paths 404, known paths with
+    the wrong method 405, full daemon 429 with [Retry-After]. *)
+
+val drain : t -> unit
+(** Graceful stop: refuse new submissions, drop every queued scenario,
+    let in-flight scenarios finish, wait for every campaign thread to
+    checkpoint its journal and go terminal (partial campaigns become
+    [interrupted]), then join the worker domains.  Idempotent. *)
+
+val listen :
+  t -> port:int -> ?port_file:string -> ?banner:(int -> unit) -> unit -> unit
+(** Bind [127.0.0.1:port] ([port = 0] picks an ephemeral port), write
+    the bound port to [port_file] if given, call [banner] with it, and
+    accept connections (one systhread each) until SIGTERM or SIGINT.
+    On signal: stop accepting, {!drain}, return — the caller exits 0.
+    SIGPIPE is ignored for the process (dead peers must not kill the
+    daemon). *)

@@ -1,0 +1,447 @@
+let max_line_bytes = 8192
+let max_headers = 128
+let max_body_bytes = 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Readers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A pull reader: [pending.[off..]] is buffered unconsumed input and
+   [more ()] fetches the next slab ("" = end of stream).  Socket errors
+   are folded into end-of-stream: to the parser a dying peer and a
+   closing peer look the same, and both yield a 4xx or a clean [`Eof]. *)
+type reader = {
+  more : unit -> string;
+  mutable pending : string;
+  mutable off : int;
+}
+
+let reader_of_string s = { more = (fun () -> ""); pending = s; off = 0 }
+
+let reader_of_fd fd =
+  let scratch = Bytes.create 8192 in
+  let more () =
+    match Unix.read fd scratch 0 (Bytes.length scratch) with
+    | 0 -> ""
+    | n -> Bytes.sub_string scratch 0 n
+    | exception Unix.Unix_error _ -> ""
+    | exception Sys_error _ -> ""
+  in
+  { more; pending = ""; off = 0 }
+
+let refill r =
+  if r.off >= String.length r.pending then begin
+    r.pending <- r.more ();
+    r.off <- 0
+  end;
+  r.off < String.length r.pending
+
+(* One line, up to [limit] bytes, terminated by LF (a preceding CR is
+   dropped).  [`Line s] | [`Eof] (nothing buffered) | [`Truncated s]
+   (stream ended mid-line) | [`Overflow]. *)
+let read_line ?(limit = max_line_bytes) r =
+  let buf = Buffer.create 64 in
+  let rec loop () =
+    if Buffer.length buf > limit then `Overflow
+    else if not (refill r) then
+      if Buffer.length buf = 0 then `Eof else `Truncated (Buffer.contents buf)
+    else
+      match String.index_from_opt r.pending r.off '\n' with
+      | Some i when i - r.off + Buffer.length buf <= limit ->
+        Buffer.add_substring buf r.pending r.off (i - r.off);
+        r.off <- i + 1;
+        let line = Buffer.contents buf in
+        let n = String.length line in
+        `Line (if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+      | Some _ -> `Overflow
+      | None ->
+        Buffer.add_substring buf r.pending r.off (String.length r.pending - r.off);
+        r.off <- String.length r.pending;
+        loop ()
+  in
+  loop ()
+
+let read_exact r n =
+  let buf = Buffer.create n in
+  let rec loop () =
+    if Buffer.length buf >= n then Some (Buffer.contents buf)
+    else if not (refill r) then None
+    else begin
+      let take = min (n - Buffer.length buf) (String.length r.pending - r.off) in
+      Buffer.add_substring buf r.pending r.off take;
+      r.off <- r.off + take;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request = {
+  meth : string;
+  target : string;
+  path : string;
+  query : (string * string) list;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let header req name = List.assoc_opt name req.headers
+
+let keep_alive req =
+  match (req.version, Option.map String.lowercase_ascii (header req "connection")) with
+  | _, Some "close" -> false
+  | "HTTP/1.0", c -> c = Some "keep-alive"
+  | _, _ -> true
+
+let hex_val = function
+  | '0' .. '9' as c -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' as c -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' as c -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+(* %XX and (in queries) '+' decoding; a malformed escape is kept
+   verbatim rather than rejected — it can only ever mis-route to 404. *)
+let percent_decode ?(plus = false) s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i < n then begin
+      (match s.[i] with
+       | '%' when i + 2 < n -> (
+         match (hex_val s.[i + 1], hex_val s.[i + 2]) with
+         | Some hi, Some lo ->
+           Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+           loop (i + 3) |> ignore
+         | _ ->
+           Buffer.add_char buf '%';
+           loop (i + 1) |> ignore)
+       | '+' when plus ->
+         Buffer.add_char buf ' ';
+         loop (i + 1) |> ignore
+       | c ->
+         Buffer.add_char buf c;
+         loop (i + 1) |> ignore)
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+let split_target target =
+  let path, query_text =
+    match String.index_opt target '?' with
+    | None -> (target, "")
+    | Some i ->
+      ( String.sub target 0 i,
+        String.sub target (i + 1) (String.length target - i - 1) )
+  in
+  let query =
+    if query_text = "" then []
+    else
+      String.split_on_char '&' query_text
+      |> List.filter_map (fun pair ->
+             if pair = "" then None
+             else
+               match String.index_opt pair '=' with
+               | None -> Some (percent_decode ~plus:true pair, "")
+               | Some i ->
+                 Some
+                   ( percent_decode ~plus:true (String.sub pair 0 i),
+                     percent_decode ~plus:true
+                       (String.sub pair (i + 1) (String.length pair - i - 1)) ))
+  in
+  (percent_decode path, query)
+
+let is_token_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9'
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_'
+  | '`' | '|' | '~' ->
+    true
+  | _ -> false
+
+let is_token s = s <> "" && String.for_all is_token_char s
+
+let parse_headers r =
+  let rec loop acc count =
+    if count > max_headers then Error (431, "too many headers")
+    else
+      match read_line r with
+      | `Eof | `Truncated _ -> Error (400, "truncated headers")
+      | `Overflow -> Error (431, "header line too long")
+      | `Line "" -> Ok (List.rev acc)
+      | `Line line -> (
+        match String.index_opt line ':' with
+        | None -> Error (400, "malformed header line")
+        | Some i ->
+          let name = String.sub line 0 i in
+          let value =
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          if not (is_token name) then Error (400, "malformed header name")
+          else loop ((String.lowercase_ascii name, value) :: acc) (count + 1))
+  in
+  loop [] 0
+
+let content_length headers =
+  match List.filter (fun (k, _) -> k = "content-length") headers with
+  | [] -> Ok 0
+  | (_, v) :: rest ->
+    if List.exists (fun (_, v') -> v' <> v) rest then
+      Error (400, "conflicting content-length")
+    else if v = "" || not (String.for_all (function '0' .. '9' -> true | _ -> false) v)
+    then Error (400, "malformed content-length")
+    else if String.length v > 9 then Error (413, "body too large")
+    else
+      let n = int_of_string v in
+      if n > max_body_bytes then Error (413, "body too large") else Ok n
+
+let parse_request r =
+  (* tolerate a little CRLF padding between pipelined requests *)
+  let rec request_line skips =
+    match read_line r with
+    | `Eof -> `Eof
+    | `Truncated _ -> `Error (400, "truncated request line")
+    | `Overflow -> `Error (414, "request line too long")
+    | `Line "" -> if skips < 8 then request_line (skips + 1) else `Error (400, "malformed request")
+    | `Line line -> `Line line
+  in
+  match request_line 0 with
+  | `Eof -> `Eof
+  | `Error _ as e -> e
+  | `Line line -> (
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ meth; target; version ] ->
+      if not (is_token meth) then `Error (400, "malformed method")
+      else if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+        `Error (505, "http version not supported")
+      else if not (String.length target > 0 && (target.[0] = '/' || target = "*"))
+      then `Error (400, "malformed request target")
+      else (
+        match parse_headers r with
+        | Error (status, msg) -> `Error (status, msg)
+        | Ok headers ->
+          if List.mem_assoc "transfer-encoding" headers then
+            `Error (501, "transfer-encoding requests not supported")
+          else (
+            match content_length headers with
+            | Error (status, msg) -> `Error (status, msg)
+            | Ok len -> (
+              match if len = 0 then Some "" else read_exact r len with
+              | None -> `Error (400, "truncated body")
+              | Some body ->
+                let path, query = split_target target in
+                `Ok
+                  {
+                    meth = String.uppercase_ascii meth;
+                    target;
+                    path;
+                    query;
+                    version;
+                    headers;
+                    body;
+                  })))
+    | _ -> `Error (400, "malformed request line"))
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let status_reason = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 414 -> "URI Too Long"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | 505 -> "HTTP Version Not Supported"
+  | _ -> "Status"
+
+let response ?(headers = []) ?(content_type = "text/plain; charset=utf-8") status
+    body =
+  {
+    status;
+    reason = status_reason status;
+    resp_headers = ("content-type", content_type) :: headers;
+    resp_body = body;
+  }
+
+let json_response ?(status = 200) json =
+  response ~content_type:"application/json" status
+    (Conferr_obsv.Json.to_string json ^ "\n")
+
+let write_all fd s =
+  let bytes = Bytes.unsafe_of_string s in
+  let n = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd bytes !written (n - !written)
+  done
+
+let render_head status reason headers =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "HTTP/1.1 %d %s\r\n" status reason);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.contents buf
+
+let write_response fd ~keep_alive resp =
+  let headers =
+    resp.resp_headers
+    @ [
+        ("content-length", string_of_int (String.length resp.resp_body));
+        ("connection", if keep_alive then "keep-alive" else "close");
+      ]
+  in
+  write_all fd (render_head resp.status resp.reason headers ^ resp.resp_body)
+
+(* ------------------------------------------------------------------ *)
+(* Connection loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type handler =
+  request ->
+  [ `Response of response
+  | `Stream of (string * string) list * ((string -> unit) -> unit) ]
+
+let write_chunk fd data =
+  if data <> "" then
+    write_all fd (Printf.sprintf "%x\r\n" (String.length data) ^ data ^ "\r\n")
+
+let serve_connection handler fd =
+  let r = reader_of_fd fd in
+  let rec loop () =
+    match parse_request r with
+    | `Eof -> ()
+    | `Error (status, msg) ->
+      (* answer the parse error, then close: after a framing error the
+         byte stream can no longer be trusted for pipelining *)
+      write_response fd ~keep_alive:false (response status (msg ^ "\n"))
+    | `Ok req -> (
+      let result =
+        try handler req
+        with exn ->
+          `Response (response 500 (Printexc.to_string exn ^ "\n"))
+      in
+      match result with
+      | `Response resp ->
+        let keep = keep_alive req && resp.status < 500 in
+        write_response fd ~keep_alive:keep resp;
+        if keep then loop ()
+      | `Stream (headers, produce) ->
+        write_all fd
+          (render_head 200 (status_reason 200)
+             (headers
+             @ [ ("transfer-encoding", "chunked"); ("connection", "close") ]));
+        (try produce (write_chunk fd)
+         with
+         | Unix.Unix_error _ | Sys_error _ -> ()
+         | exn -> write_chunk fd (Printexc.to_string exn ^ "\n"));
+        write_all fd "0\r\n\r\n")
+  in
+  try loop () with Unix.Unix_error _ | Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Client-side helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_response_head r =
+  match read_line r with
+  | `Eof | `Truncated _ -> Error "truncated response"
+  | `Overflow -> Error "status line too long"
+  | `Line line -> (
+    match String.split_on_char ' ' line with
+    | version :: status :: _
+      when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+      match int_of_string_opt status with
+      | None -> Error "malformed status"
+      | Some status -> (
+        match parse_headers r with
+        | Error (_, msg) -> Error msg
+        | Ok headers -> Ok (status, headers)))
+    | _ -> Error "malformed status line")
+
+let read_chunked r ~on_chunk =
+  let rec chunk () =
+    match read_line r with
+    | `Eof | `Truncated _ -> Error "truncated chunked body"
+    | `Overflow -> Error "chunk size line too long"
+    | `Line line -> (
+      let size_text =
+        match String.index_opt line ';' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match int_of_string_opt ("0x" ^ String.trim size_text) with
+      | None -> Error "malformed chunk size"
+      | Some 0 -> (
+        (* swallow optional trailers up to the final blank line *)
+        let rec trailers () =
+          match read_line r with
+          | `Line "" | `Eof -> Ok ()
+          | `Line _ -> trailers ()
+          | `Truncated _ | `Overflow -> Error "truncated trailers"
+        in
+        trailers ())
+      | Some n when n < 0 || n > max_body_bytes -> Error "chunk too large"
+      | Some n -> (
+        match read_exact r n with
+        | None -> Error "truncated chunk"
+        | Some data -> (
+          on_chunk data;
+          match read_line r with
+          | `Line "" -> chunk ()
+          | _ -> Error "malformed chunk terminator")))
+  in
+  chunk ()
+
+let read_body r ~headers ~on_chunk =
+  let is_chunked =
+    match List.assoc_opt "transfer-encoding" headers with
+    | Some v -> String.lowercase_ascii (String.trim v) = "chunked"
+    | None -> false
+  in
+  if is_chunked then read_chunked r ~on_chunk
+  else
+    match content_length headers with
+    | Error (_, msg) -> Error msg
+    | Ok 0 ->
+      if List.mem_assoc "content-length" headers then Ok ()
+      else begin
+        (* no framing: body runs to end of stream *)
+        let rec drain () =
+          if refill r then begin
+            on_chunk
+              (String.sub r.pending r.off (String.length r.pending - r.off));
+            r.off <- String.length r.pending;
+            drain ()
+          end
+        in
+        drain ();
+        Ok ()
+      end
+    | Ok n -> (
+      match read_exact r n with
+      | None -> Error "truncated body"
+      | Some data ->
+        on_chunk data;
+        Ok ())

@@ -1,0 +1,29 @@
+let all =
+  [
+    Mini_mysql.sut; Mini_pg.sut; Mini_apache.sut; Mini_bind.sut;
+    Mini_djbdns.sut; Mini_appserver.sut;
+  ]
+
+(* Accept the simulator module names and a few common aliases alongside
+   the canonical SUT names, so "--sut mini_pg" works as the docs and
+   Makefile use it. *)
+let aliases =
+  [
+    ("mini_pg", "postgres"); ("pg", "postgres"); ("postgresql", "postgres");
+    ("mini_mysql", "mysql");
+    ("mini_apache", "apache"); ("httpd", "apache");
+    ("mini_bind", "bind"); ("named", "bind");
+    ("mini_djbdns", "djbdns"); ("tinydns", "djbdns");
+    ("mini_appserver", "appserver");
+  ]
+
+let find name =
+  let name = String.lowercase_ascii name in
+  let name =
+    match List.assoc_opt name aliases with
+    | Some canonical -> canonical
+    | None -> name
+  in
+  List.find_opt (fun s -> s.Sut.sut_name = name) all
+
+let names = List.map (fun s -> s.Sut.sut_name) all

@@ -1,0 +1,620 @@
+(* The serve subsystem (doc/serve.md): HTTP parser totality, scheduler
+   fairness, the with_timeout watchdog leak fix, and the daemon's
+   lifecycle — determinism vs the one-shot CLI path, backpressure,
+   cancel, drain, metrics and dashboard (ISSUE 6 acceptance criteria). *)
+
+module Http = Conferr_serve.Http
+module Daemon = Conferr_serve.Daemon
+module Scheduler = Conferr_pool.Scheduler
+module Executor = Conferr_exec.Executor
+module Journal = Conferr_exec.Journal
+module Progress = Conferr_exec.Progress
+module Metrics = Conferr_obsv.Metrics
+module Json = Conferr_obsv.Json
+module Policy = Conferr_harden.Policy
+
+(* -------------------------------------------------------------- *)
+(* HTTP request parser: totality and edge cases                    *)
+(* -------------------------------------------------------------- *)
+
+let parse s = Http.parse_request (Http.reader_of_string s)
+
+let check_error name expected_status s =
+  match parse s with
+  | `Error (status, _) ->
+    Alcotest.(check int) (name ^ ": status") expected_status status
+  | `Ok _ -> Alcotest.failf "%s: parsed as a valid request" name
+  | `Eof -> Alcotest.failf "%s: parsed as clean EOF" name
+
+let test_parse_simple () =
+  match parse "GET /campaigns/c0001?from=3&x=a%20b HTTP/1.1\r\nHost: h\r\nX-One: 1\r\n\r\n" with
+  | `Ok req ->
+    Alcotest.(check string) "method" "GET" req.Http.meth;
+    Alcotest.(check string) "path" "/campaigns/c0001" req.Http.path;
+    Alcotest.(check (list (pair string string)))
+      "query decoded" [ ("from", "3"); ("x", "a b") ] req.Http.query;
+    Alcotest.(check (option string)) "headers lowercased" (Some "1")
+      (Http.header req "x-one");
+    Alcotest.(check string) "no body" "" req.Http.body;
+    Alcotest.(check bool) "1.1 keeps alive" true (Http.keep_alive req)
+  | _ -> Alcotest.fail "simple request did not parse"
+
+let test_parse_body () =
+  match parse "POST /campaigns HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello" with
+  | `Ok req -> Alcotest.(check string) "body" "hello" req.Http.body
+  | _ -> Alcotest.fail "body request did not parse"
+
+let test_parse_pipelined () =
+  let r =
+    Http.reader_of_string
+      "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nok"
+  in
+  (match Http.parse_request r with
+   | `Ok req -> Alcotest.(check string) "first" "/a" req.Http.path
+   | _ -> Alcotest.fail "first pipelined request");
+  (match Http.parse_request r with
+   | `Ok req ->
+     Alcotest.(check string) "second" "/b" req.Http.path;
+     Alcotest.(check string) "second body" "ok" req.Http.body
+   | _ -> Alcotest.fail "second pipelined request");
+  match Http.parse_request r with
+  | `Eof -> ()
+  | _ -> Alcotest.fail "expected clean EOF after the pipeline"
+
+let test_parse_malformed () =
+  check_error "empty line soup" 400 "\r\n\r\n\r\n\r\n\r\n\r\n\r\n\r\n\r\nGET / HTTP/1.1\r\n\r\n";
+  check_error "two-part request line" 400 "GET /\r\n\r\n";
+  check_error "non-token method" 400 "GE T / HTTP/1.1 x\r\n\r\n";
+  check_error "relative target" 400 "GET foo HTTP/1.1\r\n\r\n";
+  check_error "bad version" 505 "GET / HTTP/2.0\r\n\r\n";
+  check_error "truncated request line" 400 "GET / HT";
+  check_error "truncated headers" 400 "GET / HTTP/1.1\r\nHost: h\r\n";
+  check_error "colonless header" 400 "GET / HTTP/1.1\r\nno colon here\r\n\r\n";
+  check_error "header name with space" 400 "GET / HTTP/1.1\r\nbad name: x\r\n\r\n";
+  check_error "content-length junk" 400
+    "POST / HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n";
+  check_error "content-length negative" 400
+    "POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\n";
+  check_error "conflicting content-lengths" 400
+    "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi";
+  check_error "truncated body" 400 "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi";
+  check_error "chunked request" 501
+    "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"
+
+let test_parse_limits () =
+  check_error "request line too long" 414
+    (Printf.sprintf "GET /%s HTTP/1.1\r\n\r\n"
+       (String.make (Http.max_line_bytes + 10) 'a'));
+  check_error "header line too long" 431
+    (Printf.sprintf "GET / HTTP/1.1\r\nx: %s\r\n\r\n"
+       (String.make (Http.max_line_bytes + 10) 'b'));
+  let many =
+    String.concat ""
+      (List.init (Http.max_headers + 2) (fun i -> Printf.sprintf "h%d: v\r\n" i))
+  in
+  check_error "too many headers" 431
+    ("GET / HTTP/1.1\r\n" ^ many ^ "\r\n");
+  check_error "body over the cap" 413
+    (Printf.sprintf "POST / HTTP/1.1\r\nContent-Length: %d\r\n\r\n"
+       (Http.max_body_bytes + 1));
+  check_error "body absurdly large" 413
+    "POST / HTTP/1.1\r\nContent-Length: 99999999999999\r\n\r\n"
+
+(* Totality: whatever the bytes, the parser returns a constructor —
+   and every `Error carries a 4xx/5xx status.  This is the property the
+   connection handler's no-escaping-exception guarantee rests on. *)
+let prop_parser_total =
+  QCheck2.Test.make ~count:500 ~name:"http: parse_request is total on junk"
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 200))
+    (fun s ->
+      match parse s with
+      | `Ok _ | `Eof -> true
+      | `Error (status, _) -> status >= 400 && status < 600)
+
+(* Structured junk: a request-line-shaped prefix with random tails
+   exercises the header/body paths more than uniform bytes do. *)
+let prop_parser_total_structured =
+  QCheck2.Test.make ~count:500
+    ~name:"http: parse_request is total on request-shaped junk"
+    QCheck2.Gen.(
+      pair (string_size ~gen:printable (0 -- 80))
+        (string_size ~gen:(char_range '\000' '\255') (0 -- 120)))
+    (fun (head, tail) ->
+      match parse ("GET /" ^ head ^ " HTTP/1.1\r\n" ^ tail) with
+      | `Ok _ | `Eof -> true
+      | `Error (status, _) -> status >= 400 && status < 600)
+
+let prop_wellformed_roundtrip =
+  QCheck2.Test.make ~count:300
+    ~name:"http: well-formed requests parse back their parts"
+    QCheck2.Gen.(
+      pair
+        (string_size ~gen:(char_range 'a' 'z') (1 -- 20))
+        (string_size ~gen:(char_range 'a' 'z') (0 -- 200)))
+    (fun (path, body) ->
+      match
+        parse
+          (Printf.sprintf "POST /%s HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s"
+             path (String.length body) body)
+      with
+      | `Ok req -> req.Http.path = "/" ^ path && req.Http.body = body
+      | _ -> false)
+
+(* The connection loop itself must not raise either, even when the
+   handler does: drive it over a socketpair and read the 500 back. *)
+let test_serve_connection_handler_exn () =
+  let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let handler _req = failwith "handler boom" in
+  let t = Thread.create (fun () -> Http.serve_connection handler server) () in
+  let oc = Unix.out_channel_of_descr client in
+  output_string oc "GET / HTTP/1.1\r\n\r\n";
+  flush oc;
+  let r = Http.reader_of_fd client in
+  (match Http.parse_response_head r with
+   | Ok (status, _) -> Alcotest.(check int) "handler exn becomes 500" 500 status
+   | Error msg -> Alcotest.failf "response head: %s" msg);
+  Thread.join t;
+  Unix.close client;
+  Unix.close server
+
+(* -------------------------------------------------------------- *)
+(* Scheduler: fairness, backpressure, cancel, failure propagation  *)
+(* -------------------------------------------------------------- *)
+
+(* Round-robin fairness, deterministically: hold the single worker on a
+   gate task owned by tenant A, queue four tasks for each tenant, then
+   open the gate.  The ring was rotated past A by the gate pick, so the
+   trace must strictly alternate B A B A … — neither tenant starves
+   within an epoch. *)
+let test_scheduler_fairness () =
+  let sched = Scheduler.create ~jobs:1 () in
+  let a = Scheduler.tenant ~name:"a" sched in
+  let b = Scheduler.tenant ~name:"b" sched in
+  let gate_lock = Mutex.create () in
+  let gate_open = ref false in
+  let gate_cond = Condition.create () in
+  let trace = ref [] in
+  let trace_lock = Mutex.create () in
+  let note tag () =
+    Mutex.lock trace_lock;
+    trace := tag :: !trace;
+    Mutex.unlock trace_lock
+  in
+  let gate () =
+    Mutex.lock gate_lock;
+    while not !gate_open do
+      Condition.wait gate_cond gate_lock
+    done;
+    Mutex.unlock gate_lock
+  in
+  Alcotest.(check bool) "gate queued" true (Scheduler.submit a gate = `Queued);
+  (* give the worker time to pick the gate before the real tasks land *)
+  Thread.delay 0.05;
+  for _ = 1 to 4 do
+    ignore (Scheduler.submit a (note "a"));
+    ignore (Scheduler.submit b (note "b"))
+  done;
+  Mutex.lock gate_lock;
+  gate_open := true;
+  Condition.broadcast gate_cond;
+  Mutex.unlock gate_lock;
+  Scheduler.wait a;
+  Scheduler.wait b;
+  Scheduler.shutdown sched;
+  Alcotest.(check (list string)) "strict round-robin alternation"
+    [ "b"; "a"; "b"; "a"; "b"; "a"; "b"; "a" ]
+    (List.rev !trace)
+
+let test_scheduler_queue_cap () =
+  let sched = Scheduler.create ~jobs:1 () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let tn = Scheduler.tenant ~queue_cap:2 sched in
+  (* the first submission may start running immediately; the cap governs
+     the queue behind it *)
+  ignore (Scheduler.submit tn (fun () -> Mutex.lock gate; Mutex.unlock gate));
+  Thread.delay 0.05;
+  Alcotest.(check bool) "1st queued" true (Scheduler.submit tn ignore = `Queued);
+  Alcotest.(check bool) "2nd queued" true (Scheduler.submit tn ignore = `Queued);
+  Alcotest.(check bool) "3rd rejected" true
+    (Scheduler.submit tn ignore = `Rejected);
+  Mutex.unlock gate;
+  Scheduler.wait tn;
+  Scheduler.shutdown sched
+
+let test_scheduler_cancel_and_failure () =
+  let sched = Scheduler.create ~jobs:1 () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let tn = Scheduler.tenant sched in
+  ignore (Scheduler.submit tn (fun () -> Mutex.lock gate; Mutex.unlock gate));
+  Thread.delay 0.05;
+  ignore (Scheduler.submit tn ignore);
+  ignore (Scheduler.submit tn ignore);
+  let dropped = Scheduler.cancel tn in
+  Mutex.unlock gate;
+  Scheduler.wait tn;
+  Alcotest.(check int) "queued tasks dropped" 2 dropped;
+  Alcotest.(check bool) "cancelled tenant rejects" true
+    (Scheduler.submit tn ignore = `Rejected);
+  let failing = Scheduler.tenant sched in
+  ignore (Scheduler.submit failing (fun () -> failwith "task boom"));
+  (match Scheduler.wait failing with
+   | () -> Alcotest.fail "wait did not re-raise the task failure"
+   | exception Failure msg ->
+     Alcotest.(check string) "first failure re-raised" "task boom" msg);
+  (* the failure is delivered exactly once *)
+  Scheduler.wait failing;
+  Scheduler.shutdown sched
+
+(* -------------------------------------------------------------- *)
+(* with_timeout: the watchdog no longer leaks silently             *)
+(* -------------------------------------------------------------- *)
+
+let test_with_timeout_no_leak_on_success () =
+  let before = Conferr_pool.abandoned_workers () in
+  (match Conferr_pool.with_timeout ~timeout_s:5.0 (fun () -> 41 + 1) with
+   | Some 42 -> ()
+   | _ -> Alcotest.fail "with_timeout lost the result");
+  Alcotest.(check int) "no abandoned workers on success" before
+    (Conferr_pool.abandoned_workers ())
+
+let test_with_timeout_abandoned_accounting () =
+  let before = Conferr_pool.abandoned_workers () in
+  let release = Atomic.make false in
+  (match
+     Conferr_pool.with_timeout ~timeout_s:0.05 (fun () ->
+         while not (Atomic.get release) do
+           Thread.yield ()
+         done)
+   with
+   | None -> ()
+   | Some () -> Alcotest.fail "expected a timeout");
+  Alcotest.(check int) "overrunning worker counted as abandoned" (before + 1)
+    (Conferr_pool.abandoned_workers ());
+  (* once the stuck computation finishes, the worker un-counts itself *)
+  Atomic.set release true;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while
+    Conferr_pool.abandoned_workers () > before
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check int) "abandoned count drains to zero" before
+    (Conferr_pool.abandoned_workers ())
+
+(* -------------------------------------------------------------- *)
+(* Daemon lifecycle                                                *)
+(* -------------------------------------------------------------- *)
+
+let temp_dir () =
+  let path = Filename.temp_file "conferr_serve_test" "" in
+  Sys.remove path;
+  path
+
+let get path = { Http.meth = "GET"; target = path; path; query = []; version = "HTTP/1.1"; headers = []; body = "" }
+
+let post path body =
+  { (get path) with Http.meth = "POST"; body }
+
+let response_of = function
+  | `Response r -> r
+  | `Stream _ -> Alcotest.fail "expected a plain response, got a stream"
+
+let json_of (resp : Http.response) =
+  match Json.of_string (String.trim resp.Http.resp_body) with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "response is not JSON: %s" msg
+
+let str_member name json =
+  match Option.bind (Json.member name json) Json.str with
+  | Some s -> s
+  | None -> Alcotest.failf "response has no string member %S" name
+
+let submit_pg ?(extra = []) daemon =
+  let resp =
+    response_of
+      (Daemon.handle daemon
+         (post "/campaigns"
+            (Json.to_string
+               (Json.Obj (("sut", Json.Str "mini_pg")
+                          :: ("seed", Json.Num 7.) :: extra)))))
+  in
+  Alcotest.(check int) "submit accepted" 202 resp.Http.status;
+  let id = str_member "id" (json_of resp) in
+  match Daemon.find daemon id with
+  | Some c -> c
+  | None -> Alcotest.failf "campaign %s not registered" id
+
+(* One-shot CLI-path journal for the same campaign, for determinism
+   comparisons. *)
+let oneshot_journal () =
+  let sut = Suts.Mini_pg.sut in
+  let base =
+    match Conferr.Engine.parse_default_config sut with
+    | Ok base -> base
+    | Error msg -> Alcotest.failf "postgres default config: %s" msg
+  in
+  let scenarios =
+    Conferr.Campaign.typo_scenarios
+      ~rng:(Conferr_util.Rng.create 7)
+      ~faultload:Conferr.Campaign.paper_faultload sut base
+  in
+  let path = Filename.temp_file "conferr_serve_oneshot" ".jsonl" in
+  let _ =
+    Executor.run_from
+      ~settings:
+        { Executor.default_settings with campaign_seed = 7;
+          journal_path = Some path }
+      ~on_event:(fun _ -> ()) ~sut ~base ~scenarios ()
+  in
+  path
+
+(* The determinism contract: wall-clock fields aside, the daemon's
+   journal is the CLI journal. *)
+let normalize_entries path =
+  List.map
+    (fun (e : Journal.entry) ->
+      Json.to_string (Journal.entry_to_json { e with elapsed_ms = 0.; phase_ms = [] }))
+    (Journal.load path)
+
+let test_daemon_determinism () =
+  let daemon = Daemon.create ~jobs:1 ~state_dir:(temp_dir ()) () in
+  let c = submit_pg daemon in
+  Daemon.wait daemon c;
+  Alcotest.(check string) "campaign ran to completion" "done"
+    (Daemon.status_label c);
+  let summary = Daemon.summary_json c in
+  let journal = str_member "journal" summary in
+  let oneshot = oneshot_journal () in
+  Alcotest.(check (list string))
+    "daemon journal == one-shot journal modulo wall-clock"
+    (normalize_entries oneshot) (normalize_entries journal);
+  Daemon.drain daemon
+
+let test_daemon_concurrent_campaigns () =
+  let daemon = Daemon.create ~jobs:1 ~state_dir:(temp_dir ()) () in
+  let c1 = submit_pg daemon in
+  let c2 = submit_pg daemon in
+  Daemon.wait daemon c1;
+  Daemon.wait daemon c2;
+  Alcotest.(check string) "first completes" "done" (Daemon.status_label c1);
+  Alcotest.(check string) "second completes" "done" (Daemon.status_label c2);
+  let n1 = normalize_entries (str_member "journal" (Daemon.summary_json c1)) in
+  let n2 = normalize_entries (str_member "journal" (Daemon.summary_json c2)) in
+  Alcotest.(check (list string))
+    "concurrent tenants do not perturb each other's journals" n1 n2;
+  Daemon.drain daemon
+
+let test_daemon_backpressure_429 () =
+  let daemon = Daemon.create ~jobs:1 ~max_campaigns:1 ~state_dir:(temp_dir ()) () in
+  let c1 = submit_pg daemon in
+  let resp =
+    response_of
+      (Daemon.handle daemon
+         (post "/campaigns" {|{"sut":"mini_pg"}|}))
+  in
+  Alcotest.(check int) "second submission bounced" 429 resp.Http.status;
+  Alcotest.(check (option string)) "advises when to retry" (Some "1")
+    (List.assoc_opt "retry-after" resp.Http.resp_headers);
+  Daemon.wait daemon c1;
+  (* capacity freed: the same submission is accepted now *)
+  let c2 = submit_pg daemon in
+  Daemon.wait daemon c2;
+  Daemon.drain daemon
+
+let test_daemon_rejects_bad_submissions () =
+  let daemon = Daemon.create ~jobs:1 ~state_dir:(temp_dir ()) () in
+  let status body =
+    (response_of (Daemon.handle daemon (post "/campaigns" body))).Http.status
+  in
+  Alcotest.(check int) "unknown sut" 400 (status {|{"sut":"no-such"}|});
+  Alcotest.(check int) "missing sut" 400 (status {|{"seed":1}|});
+  Alcotest.(check int) "invalid policy" 400
+    (status {|{"sut":"mini_pg","quorum":0}|});
+  Alcotest.(check int) "non-integer seed" 400
+    (status {|{"sut":"mini_pg","seed":1.5}|});
+  Alcotest.(check int) "junk body" 400 (status "{nope");
+  Daemon.drain daemon
+
+let test_daemon_events_and_streaming () =
+  let daemon = Daemon.create ~jobs:1 ~state_dir:(temp_dir ()) () in
+  let c = submit_pg daemon in
+  Daemon.wait daemon c;
+  let lines, closed = Daemon.events_after daemon c 0 in
+  Alcotest.(check bool) "stream closed after the terminal event" true closed;
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "event line is not JSON (%s): %s" msg line)
+    lines;
+  (match List.rev lines with
+   | last :: _ ->
+     let json = Result.get_ok (Json.of_string last) in
+     Alcotest.(check string) "terminal event" "campaign"
+       (str_member "event" json);
+     Alcotest.(check string) "terminal status" "done" (str_member "status" json)
+   | [] -> Alcotest.fail "no events recorded");
+  let tail, _ = Daemon.events_after daemon c (List.length lines - 1) in
+  Alcotest.(check int) "from-index skips delivered events" 1 (List.length tail);
+  (* the HTTP stream delivers exactly the buffered lines *)
+  (match Daemon.handle daemon (get ("/campaigns/" ^ Daemon.campaign_id c ^ "/events")) with
+   | `Stream (_, produce) ->
+     let buf = Buffer.create 4096 in
+     produce (Buffer.add_string buf);
+     Alcotest.(check int) "streamed line count" (List.length lines)
+       (List.length
+          (String.split_on_char '\n' (String.trim (Buffer.contents buf))))
+   | `Response _ -> Alcotest.fail "events endpoint did not stream");
+  Daemon.drain daemon
+
+let test_daemon_cancel () =
+  let daemon = Daemon.create ~jobs:1 ~state_dir:(temp_dir ()) () in
+  let c = submit_pg daemon in
+  let resp =
+    response_of
+      (Daemon.handle daemon
+         (post ("/campaigns/" ^ Daemon.campaign_id c ^ "/cancel") ""))
+  in
+  Alcotest.(check int) "cancel accepted" 200 resp.Http.status;
+  Daemon.wait daemon c;
+  Alcotest.(check string) "campaign cancelled" "cancelled"
+    (Daemon.status_label c);
+  (* the journal holds the completed prefix, fsck-clean *)
+  let journal = str_member "journal" (Daemon.summary_json c) in
+  Alcotest.(check bool) "journal fsck clean" true
+    (Journal.clean (Journal.fsck journal));
+  Daemon.drain daemon
+
+let test_daemon_metrics_and_dashboard () =
+  let daemon = Daemon.create ~jobs:1 ~state_dir:(temp_dir ()) () in
+  let c = submit_pg daemon in
+  Daemon.wait daemon c;
+  let metrics = response_of (Daemon.handle daemon (get "/metrics")) in
+  Alcotest.(check int) "metrics 200" 200 metrics.Http.status;
+  (match Metrics.parse_exposition metrics.Http.resp_body with
+   | Ok samples ->
+     Alcotest.(check bool) "exposition has samples" true (samples <> []);
+     Alcotest.(check bool) "serve counters present" true
+       (List.exists
+          (fun (s : Metrics.sample) ->
+            s.Metrics.sample_name = "conferr_serve_submissions_total")
+          samples);
+     Alcotest.(check bool) "executor families present" true
+       (List.exists
+          (fun (s : Metrics.sample) ->
+            s.Metrics.sample_name = "conferr_scenario_outcomes_total")
+          samples)
+   | Error msg -> Alcotest.failf "exposition does not parse: %s" msg);
+  let dash = response_of (Daemon.handle daemon (get "/dashboard")) in
+  Alcotest.(check int) "dashboard 200" 200 dash.Http.status;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "dashboard is an HTML document" true
+    (contains dash.Http.resp_body "<!doctype html");
+  Alcotest.(check bool) "dashboard shows campaign rows" true
+    (contains dash.Http.resp_body "typo/delete-directive");
+  Daemon.drain daemon
+
+let test_daemon_routes () =
+  let daemon = Daemon.create ~jobs:1 ~state_dir:(temp_dir ()) () in
+  let status req = (response_of (Daemon.handle daemon req)).Http.status in
+  Alcotest.(check int) "healthz" 200 (status (get "/healthz"));
+  Alcotest.(check int) "unknown path" 404 (status (get "/nope"));
+  Alcotest.(check int) "unknown campaign" 404 (status (get "/campaigns/zz"));
+  Alcotest.(check int) "wrong method" 405 (status (post "/metrics" ""));
+  Alcotest.(check int) "results before finish is a conflict" 409
+    (let c = submit_pg daemon in
+     status (get ("/campaigns/" ^ Daemon.campaign_id c ^ "/results")));
+  List.iter (fun c -> Daemon.wait daemon c) (Daemon.campaigns daemon);
+  Daemon.drain daemon
+
+let test_daemon_drain_interrupts () =
+  let daemon = Daemon.create ~jobs:1 ~state_dir:(temp_dir ()) () in
+  let c = submit_pg daemon in
+  (* drain races the campaign: whichever wins, the campaign must end in
+     a terminal state with an fsck-clean journal, and the daemon must
+     refuse new submissions *)
+  Daemon.drain daemon;
+  Alcotest.(check bool) "campaign is terminal" true (Daemon.finished c);
+  let journal = str_member "journal" (Daemon.summary_json c) in
+  if Sys.file_exists journal then
+    Alcotest.(check bool) "journal fsck clean" true
+      (Journal.clean (Journal.fsck journal));
+  let resp =
+    response_of (Daemon.handle daemon (post "/campaigns" {|{"sut":"mini_pg"}|}))
+  in
+  Alcotest.(check int) "draining daemon answers 503" 503 resp.Http.status
+
+(* -------------------------------------------------------------- *)
+(* Odds and ends: --jobs grammar, policy codec, event JSON          *)
+(* -------------------------------------------------------------- *)
+
+let test_parse_jobs () =
+  Alcotest.(check (result int string)) "plain number" (Ok 4)
+    (Executor.parse_jobs "4");
+  Alcotest.(check int) "auto resolves to the hardware default"
+    (Conferr_pool.recommended_jobs ())
+    (Result.get_ok (Executor.parse_jobs " AUTO "));
+  Alcotest.(check bool) "junk is an error" true
+    (Result.is_error (Executor.parse_jobs "banana"));
+  Alcotest.(check bool) "empty is an error" true
+    (Result.is_error (Executor.parse_jobs ""))
+
+let test_policy_roundtrip () =
+  let p =
+    {
+      Policy.jobs_cap = 3; quorum = 5; breaker = Some 4; timeout_s = Some 1.5;
+      retries = 2; fuel = Some 100;
+    }
+  in
+  Alcotest.(check bool) "of_json (to_json p) = p" true
+    (Policy.of_json (Policy.to_json p) = Ok p);
+  Alcotest.(check bool) "zero switches option knobs off" true
+    (Policy.of_json (Json.Obj [ ("breaker", Json.Num 0.) ])
+     = Ok { Policy.default with breaker = None });
+  Alcotest.(check bool) "negative quorum rejected" true
+    (Result.is_error (Policy.of_json (Json.Obj [ ("quorum", Json.Num (-1.)) ])))
+
+let test_event_to_json () =
+  let tag ev =
+    str_member "event" (Progress.event_to_json ev)
+  in
+  Alcotest.(check string) "started" "started"
+    (tag (Progress.Started { index = 0; id = "x" }));
+  Alcotest.(check string) "finished" "finished"
+    (tag (Progress.Finished { index = 0; id = "x"; label = "ok"; elapsed_ms = 1. }));
+  Alcotest.(check string) "timeout" "timeout"
+    (tag (Progress.Timed_out { index = 0; id = "x"; attempt = 1 }));
+  Alcotest.(check string) "breaker" "breaker-tripped"
+    (tag (Progress.Breaker_tripped { bucket = "b" }))
+
+let suite =
+  [
+    Alcotest.test_case "http: simple request" `Quick test_parse_simple;
+    Alcotest.test_case "http: body by content-length" `Quick test_parse_body;
+    Alcotest.test_case "http: pipelined requests" `Quick test_parse_pipelined;
+    Alcotest.test_case "http: malformed inputs yield 4xx/5xx" `Quick
+      test_parse_malformed;
+    Alcotest.test_case "http: limits enforced" `Quick test_parse_limits;
+    QCheck_alcotest.to_alcotest prop_parser_total;
+    QCheck_alcotest.to_alcotest prop_parser_total_structured;
+    QCheck_alcotest.to_alcotest prop_wellformed_roundtrip;
+    Alcotest.test_case "http: handler exception becomes 500" `Quick
+      test_serve_connection_handler_exn;
+    Alcotest.test_case "scheduler: round-robin fairness" `Quick
+      test_scheduler_fairness;
+    Alcotest.test_case "scheduler: queue cap rejects" `Quick
+      test_scheduler_queue_cap;
+    Alcotest.test_case "scheduler: cancel and failure propagation" `Quick
+      test_scheduler_cancel_and_failure;
+    Alcotest.test_case "with_timeout: success joins its worker" `Quick
+      test_with_timeout_no_leak_on_success;
+    Alcotest.test_case "with_timeout: abandoned workers are accounted" `Quick
+      test_with_timeout_abandoned_accounting;
+    Alcotest.test_case "daemon: journal identical to one-shot CLI" `Slow
+      test_daemon_determinism;
+    Alcotest.test_case "daemon: concurrent campaigns share the pool" `Slow
+      test_daemon_concurrent_campaigns;
+    Alcotest.test_case "daemon: 429 with Retry-After when full" `Quick
+      test_daemon_backpressure_429;
+    Alcotest.test_case "daemon: invalid submissions answer 400" `Quick
+      test_daemon_rejects_bad_submissions;
+    Alcotest.test_case "daemon: event buffer and chunked stream" `Slow
+      test_daemon_events_and_streaming;
+    Alcotest.test_case "daemon: cancel keeps a clean partial journal" `Quick
+      test_daemon_cancel;
+    Alcotest.test_case "daemon: live /metrics and /dashboard" `Slow
+      test_daemon_metrics_and_dashboard;
+    Alcotest.test_case "daemon: routing table" `Quick test_daemon_routes;
+    Alcotest.test_case "daemon: drain leaves terminal campaigns" `Quick
+      test_daemon_drain_interrupts;
+    Alcotest.test_case "cli: --jobs grammar" `Quick test_parse_jobs;
+    Alcotest.test_case "policy: json codec" `Quick test_policy_roundtrip;
+    Alcotest.test_case "progress: event json tags" `Quick test_event_to_json;
+  ]
