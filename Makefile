@@ -1,4 +1,4 @@
-.PHONY: all build test smoke lint-smoke serve-smoke check bench clean
+.PHONY: all build test smoke lint-smoke serve-smoke infer-smoke check bench clean
 
 all: build
 
@@ -120,7 +120,56 @@ serve-smoke: build
 	wait $$DPID; \
 	$$BIN fsck /tmp/conferr-serve-state/c0001.jsonl
 
-check: build test smoke lint-smoke serve-smoke
+# Inference smoke (doc/infer.md):
+#   1. record fresh campaign journals (postgres typos; bind typos +
+#      RFC 1912 semantic faults) and mine each back into candidate
+#      constraints; both reports must recover a majority of the
+#      hand-written rule ids ("majority: yes") — exit 1 is fine, the
+#      inferred and hand-written sets legitimately differ;
+#   2. the report must be byte-identical for --jobs 1 and --jobs 4;
+#   3. --emit-rules must write a rule file conferr lint --rules accepts,
+#      and the mined rules must lint the stock configuration clean;
+#   4. the dashboard must render the inferred-constraints panel and the
+#      metrics snapshot must carry the inference counters.
+infer-smoke: build
+	rm -f /tmp/conferr-infer-pg.jsonl /tmp/conferr-infer-bind.jsonl \
+	  /tmp/conferr-infer-sem.jsonl /tmp/conferr-infer-j1.txt \
+	  /tmp/conferr-infer-j4.txt /tmp/conferr-infer-bind.txt \
+	  /tmp/conferr-infer.html /tmp/conferr-infer.prom \
+	  /tmp/conferr-infer-rules.json
+	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
+	  --journal /tmp/conferr-infer-pg.jsonl > /dev/null
+	dune exec bin/main.exe -- profile --sut bind --jobs 2 \
+	  --journal /tmp/conferr-infer-bind.jsonl > /dev/null
+	dune exec bin/main.exe -- semantic --sut bind --jobs 2 \
+	  --journal /tmp/conferr-infer-sem.jsonl > /dev/null
+	dune exec bin/main.exe -- infer --sut postgres \
+	  --journal /tmp/conferr-infer-pg.jsonl > /tmp/conferr-infer-j1.txt; \
+	  test $$? -le 1
+	grep -q "majority: yes" /tmp/conferr-infer-j1.txt
+	dune exec bin/main.exe -- infer --sut postgres --jobs 4 \
+	  --journal /tmp/conferr-infer-pg.jsonl > /tmp/conferr-infer-j4.txt; \
+	  test $$? -le 1
+	cmp /tmp/conferr-infer-j1.txt /tmp/conferr-infer-j4.txt
+	dune exec bin/main.exe -- infer --sut bind \
+	  --journal /tmp/conferr-infer-bind.jsonl \
+	  --journal /tmp/conferr-infer-sem.jsonl \
+	  --emit-rules /tmp/conferr-infer-rules.json \
+	  --html /tmp/conferr-infer.html \
+	  --metrics /tmp/conferr-infer.prom > /tmp/conferr-infer-bind.txt; \
+	  test $$? -le 1
+	grep -q "majority: yes" /tmp/conferr-infer-bind.txt
+	grep -q "Inferred constraints" /tmp/conferr-infer.html
+	grep -q conferr_infer_candidates_total /tmp/conferr-infer.prom
+	dune exec bin/main.exe -- lint --sut bind --fail-on warn \
+	  --rules /tmp/conferr-infer-rules.json
+	dune exec bin/main.exe -- infer --sut postgres \
+	  --journal /tmp/conferr-infer-pg.jsonl \
+	  --emit-rules /tmp/conferr-infer-rules.json > /dev/null; test $$? -le 1
+	dune exec bin/main.exe -- lint --sut postgres --fail-on warn \
+	  --rules /tmp/conferr-infer-rules.json
+
+check: build test smoke lint-smoke serve-smoke infer-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -13,8 +13,30 @@
 
 open Bechamel
 open Toolkit
+module Json = Conferr_obsv.Json
 
 let seed = 42
+
+(* Every measured section writes its numbers machine-readable to a
+   tracked BENCH_<section>.json next to the human-readable stdout table,
+   so regressions show up in review as artifact diffs.  Sections a host
+   cannot measure honestly record {"skipped": true} with the reason
+   instead of omitting the file. *)
+let write_artifact path obj =
+  let oc = open_out path in
+  output_string oc (Json.to_string obj);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
+let skipped_artifact path ~bench ~reason =
+  write_artifact path
+    (Json.Obj
+       [
+         ("bench", Json.Str bench);
+         ("skipped", Json.Bool true);
+         ("reason", Json.Str reason);
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate the evaluation                                    *)
@@ -126,6 +148,10 @@ let print_executor_scaling () =
     print_endline
       "  domains only measure GC synchronization overhead, not scaling.";
     print_endline "  Re-run on a multi-core machine for speedup numbers.";
+    skipped_artifact "BENCH_executor.json" ~bench:"executor-scaling"
+      ~reason:
+        "single-core host (recommended_jobs = 1): extra domains measure GC \
+         synchronization, not scaling";
     print_newline ()
   end
   else begin
@@ -162,12 +188,36 @@ let print_executor_scaling () =
   ignore (time_run 1);
   let sequential = time_run 1 in
   Printf.printf "  %d domain(s): %8.2f ms   (baseline)\n%!" 1 (sequential *. 1e3);
-  List.iter
-    (fun jobs ->
-      let t = time_run jobs in
-      Printf.printf "  %d domain(s): %8.2f ms   speedup %.2fx\n%!" jobs (t *. 1e3)
-        (sequential /. t))
-    [ 2; 4 ];
+  let runs =
+    (1, sequential)
+    :: List.map
+         (fun jobs ->
+           let t = time_run jobs in
+           Printf.printf "  %d domain(s): %8.2f ms   speedup %.2fx\n%!" jobs
+             (t *. 1e3) (sequential /. t);
+           (jobs, t))
+         [ 2; 4 ]
+  in
+  write_artifact "BENCH_executor.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "executor-scaling");
+         ("sut", Json.Str "postgres");
+         ("seed", Json.Num (float_of_int seed));
+         ("scenarios", Json.Num (float_of_int (List.length scenarios)));
+         ("cores", Json.Num (float_of_int cores));
+         ( "runs",
+           Json.Arr
+             (List.map
+                (fun (jobs, t) ->
+                  Json.Obj
+                    [
+                      ("jobs", Json.Num (float_of_int jobs));
+                      ("wall_s", Json.Num t);
+                      ("speedup", Json.Num (sequential /. t));
+                    ])
+                runs) );
+       ]);
   print_newline ()
   end
 
@@ -216,6 +266,18 @@ let print_sandbox_overhead () =
   Printf.printf "  engine  : %8.2f ms\n" (plain *. 1e3);
   Printf.printf "  sandbox : %8.2f ms   overhead %+.1f%%  (budget <5%%)\n"
     (sandboxed *. 1e3) overhead;
+  write_artifact "BENCH_sandbox.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "sandbox-overhead");
+         ("sut", Json.Str "postgres");
+         ("seed", Json.Num (float_of_int seed));
+         ("scenarios", Json.Num (float_of_int (List.length scenarios)));
+         ("engine_s", Json.Num plain);
+         ("sandbox_s", Json.Num sandboxed);
+         ("overhead_pct", Json.Num overhead);
+         ("budget_pct", Json.Num 5.);
+       ]);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -302,6 +364,18 @@ let print_tracer_overhead () =
   Printf.printf "  obsv off      : %8.2f ms\n" (plain *. 1e3);
   Printf.printf "  trace+metrics : %8.2f ms   overhead %+.1f%%  (budget <5%%)\n"
     (instrumented *. 1e3) overhead;
+  write_artifact "BENCH_tracer.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "tracer-overhead");
+         ("sut", Json.Str "postgres");
+         ("seed", Json.Num (float_of_int seed));
+         ("scenarios", Json.Num (float_of_int (List.length scenarios)));
+         ("plain_s", Json.Num plain);
+         ("instrumented_s", Json.Num instrumented);
+         ("overhead_pct", Json.Num overhead);
+         ("budget_pct", Json.Num 5.);
+       ]);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -316,6 +390,7 @@ let print_tracer_overhead () =
    on any host. *)
 let print_adaptive_discovery () =
   print_endline "=== Adaptive vs exhaustive signature discovery ===\n";
+  let rows = ref [] in
   List.iter
     (fun (name, sut) ->
       let base =
@@ -358,8 +433,33 @@ let print_adaptive_discovery () =
         r.Conferr_adapt.Explore.executed r.Conferr_adapt.Explore.duplicates
         r.Conferr_adapt.Explore.not_applicable
         (List.length r.Conferr_adapt.Explore.frontier)
-        r.Conferr_adapt.Explore.batches)
+        r.Conferr_adapt.Explore.batches;
+      rows :=
+        Json.Obj
+          [
+            ("sut", Json.Str name);
+            ("exhaustive_runs", Json.Num (float_of_int (List.length scenarios)));
+            ("exhaustive_signatures", Json.Num (float_of_int exhaustive_sigs));
+            ( "adaptive_runs",
+              Json.Num (float_of_int r.Conferr_adapt.Explore.executed) );
+            ( "duplicates_skipped",
+              Json.Num (float_of_int r.Conferr_adapt.Explore.duplicates) );
+            ( "not_applicable",
+              Json.Num (float_of_int r.Conferr_adapt.Explore.not_applicable) );
+            ( "adaptive_signatures",
+              Json.Num
+                (float_of_int (List.length r.Conferr_adapt.Explore.frontier)) );
+            ("batches", Json.Num (float_of_int r.Conferr_adapt.Explore.batches));
+          ]
+        :: !rows)
     [ ("postgres", Suts.Mini_pg.sut); ("bind", Suts.Mini_bind.sut) ];
+  write_artifact "BENCH_adaptive.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "adaptive-vs-exhaustive");
+         ("seed", Json.Num (float_of_int seed));
+         ("suts", Json.Arr (List.rev !rows));
+       ]);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -373,6 +473,7 @@ let print_adaptive_discovery () =
    regression.  doc/lint.md points here. *)
 let print_lint_throughput () =
   print_endline "=== Lint throughput (stock configuration sets) ===\n";
+  let rows = ref [] in
   List.iter
     (fun (name, sut) ->
       let base =
@@ -401,7 +502,16 @@ let print_lint_throughput () =
       done;
       let per_run_us = !best /. float_of_int runs *. 1e6 in
       Printf.printf "  %-10s %2d rules  %8.1f us / check  %8.0f checks/s\n"
-        name (List.length rules) per_run_us (1e6 /. per_run_us))
+        name (List.length rules) per_run_us (1e6 /. per_run_us);
+      rows :=
+        Json.Obj
+          [
+            ("sut", Json.Str name);
+            ("rules", Json.Num (float_of_int (List.length rules)));
+            ("us_per_check", Json.Num per_run_us);
+            ("checks_per_sec", Json.Num (1e6 /. per_run_us));
+          ]
+        :: !rows)
     [
       ("postgres", Suts.Mini_pg.sut);
       ("mysql", Suts.Mini_mysql.sut);
@@ -410,6 +520,12 @@ let print_lint_throughput () =
       ("djbdns", Suts.Mini_djbdns.sut);
       ("appserver", Suts.Mini_appserver.sut);
     ];
+  write_artifact "BENCH_lint.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "lint-throughput");
+         ("suts", Json.Arr (List.rev !rows));
+       ]);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -581,7 +697,6 @@ let print_benchmarks () =
 let print_serve_throughput () =
   print_endline "=== Serve throughput (in-process daemon, doc/serve.md) ===\n";
   let module Daemon = Conferr_serve.Daemon in
-  let module Json = Conferr_obsv.Json in
   let state_dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "conferr-bench-serve.%d" (Unix.getpid ()))
@@ -653,26 +768,120 @@ let print_serve_throughput () =
             ] );
       ]
   in
-  let oc = open_out "BENCH_serve.json" in
-  output_string oc (Json.to_string obj);
-  output_char oc '\n';
-  close_out oc;
-  print_endline "  wrote BENCH_serve.json";
+  write_artifact "BENCH_serve.json" obj;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Infer throughput: journal mining (lib/infer, doc/infer.md)           *)
+(* ------------------------------------------------------------------ *)
+
+(* `conferr infer` replays a whole campaign journal through the evidence
+   extractor, the candidate induction and the rule differ, so mining
+   sits on an O(journal lines) path like the gap scan; this section runs
+   the paper typo faultload once to record a journal, then times the
+   full pipeline over it (best of 3) and reports journal lines mined per
+   second. *)
+let print_infer_throughput () =
+  print_endline "=== Infer throughput (mini-postgres campaign journal) ===\n";
+  let sut = Suts.Mini_pg.sut in
+  let base =
+    match Conferr.Engine.parse_default_config sut with
+    | Ok base -> base
+    | Error msg -> failwith msg
+  in
+  let scenarios =
+    Conferr.Campaign.typo_scenarios
+      ~rng:(Conferr_util.Rng.create seed)
+      ~faultload:Conferr.Campaign.paper_faultload sut base
+  in
+  let rules =
+    match Suts.Lint_rules.for_sut sut.Suts.Sut.sut_name with
+    | Some rules -> rules
+    | None -> failwith "no rule set for postgres"
+  in
+  let path = Filename.temp_file "conferr_bench_infer" ".jsonl" in
+  let entries =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let settings =
+          {
+            Conferr_exec.Executor.default_settings with
+            journal_path = Some path;
+          }
+        in
+        ignore
+          (Conferr_exec.Executor.run_from ~settings
+             ~on_event:(fun _ -> ())
+             ~sut ~base ~scenarios ());
+        Conferr_exec.Journal.load path)
+  in
+  let run () =
+    Conferr_infer.Pipeline.run ~nearest:Conferr.Suggest.nearest ~sut ~rules
+      ~scenarios ~entries ~base ~thresholds:Conferr_infer.Confidence.default ()
+  in
+  ignore (run ()) (* warm up *);
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    ignore (run ());
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  let result = run () in
+  let lines = List.length entries in
+  let lines_per_sec = float_of_int lines /. !best in
+  let recovered, total = Conferr_infer.Infer_report.recovery result in
+  Printf.printf "  journal lines : %d (best of 3 pipeline runs)\n" lines;
+  Printf.printf "  pipeline      : %8.2f ms   %8.0f lines/s\n" (!best *. 1e3)
+    lines_per_sec;
+  Printf.printf "  candidates    : %d kept; recovery %d/%d rule ids\n"
+    (List.length result.Conferr_infer.Pipeline.candidates)
+    recovered total;
+  write_artifact "BENCH_infer.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "infer-throughput");
+         ("sut", Json.Str "postgres");
+         ("seed", Json.Num (float_of_int seed));
+         ("journal_lines", Json.Num (float_of_int lines));
+         ("pipeline_s", Json.Num !best);
+         ("lines_per_sec", Json.Num lines_per_sec);
+         ( "candidates",
+           Json.Num
+             (float_of_int (List.length result.Conferr_infer.Pipeline.candidates))
+         );
+         ("recovered", Json.Num (float_of_int recovered));
+         ("rule_ids", Json.Num (float_of_int total));
+       ]);
+  print_newline ()
+
+(* Each measured section is addressable on its own — `bench/main.exe
+   serve` (or executor, sandbox, tracer, adaptive, lint, infer)
+   regenerates just that section and its BENCH_*.json artifact without
+   the (slow) full sweep. *)
+let sections =
+  [
+    ("executor", print_executor_scaling);
+    ("sandbox", print_sandbox_overhead);
+    ("tracer", print_tracer_overhead);
+    ("adaptive", print_adaptive_discovery);
+    ("lint", print_lint_throughput);
+    ("serve", print_serve_throughput);
+    ("infer", print_infer_throughput);
+  ]
+
 let () =
-  (* `bench/main.exe serve` regenerates only the serve section and its
-     BENCH_serve.json artifact, without the (slow) full sweep *)
-  if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then
-    print_serve_throughput ()
+  if Array.length Sys.argv > 1 then
+    match List.assoc_opt Sys.argv.(1) sections with
+    | Some section -> section ()
+    | None ->
+      Printf.eprintf "bench: unknown section %S (expected one of: %s)\n"
+        Sys.argv.(1)
+        (String.concat ", " (List.map fst sections));
+      exit 2
   else begin
     print_tables ();
     print_ablations ();
-    print_executor_scaling ();
-    print_sandbox_overhead ();
-    print_tracer_overhead ();
-    print_adaptive_discovery ();
-    print_lint_throughput ();
-    print_serve_throughput ();
+    List.iter (fun (_, section) -> section ()) sections;
     print_benchmarks ()
   end

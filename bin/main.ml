@@ -855,6 +855,29 @@ let rules_for sut =
     Printf.eprintf "conferr: no rule set for SUT %s\n" sut.Suts.Sut.sut_name;
     exit 2
 
+(* Regenerate the scenario set a campaign journal was recorded from:
+   the paper typo faultload at --seed plus, for the DNS SUTs, the
+   RFC 1912 semantic scenarios (ids relabelled like `conferr semantic`).
+   gaps and infer both replay journals against this set, so they must
+   derive it identically. *)
+let regenerate_scenarios ~seed sut base =
+  let typo =
+    Conferr.Campaign.typo_scenarios ~rng:(Conferr_util.Rng.create seed)
+      ~faultload:Conferr.Campaign.paper_faultload sut base
+  in
+  let semantic =
+    let relabel codec =
+      Dnsmodel.Rfc1912.scenarios ~codec ~faults:Dnsmodel.Rfc1912.all_faults base
+      |> Errgen.Scenario.relabel_ids ~prefix:"semantic"
+    in
+    match sut.Suts.Sut.sut_name with
+    | "bind" -> relabel (Dnsmodel.Codec.bind ~zones:Suts.Mini_bind.zones)
+    | "djbdns" ->
+      relabel (Dnsmodel.Codec.tinydns ~file:Suts.Mini_djbdns.data_file)
+    | _ -> []
+  in
+  typo @ semantic
+
 (* Parse one configuration set for linting: the SUT's default files,
    with any FILE arguments (matched to config files by base name)
    substituted in.  A file that does not parse is not fatal — it becomes
@@ -887,9 +910,18 @@ let lint_parse sut overrides =
     sut.Suts.Sut.config_files
 
 let lint_cmd =
-  let run sut files format fail_on =
+  let run sut files format fail_on rules_file =
     let sut = required_sut sut in
-    let rules = rules_for sut in
+    let rules =
+      match rules_file with
+      | None -> rules_for sut
+      | Some path ->
+        (match Conferr_lint.Rule_file.load (read_file ~missing_exit:2 path) with
+        | Ok specs -> List.map Conferr_lint.Rule_file.to_rule specs
+        | Error msg ->
+          Printf.eprintf "conferr: %s: %s\n" path msg;
+          exit 2)
+    in
     let overrides =
       List.map
         (fun path ->
@@ -949,13 +981,24 @@ let lint_cmd =
       & info [ "fail-on" ] ~docv:"SEVERITY"
           ~doc:"Exit 1 when a finding at or above $(docv) (warn or error) exists.")
   in
+  let rules_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"PATH"
+          ~doc:
+            "Check against the rule file at $(docv) (the format \
+             $(b,conferr infer --emit-rules) writes, doc/infer.md) instead \
+             of the SUT's built-in rule set.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically check configuration files against the SUT's declarative \
-          rule set (doc/lint.md).  Exit 0 when clean, 1 on findings at or \
-          above --fail-on, 2 on usage errors.")
-    Term.(const run $ sut $ files $ format_arg $ fail_on)
+          rule set (doc/lint.md), or against a mined rule file (--rules).  \
+          Exit 0 when clean, 1 on findings at or above --fail-on, 2 on usage \
+          errors.")
+    Term.(const run $ sut $ files $ format_arg $ fail_on $ rules_file)
 
 let gaps_cmd =
   let run sut journal seed format jobs html metrics =
@@ -974,27 +1017,12 @@ let gaps_cmd =
       Printf.eprintf "conferr: %s\n" msg;
       exit 2
     | Ok base ->
-      let typo =
-        Conferr.Campaign.typo_scenarios ~rng:(Conferr_util.Rng.create seed)
-          ~faultload:Conferr.Campaign.paper_faultload sut base
-      in
-      let semantic =
-        let relabel codec =
-          Dnsmodel.Rfc1912.scenarios ~codec ~faults:Dnsmodel.Rfc1912.all_faults
-            base
-          |> Errgen.Scenario.relabel_ids ~prefix:"semantic"
-        in
-        match sut.Suts.Sut.sut_name with
-        | "bind" -> relabel (Dnsmodel.Codec.bind ~zones:Suts.Mini_bind.zones)
-        | "djbdns" ->
-          relabel (Dnsmodel.Codec.tinydns ~file:Suts.Mini_djbdns.data_file)
-        | _ -> []
-      in
       let report =
         Conferr_lint_replay.scan
           ~jobs:(checked_jobs ~scenario_count:(List.length entries) jobs)
           ~nearest:Conferr.Suggest.nearest ~sut ~rules
-          ~scenarios:(typo @ semantic) ~entries ~base ()
+          ~scenarios:(regenerate_scenarios ~seed sut base)
+          ~entries ~base ()
       in
       (match format with
       | `Text -> print_string (Conferr_lint_replay.render report)
@@ -1062,6 +1090,165 @@ let gaps_cmd =
     Term.(
       const run $ sut $ journal_arg $ seed_arg $ format_arg $ jobs_arg $ html
       $ metrics)
+
+let infer_cmd =
+  let run sut journals seed format jobs min_support min_confidence emit_rules
+      html metrics =
+    let sut = required_sut sut in
+    let rules = rules_for sut in
+    if journals = [] then begin
+      prerr_endline
+        "conferr: infer requires at least one --journal PATH (a recorded \
+         campaign)";
+      exit 2
+    end;
+    if min_support < 1 then begin
+      prerr_endline "conferr: --min-support must be at least 1";
+      exit 2
+    end;
+    if min_confidence < 0. || min_confidence > 1. then begin
+      prerr_endline "conferr: --min-confidence must be within [0; 1]";
+      exit 2
+    end;
+    let entries = List.concat_map load_journal journals in
+    match Conferr.Engine.parse_default_config sut with
+    | Error msg ->
+      Printf.eprintf "conferr: %s\n" msg;
+      exit 2
+    | Ok base ->
+      let result =
+        Conferr_infer.Pipeline.run
+          ~jobs:(checked_jobs ~scenario_count:(List.length entries) jobs)
+          ~nearest:Conferr.Suggest.nearest ~sut ~rules
+          ~scenarios:(regenerate_scenarios ~seed sut base)
+          ~entries ~base
+          ~thresholds:{ Conferr_infer.Confidence.min_support; min_confidence }
+          ()
+      in
+      (match format with
+      | `Text -> print_string (Conferr_infer.Infer_report.render result)
+      | `Json ->
+        print_endline
+          (Conferr_obsv.Json.to_string
+             (Conferr_infer.Infer_report.to_json result)));
+      Option.iter
+        (fun path ->
+          let specs = Conferr_infer.Infer_report.rule_specs result in
+          let text =
+            Conferr_lint.Rule_file.save ~sut:sut.Suts.Sut.sut_name specs
+          in
+          (try
+             let oc = open_out_bin path in
+             Fun.protect
+               ~finally:(fun () -> close_out_noerr oc)
+               (fun () -> output_string oc text)
+           with Sys_error msg ->
+             Printf.eprintf "conferr: %s\n" msg;
+             exit 2);
+          Printf.eprintf "conferr: wrote %d rule(s) to %s\n"
+            (List.length specs) path)
+        emit_rules;
+      Option.iter
+        (fun path ->
+          let registry = Conferr_obsv.Metrics.create () in
+          Conferr_infer.Infer_report.record_metrics registry result;
+          try Conferr_obsv.Metrics.write_file registry path
+          with Sys_error msg ->
+            Printf.eprintf "conferr: %s\n" msg;
+            exit 2)
+        metrics;
+      Option.iter
+        (fun path ->
+          let rows = List.map row_of_entry entries in
+          let title =
+            "conferr inferred constraints \xe2\x80\x94 "
+            ^ String.concat ", " (List.map Filename.basename journals)
+          in
+          try
+            Conferr_obsv.Report.write_file ~title ~rows
+              ~infer:
+                (Conferr_infer.Infer_report.dashboard_rows ~hand:rules result)
+              path
+          with Sys_error msg ->
+            Printf.eprintf "conferr: %s\n" msg;
+            exit 2)
+        html;
+      let diff = result.Conferr_infer.Pipeline.diff in
+      if
+        diff.Conferr_infer.Differ.contradicted <> []
+        || diff.Conferr_infer.Differ.missed_by_hand <> []
+        || diff.Conferr_infer.Differ.missed_by_inference <> []
+      then exit 1
+  in
+  let sut =
+    Arg.(
+      value
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT"
+          ~doc:"System under test the journal(s) were recorded for.")
+  in
+  let journals =
+    Arg.(
+      value & opt_all string []
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Recorded campaign journal to mine; repeatable to pool evidence \
+             from several campaigns of the same SUT.")
+  in
+  let min_support =
+    Arg.(
+      value & opt int 1
+      & info [ "min-support" ] ~docv:"N"
+          ~doc:"Drop candidates supported by fewer than $(docv) observations.")
+  in
+  let min_confidence =
+    Arg.(
+      value & opt float 0.5
+      & info [ "min-confidence" ] ~docv:"C"
+          ~doc:
+            "Drop candidates whose support / (support + contradictions) ratio \
+             is below $(docv) (within [0; 1]).")
+  in
+  let emit_rules =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-rules" ] ~docv:"PATH"
+          ~doc:
+            "Write the expressible candidates as a loadable rule file to \
+             $(docv); check it with $(b,conferr lint --rules) $(docv).")
+  in
+  let html =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"PATH"
+          ~doc:
+            "Also write the HTML dashboard with the inferred-constraints \
+             panel to $(docv).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Write a Prometheus snapshot of the inference counters \
+             (conferr_infer_candidates_total, conferr_infer_rule_diff_total) \
+             to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:
+         "Mine recorded campaign journals for configuration constraints and \
+          diff the inferred candidates against the SUT's hand-written rule \
+          set (doc/infer.md).  Scenarios are regenerated from --seed, which \
+          must match the campaigns'.  Exit 0 when every hand-written rule is \
+          recovered and nothing was missed by either side, 1 when the sets \
+          differ, 2 on usage errors.")
+    Term.(
+      const run $ sut $ journals $ seed_arg $ format_arg $ jobs_arg
+      $ min_support $ min_confidence $ emit_rules $ html $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* Service mode (doc/serve.md).  serve runs the daemon; the client
@@ -1379,7 +1566,8 @@ let main =
        ~doc:"Assess resilience to human configuration errors (DSN'08 reproduction).")
     [
       list_cmd; profile_cmd; explore_cmd; chaos_cmd; fsck_cmd; benchmark_cmd;
-      report_cmd; suggest_cmd; lint_cmd; gaps_cmd; table1_cmd; table2_cmd;
+      report_cmd; suggest_cmd; lint_cmd; gaps_cmd; infer_cmd; table1_cmd;
+      table2_cmd;
       table3_cmd; figure3_cmd; all_cmd; variations_cmd; semantic_cmd;
       serve_cmd; submit_cmd; status_cmd; results_cmd; watch_cmd; cancel_cmd;
       get_cmd; journal_diff_cmd;

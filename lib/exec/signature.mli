@@ -32,6 +32,13 @@ val normalize : string -> string
     whitespace runs — ["unknown key \"Prot\" on line 42"] and
     ["unknown key \"prot2\" on line 7"] normalize identically. *)
 
+val outcome_message : Conferr.Outcome.t -> string
+(** The message text an outcome carries: the startup/not-applicable
+    message, joined functional-failure messages, the crash summary
+    (cause + phase, no backtrace), [""] for [Passed].  This is what
+    {!of_entry} normalizes — and what the inference layer ([lib/infer])
+    mines templates from. *)
+
 val of_entry : Conferr.Profile.entry -> key
 
 val clusters : Conferr.Profile.entry list -> cluster list

@@ -1,0 +1,43 @@
+type kind = Value | Required | Unknown | Implies
+
+let kind_label = function
+  | Value -> "value"
+  | Required -> "required"
+  | Unknown -> "unknown"
+  | Implies -> "implies"
+
+type t = {
+  id : string;
+  kind : kind;
+  file : string;
+  section : string;
+  name : string;
+  node_kind : string;
+  doc : string;
+  severity : Conferr_lint.Finding.severity;
+  claim : Conferr_lint.Rule.claim;
+  spec : Conferr_lint.Rule_file.body option;
+  support : string list;
+  contradictions : string list;
+  templates : string list;
+}
+
+let confidence c =
+  let s = List.length c.support and x = List.length c.contradictions in
+  if s = 0 then 0. else float_of_int s /. float_of_int (s + x)
+
+let target_string c =
+  if c.section = "" then Printf.sprintf "%s:%s" c.file c.name
+  else Printf.sprintf "%s#%s:%s" c.file c.section c.name
+
+let to_spec c =
+  Option.map
+    (fun body ->
+      {
+        Conferr_lint.Rule_file.id = c.id;
+        severity = c.severity;
+        doc = c.doc;
+        claim = c.claim;
+        body;
+      })
+    c.spec

@@ -1,0 +1,40 @@
+(** A mined constraint candidate (doc/infer.md).
+
+    Candidates carry everything the differ and the report need: the
+    typed constraint (as a serializable {!Conferr_lint.Rule_file.body}
+    when it is expressible in the loadable subset), the evidence that
+    supports and contradicts it, and the claim it makes about the SUT's
+    validator ([Agreement] — backed by observed rejections; [Gap] —
+    backed by observed silent acceptances). *)
+
+type kind = Value | Required | Unknown | Implies
+
+val kind_label : kind -> string
+(** ["value"], ["required"], ["unknown"], ["implies"]. *)
+
+type t = {
+  id : string;  (** assigned by {!Confidence.assign_ids}; [""] before *)
+  kind : kind;
+  file : string;
+  section : string;          (** [""] at top level *)
+  name : string;             (** directive name; ["a+b"] for implies *)
+  node_kind : string;
+  doc : string;              (** one-line statement of the constraint *)
+  severity : Conferr_lint.Finding.severity;
+  claim : Conferr_lint.Rule.claim;
+  spec : Conferr_lint.Rule_file.body option;
+      (** [None] when not expressible in the loadable rule subset
+          (e.g. a [Required] over zone-file records) *)
+  support : string list;         (** supporting scenario ids, journal order *)
+  contradictions : string list;  (** contradicting scenario ids *)
+  templates : string list;       (** distinct backing templates, in order *)
+}
+
+val confidence : t -> float
+(** [support / (support + contradictions)]; [0.] with no support. *)
+
+val target_string : t -> string
+(** ["file:name"] or ["file#section:name"]. *)
+
+val to_spec : t -> Conferr_lint.Rule_file.spec option
+(** The loadable rule, when the candidate is expressible. *)

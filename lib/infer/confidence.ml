@@ -1,0 +1,20 @@
+type thresholds = { min_support : int; min_confidence : float }
+
+let default = { min_support = 1; min_confidence = 0.5 }
+
+let filter t cands =
+  List.filter
+    (fun (c : Candidate.t) ->
+      List.length c.support >= t.min_support
+      && Candidate.confidence c >= t.min_confidence)
+    cands
+
+let assign_ids cands =
+  let counters = Hashtbl.create 4 in
+  List.map
+    (fun (c : Candidate.t) ->
+      let kind = String.uppercase_ascii (Candidate.kind_label c.kind) in
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt counters kind) in
+      Hashtbl.replace counters kind n;
+      { c with id = Printf.sprintf "INF-%s-%03d" kind n })
+    cands

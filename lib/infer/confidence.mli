@@ -1,0 +1,24 @@
+(** Deterministic confidence thresholds and id assignment
+    (doc/infer.md).
+
+    Confidence is the rational [support / (support + contradictions)] —
+    counting only, no wall-clock or randomness, so the kept set and its
+    order are byte-stable for any [--jobs].  Ids are assigned after
+    filtering, numbered per kind in list order ([INF-VALUE-001], ...),
+    so they are stable too. *)
+
+type thresholds = { min_support : int; min_confidence : float }
+
+val default : thresholds
+(** [{ min_support = 1; min_confidence = 0.5 }] — a single clean
+    observation is kept (the paper faultloads delete each directive
+    exactly once), a candidate contradicted as often as supported is
+    not. *)
+
+val filter : thresholds -> Candidate.t list -> Candidate.t list
+(** Keep candidates with [support >= min_support] and
+    [confidence >= min_confidence]; order preserved. *)
+
+val assign_ids : Candidate.t list -> Candidate.t list
+(** Number candidates per kind in list order: [INF-VALUE-001],
+    [INF-REQUIRED-001], [INF-UNKNOWN-001], [INF-IMPLIES-001], ... *)

@@ -1,0 +1,131 @@
+module Node = Conftree.Node
+module Config_set = Conftree.Config_set
+module Rule_file = Conferr_lint.Rule_file
+
+(* Stock directive names per file: lowercased -> display case. *)
+let file_vocab base file =
+  match Config_set.find base file with
+  | None -> []
+  | Some root ->
+    Node.find_all (fun n -> n.Node.kind = Node.kind_directive) root
+    |> List.fold_left
+         (fun acc (_, (n : Node.t)) ->
+           let low = String.lowercase_ascii n.name in
+           if n.name = "" || List.mem_assoc low acc then acc
+           else (low, n.name) :: acc)
+         []
+    |> List.rev
+
+type group = {
+  g_file : string;
+  g_names : string list;  (* lowercased, sorted *)
+  mutable g_support : string list;  (* reversed *)
+  mutable g_templates : string list;  (* reversed *)
+}
+
+let candidates ~base rows =
+  let vocab_cache = Hashtbl.create 8 in
+  let vocab file =
+    match Hashtbl.find_opt vocab_cache file with
+    | Some v -> v
+    | None ->
+      let v = file_vocab base file in
+      Hashtbl.add vocab_cache file v;
+      v
+  in
+  let groups : (string * string list, group) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (row : Evidence.row) ->
+      if
+        (row.outcome = "startup" || row.outcome = "functional")
+        && row.message <> ""
+      then
+        (* one mutated file per mutant in practice; fold over edits to
+           stay total *)
+        let files =
+          List.fold_left
+            (fun acc (e : Edit.t) ->
+              if List.mem e.file acc then acc else e.file :: acc)
+            [] row.edits
+          |> List.rev
+        in
+        List.iter
+          (fun file ->
+            let mentioned =
+              List.filter
+                (fun (_, display) -> Template.mentions ~name:display row.message)
+                (vocab file)
+            in
+            let mutated =
+              List.filter_map
+                (fun (e : Edit.t) ->
+                  if e.file = file && e.name <> "" then
+                    Some (String.lowercase_ascii e.name)
+                  else None)
+                row.edits
+            in
+            let mentioned_low = List.map fst mentioned in
+            if
+              List.length mentioned >= 2
+              && mutated <> []
+              && List.for_all (fun n -> List.mem n mentioned_low) mutated
+            then begin
+              let names = List.sort compare mentioned_low in
+              let key = (file, names) in
+              let g =
+                match Hashtbl.find_opt groups key with
+                | Some g -> g
+                | None ->
+                  let g =
+                    {
+                      g_file = file;
+                      g_names = names;
+                      g_support = [];
+                      g_templates = [];
+                    }
+                  in
+                  Hashtbl.add groups key g;
+                  order := key :: !order;
+                  g
+              in
+              g.g_support <- row.scenario_id :: g.g_support;
+              if row.template <> "" && not (List.mem row.template g.g_templates)
+              then g.g_templates <- row.template :: g.g_templates
+            end)
+          files)
+    rows;
+  List.rev !order
+  |> List.map (fun key ->
+         let g = Hashtbl.find groups key in
+         let display =
+           List.map
+             (fun low ->
+               match List.assoc_opt low (vocab g.g_file) with
+               | Some d -> d
+               | None -> low)
+             g.g_names
+         in
+         {
+           Candidate.id = "";
+           kind = Candidate.Implies;
+           file = g.g_file;
+           section = "";
+           name = String.concat "+" g.g_names;
+           node_kind = Node.kind_directive;
+           doc =
+             Printf.sprintf
+               "mined: {%s} are jointly constrained (%d co-failing \
+                scenario(s))"
+               (String.concat ", " display)
+               (List.length g.g_support);
+           severity = Conferr_lint.Finding.Info;
+           claim = Conferr_lint.Rule.Agreement;
+           spec =
+             Some
+               (Rule_file.F_implies_present
+                  { file = Some g.g_file; section = None; names = display });
+           support = List.rev g.g_support;
+           contradictions = [];
+           templates = List.rev g.g_templates;
+         })

@@ -1,0 +1,15 @@
+(** Cross-directive co-occurrence candidates (doc/infer.md).
+
+    Ocasta's observation, applied to error templates: when one failure
+    template names {e several} configured directives, those directives
+    are jointly constrained — mutating one breaks an invariant that
+    involves the others ("max_fsm_pages must be at least 16 *
+    max_fsm_relations").  A template contributes a candidate when (a)
+    at least two stock directive names of the mutated file occur as
+    whole words in the raw message, and (b) the mutated directive
+    itself is among them (the message is about the edit, not incidental
+    wording).  Candidates over the same name set merge. *)
+
+val candidates :
+  base:Conftree.Config_set.t -> Evidence.row list -> Candidate.t list
+(** First-appearance order of (file, name-set). *)

@@ -1,0 +1,35 @@
+(** Evidence extraction: journal entries joined with typed mutation
+    provenance (doc/infer.md).
+
+    Each journal entry is matched back to its generating scenario by id
+    (as [conferr gaps] does), the mutation is re-applied to the base
+    configuration, and the base/mutant trees are diffed ({!Edit}) — so
+    every observed outcome is attributed to the exact ConfPath the
+    scenario touched, and its message is mined into a template
+    ({!Template.mine}).  Rows come back in journal order and are
+    byte-identical for any [jobs] value (the parallel map lands results
+    in input slots). *)
+
+type row = {
+  scenario_id : string;
+  class_name : string;
+  description : string;
+  outcome : string;   (** {!Conferr.Outcome.label} *)
+  message : string;   (** raw outcome message *)
+  template : string;  (** mined template of [message] *)
+  edits : Edit.t list;
+      (** what the scenario changed; empty when the mutation was
+          inexpressible on this base *)
+}
+
+type t = {
+  sut_name : string;
+  rows : row list;  (** journal order *)
+  unmatched : string list;
+      (** journal entry ids with no regenerated scenario, in order *)
+}
+
+val collect :
+  ?jobs:int -> sut:Suts.Sut.t -> scenarios:Errgen.Scenario.t list ->
+  entries:Conferr_exec.Journal.entry list -> base:Conftree.Config_set.t ->
+  unit -> t

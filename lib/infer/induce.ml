@@ -1,0 +1,395 @@
+module Node = Conftree.Node
+module Config_set = Conftree.Config_set
+module Rule_file = Conferr_lint.Rule_file
+module Finding = Conferr_lint.Finding
+module Rule = Conferr_lint.Rule
+
+(* ---------------------------------------------------------------- *)
+(* Stock-configuration lookups *)
+
+(* Every node of [root] with its enclosing section (lowercased, "" at
+   top level), document order — the checker's scope model. *)
+let sites root =
+  let acc = ref [] in
+  let rec go section (node : Node.t) =
+    acc := (section, node) :: !acc;
+    let section =
+      if node.kind = Node.kind_section then String.lowercase_ascii node.name
+      else section
+    in
+    List.iter (go section) node.children
+  in
+  go "" root;
+  List.rev !acc
+
+(* All stock values of an item, document order — an item can repeat in
+   sibling sections of the same name (both [zone] blocks of named.conf
+   carry a [file]), and the induced shape must accept every one. *)
+let base_values base ~file ~section ~name =
+  match Config_set.find base file with
+  | None -> []
+  | Some root ->
+    List.filter_map
+      (fun (sec, (n : Node.t)) ->
+        if sec = section && String.lowercase_ascii n.name = name then
+          Some (Node.value_or ~default:"" n)
+        else None)
+      (sites root)
+    |> List.filter (fun v -> v <> "")
+
+let vocabulary base ~file ~section ~node_kind =
+  match Config_set.find base file with
+  | None -> []
+  | Some root ->
+    List.filter_map
+      (fun (sec, (n : Node.t)) ->
+        if sec = section && n.kind = node_kind && n.name <> "" then Some n.name
+        else None)
+      (sites root)
+    |> List.fold_left
+         (fun acc n -> if List.mem n acc then acc else n :: acc)
+         []
+    |> List.rev
+
+(* ---------------------------------------------------------------- *)
+(* Shared helpers *)
+
+let rejected (o : Table.obs) = o.row.outcome = "startup"
+let accepted (o : Table.obs) =
+  o.row.outcome = "ignored" || o.row.outcome = "functional"
+
+let ids obs = List.map (fun (o : Table.obs) -> o.row.scenario_id) obs
+
+let distinct_templates obs =
+  List.fold_left
+    (fun acc (o : Table.obs) ->
+      if o.row.template = "" || List.mem o.row.template acc then acc
+      else o.row.template :: acc)
+    [] obs
+  |> List.rev
+
+let contains ~sub s =
+  let ls = String.length sub and n = String.length s in
+  let rec go i = i + ls <= n && (String.sub s i ls = sub || go (i + 1)) in
+  ls > 0 && go 0
+
+(* ---------------------------------------------------------------- *)
+(* Value candidates *)
+
+(* Mirror of Checker.check_vtype over the serializable vtypes: does the
+   induced shape accept this value? *)
+let eval_vspec vspec value =
+  match vspec with
+  | Rule_file.F_int_range (lo, hi) -> (
+    match int_of_string_opt (String.trim value) with
+    | Some n -> n >= lo && n <= hi
+    | None -> false)
+  | Rule_file.F_bool ->
+    List.mem
+      (String.lowercase_ascii (String.trim value))
+      [ "on"; "off"; "true"; "false"; "yes"; "no"; "1"; "0" ]
+  | Rule_file.F_enum { allowed; ci } ->
+    let v = if ci then String.lowercase_ascii value else value in
+    List.exists (fun a -> (if ci then String.lowercase_ascii a else a) = v) allowed
+
+let vspec_doc = function
+  | Rule_file.F_int_range (lo, hi) ->
+    Printf.sprintf "an integer in [%d, %d]" lo hi
+  | Rule_file.F_bool -> "a boolean word"
+  | Rule_file.F_enum { allowed; _ } ->
+    Printf.sprintf "one of {%s}" (String.concat ", " allowed)
+
+let new_value (o : Table.obs) =
+  match o.edit.kind with
+  | Edit.Value_changed { to_; _ } -> Some to_
+  | _ -> None
+
+(* The value shape, mined from the rejection messages first (they state
+   the constraint: ConfInLog's key observation), observed values as the
+   fallback. *)
+let induce_vspec ~stock ~failing ~valid_values =
+  let failing_msgs = List.map (fun (o : Table.obs) -> o.row.message) failing in
+  let low_msgs = List.map String.lowercase_ascii failing_msgs in
+  let range_bounds =
+    List.find_map
+      (fun m ->
+        if contains ~sub:"valid range" m || contains ~sub:"must be between" m
+        then
+          match Option.map Template.ints (Template.parenthesized m) with
+          | Some (a :: b :: _) -> Some (min a b, max a b)
+          | _ -> None
+        else None)
+      low_msgs
+  in
+  let mentions sub = List.exists (contains ~sub) low_msgs in
+  let int_values =
+    List.filter_map (fun v -> int_of_string_opt (String.trim v)) valid_values
+  in
+  match range_bounds with
+  | Some (lo, hi) -> Rule_file.F_int_range (lo, hi)
+  | None ->
+    if mentions "boolean" then Rule_file.F_bool
+    else if
+      mentions "integer"
+      && int_values <> []
+      && List.length int_values = List.length valid_values
+    then
+      (* bounds from every value known good: the accepted mutations plus
+         the stock value (the emitted rule must lint stock clean) *)
+      let known =
+        int_values
+        @ List.filter_map (fun v -> int_of_string_opt (String.trim v)) stock
+      in
+      Rule_file.F_int_range
+        ( List.fold_left min (List.hd known) known,
+          List.fold_left max (List.hd known) known )
+    else
+      let allowed =
+        List.fold_left
+          (fun acc v -> if List.mem v acc then acc else v :: acc)
+          []
+          (stock @ valid_values)
+        |> List.rev
+      in
+      Rule_file.F_enum { allowed; ci = true }
+
+let value_candidate base (t : Table.t) =
+  let vobs = List.filter (fun o -> new_value o <> None) t.obs in
+  if vobs = [] then None
+  else begin
+    let failing = List.filter rejected vobs in
+    let passing = List.filter accepted vobs in
+    if failing = [] then
+      if passing = [] then None
+      else
+        (* every mutated value accepted: nothing validates this item *)
+        Some
+          {
+            Candidate.id = "";
+            kind = Candidate.Value;
+            file = t.key.file;
+            section = t.key.section;
+            name = t.display;
+            node_kind = t.node_kind;
+            doc =
+              Printf.sprintf
+                "mined: values of '%s' are accepted without validation (%d \
+                 silent mutation(s))"
+                t.display (List.length passing);
+            severity = Finding.Warning;
+            claim = Rule.Gap;
+            spec = None;
+            support = ids passing;
+            contradictions = [];
+            templates = distinct_templates passing;
+          }
+    else begin
+      let stock =
+        base_values base ~file:t.key.file ~section:t.key.section
+          ~name:t.key.name
+      in
+      let valid_values = List.filter_map new_value passing in
+      let vspec = induce_vspec ~stock ~failing ~valid_values in
+      let support, contradictions =
+        List.partition
+          (fun o ->
+            let v = Option.get (new_value o) in
+            eval_vspec vspec v = accepted o)
+          vobs
+      in
+      Some
+        {
+          Candidate.id = "";
+          kind = Candidate.Value;
+          file = t.key.file;
+          section = t.key.section;
+          name = t.display;
+          node_kind = t.node_kind;
+          doc =
+            Printf.sprintf "mined: '%s' takes %s (%d rejection(s) observed)"
+              t.display (vspec_doc vspec) (List.length failing);
+          severity = Finding.Error;
+          claim = Rule.Agreement;
+          spec =
+            (if t.node_kind = Node.kind_directive then
+               Some
+                 (Rule_file.F_value
+                    {
+                      file = Some t.key.file;
+                      section = Some t.key.section;
+                      name = t.key.name;
+                      vspec;
+                    })
+             else None);
+          support = ids support;
+          contradictions = ids contradictions;
+          templates = distinct_templates failing;
+        }
+    end
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Required candidates *)
+
+let required_candidate (t : Table.t) =
+  let dobs = List.filter (fun (o : Table.obs) -> o.edit.kind = Edit.Deleted) t.obs in
+  if dobs = [] then None
+  else begin
+    let failed = List.filter rejected dobs in
+    let silent = List.filter (fun (o : Table.obs) -> o.row.outcome = "ignored") dobs in
+    let broken =
+      List.filter (fun (o : Table.obs) -> o.row.outcome = "functional") dobs
+    in
+    let spec =
+      if t.node_kind = Node.kind_directive then
+        Some
+          (Rule_file.F_required
+             {
+               file = t.key.file;
+               section = Some t.key.section;
+               name = t.key.name;
+             })
+      else None
+    in
+    let mk ~doc ~severity ~claim ~support ~contradictions ~templates =
+      {
+        Candidate.id = "";
+        kind = Candidate.Required;
+        file = t.key.file;
+        section = t.key.section;
+        name = t.display;
+        node_kind = t.node_kind;
+        doc;
+        severity;
+        claim;
+        spec;
+        support = ids support;
+        contradictions = ids contradictions;
+        templates = distinct_templates templates;
+      }
+    in
+    if failed <> [] then
+      Some
+        (mk
+           ~doc:
+             (Printf.sprintf
+                "mined: deleting '%s' prevents startup (%d rejection(s))"
+                t.display (List.length failed))
+           ~severity:Finding.Error ~claim:Rule.Agreement ~support:failed
+           ~contradictions:(silent @ broken) ~templates:failed)
+    else if broken <> [] then
+      Some
+        (mk
+           ~doc:
+             (Printf.sprintf
+                "mined: deleting '%s' breaks the functional probe while \
+                 startup still succeeds"
+                t.display)
+           ~severity:Finding.Warning ~claim:Rule.Gap ~support:(broken @ silent)
+           ~contradictions:[] ~templates:broken)
+    else if silent <> [] then
+      Some
+        (mk
+           ~doc:
+             (Printf.sprintf
+                "mined: deleting '%s' is silently covered by a built-in \
+                 default"
+                t.display)
+           ~severity:Finding.Warning ~claim:Rule.Gap ~support:silent
+           ~contradictions:[] ~templates:silent)
+    else None
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Unknown candidates, grouped per (file, section, node kind) *)
+
+let unknown_candidates base (tables : Table.t list) =
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (t : Table.t) ->
+      List.iter
+        (fun (o : Table.obs) ->
+          match o.edit.kind with
+          | Edit.Renamed _ ->
+            let key = (t.key.file, t.key.section, t.node_kind) in
+            if not (Hashtbl.mem groups key) then begin
+              order := key :: !order;
+              Hashtbl.add groups key []
+            end;
+            Hashtbl.replace groups key (o :: Hashtbl.find groups key)
+          | _ -> ())
+        t.obs)
+    tables;
+  List.rev !order
+  |> List.filter_map (fun ((file, section, node_kind) as key) ->
+         let obs = List.rev (Hashtbl.find groups key) in
+         let vocab = vocabulary base ~file ~section ~node_kind in
+         let vocab_low = List.map String.lowercase_ascii vocab in
+         let unknown_name (o : Table.obs) =
+           match o.edit.kind with
+           | Edit.Renamed { to_; _ } ->
+             not (List.mem (String.lowercase_ascii to_) vocab_low)
+           | _ -> false
+         in
+         let failing = List.filter rejected obs in
+         let accepted_unknown =
+           List.filter (fun o -> accepted o && unknown_name o) obs
+         in
+         let mk ~doc ~severity ~claim ~support ~contradictions =
+           {
+             Candidate.id = "";
+             kind = Candidate.Unknown;
+             file;
+             section;
+             name = "*";
+             node_kind;
+             doc;
+             severity;
+             claim;
+             spec =
+               Some
+                 (Rule_file.F_unknown
+                    {
+                      file = Some file;
+                      section = Some section;
+                      node_kind;
+                      vocabulary = vocab;
+                      what = node_kind;
+                    });
+             support = ids support;
+             contradictions = ids contradictions;
+             templates = distinct_templates support;
+           }
+         in
+         if failing <> [] then
+           Some
+             (mk
+                ~doc:
+                  (Printf.sprintf
+                     "mined: unknown %s names in %s are rejected at startup \
+                      (vocabulary: %d names)"
+                     node_kind file (List.length vocab))
+                ~severity:Finding.Error ~claim:Rule.Agreement ~support:failing
+                ~contradictions:accepted_unknown)
+         else if accepted_unknown <> [] then
+           Some
+             (mk
+                ~doc:
+                  (Printf.sprintf
+                     "mined: unknown %s names in %s are accepted silently"
+                     node_kind file)
+                ~severity:Finding.Warning ~claim:Rule.Gap
+                ~support:accepted_unknown ~contradictions:[])
+         else None)
+
+(* ---------------------------------------------------------------- *)
+
+let candidates ~base tables =
+  let per_table =
+    List.concat_map
+      (fun t ->
+        List.filter_map Fun.id [ value_candidate base t; required_candidate t ])
+      tables
+  in
+  per_table @ unknown_candidates base tables

@@ -1,0 +1,31 @@
+(** Typed candidate induction from evidence tables (doc/infer.md).
+
+    Per table (one configured item), the observed (edit, outcome)
+    pairs induce:
+
+    - {b Value} (agreement): some mutated values were rejected at
+      startup.  The value shape is read from the rejection messages
+      when they state it — a "valid range" clause yields its exact
+      [Int_range] bounds, "integer"/"boolean" wording yields the type —
+      and otherwise falls back to an [Enum] over the values observed to
+      be accepted (always including the stock value, so emitted rules
+      lint the stock configuration clean).
+    - {b Value} (gap): every mutated value was accepted — the item is
+      validated by nothing; not expressible as a loadable rule, but
+      evidence for the differ.
+    - {b Required} (agreement/gap): deleting the item prevented
+      startup, or was silently defaulted / broke a functional probe.
+    - {b Unknown} (agreement/gap), grouped per (file, section, node
+      kind): renamed items were rejected as unknown names, or unknown
+      names were silently accepted; the vocabulary is mined from the
+      stock configuration.
+
+    Support counts observations consistent with the induced constraint,
+    contradictions the inconsistent ones (a value the constraint calls
+    invalid that the SUT accepted, a deleted "required" directive the
+    SUT booted without); {!Candidate.confidence} is their ratio. *)
+
+val candidates :
+  base:Conftree.Config_set.t -> Table.t list -> Candidate.t list
+(** Deterministic order: per-table [Value] then [Required] candidates
+    in table order, then [Unknown] groups in first-appearance order. *)

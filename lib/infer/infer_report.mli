@@ -1,0 +1,31 @@
+(** Rendering and export of a {!Pipeline.result} (doc/infer.md): the
+    text report, the JSON document, the loadable rule file
+    ([--emit-rules]), Prometheus counters and the dashboard panel.
+    Everything here is a pure function of the result, hence
+    byte-identical for any [--jobs]. *)
+
+val recovery : Pipeline.result -> int * int
+(** (recovered, total) over hand-written rule ids. *)
+
+val majority : Pipeline.result -> bool
+(** [2 * recovered >= total] — the ROADMAP item-2 acceptance bar. *)
+
+val render : Pipeline.result -> string
+(** The text report: evidence summary, kept candidates with support /
+    confidence / verdict, and the rule diff. *)
+
+val to_json : Pipeline.result -> Conferr_obsv.Json.t
+
+val rule_specs : Pipeline.result -> Conferr_lint.Rule_file.spec list
+(** The candidates expressible in the loadable subset, candidate
+    order — what [--emit-rules] writes. *)
+
+val record_metrics : Conferr_obsv.Metrics.t -> Pipeline.result -> unit
+(** [conferr_infer_candidates_total{sut,kind,claim}] and
+    [conferr_infer_rule_diff_total{sut,verdict}]. *)
+
+val dashboard_rows :
+  hand:Conferr_lint.Rule.t list -> Pipeline.result ->
+  Conferr_obsv.Report.infer_row list
+(** Candidate rows (verdict recovered / missed-by-hand) followed by the
+    hand-written rules inference missed or contradicted. *)

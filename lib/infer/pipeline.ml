@@ -1,0 +1,25 @@
+type result = {
+  evidence : Evidence.t;
+  tables : Table.t list;
+  candidates : Candidate.t list;
+  dropped : int;
+  replay : Conferr_lint_replay.report;
+  diff : Differ.t;
+  thresholds : Confidence.thresholds;
+}
+
+let run ?jobs ?nearest ~sut ~rules ~scenarios ~entries ~base ~thresholds () =
+  let evidence = Evidence.collect ?jobs ~sut ~scenarios ~entries ~base () in
+  let tables = Table.build evidence.rows in
+  let induced =
+    Induce.candidates ~base tables @ Cooccur.candidates ~base evidence.rows
+  in
+  let kept = Confidence.filter thresholds induced in
+  let dropped = List.length induced - List.length kept in
+  let candidates = Confidence.assign_ids kept in
+  let replay =
+    Conferr_lint_replay.scan ?jobs ?nearest ~sut ~rules ~scenarios ~entries
+      ~base ()
+  in
+  let diff = Differ.diff ~hand:rules ~replay ~candidates in
+  { evidence; tables; candidates; dropped; replay; diff; thresholds }

@@ -1,0 +1,24 @@
+(** End-to-end inference pipeline (doc/infer.md):
+    journal → evidence → tables → typed + co-occurrence candidates →
+    confidence filter → replay-based rule diff.
+
+    All parallel work (evidence extraction, the static replay) goes
+    through {!Conferr_pool.map}, whose results land in input slots;
+    every aggregation is first-appearance-ordered — the whole [result]
+    and anything rendered from it is byte-identical for any [jobs]. *)
+
+type result = {
+  evidence : Evidence.t;
+  tables : Table.t list;
+  candidates : Candidate.t list;  (** kept, ids assigned *)
+  dropped : int;                  (** induced but below thresholds *)
+  replay : Conferr_lint_replay.report;
+  diff : Differ.t;
+  thresholds : Confidence.thresholds;
+}
+
+val run :
+  ?jobs:int -> ?nearest:Conferr_lint.Checker.nearest -> sut:Suts.Sut.t ->
+  rules:Conferr_lint.Rule.t list -> scenarios:Errgen.Scenario.t list ->
+  entries:Conferr_exec.Journal.entry list -> base:Conftree.Config_set.t ->
+  thresholds:Confidence.thresholds -> unit -> result

@@ -168,6 +168,17 @@ let row_to_json r =
       ("findings", Arr (List.map Finding.to_json r.findings));
     ]
 
+let cluster_to_json c =
+  let open Conferr_obsv.Json in
+  Obj
+    [
+      ("class", Str c.c_class);
+      ("rule", Str c.c_rule);
+      ("count", Num (float_of_int c.c_count));
+      ("example_id", Str c.c_example_id);
+      ("example", Str c.c_example);
+    ]
+
 let to_json report =
   let open Conferr_obsv.Json in
   Obj
@@ -181,6 +192,17 @@ let to_json report =
              (fun kind ->
                (Gap.kind_label kind, Num (float_of_int (count kind report))))
              Gap.all_kinds) );
+      (* machine-readable mirror of the text report's cluster tables:
+         one array per gap kind, first-appearance order *)
+      ( "clusters",
+        Obj
+          (List.filter_map
+             (fun kind ->
+               match clusters kind report with
+               | [] -> None
+               | cs ->
+                 Some (Gap.kind_label kind, Arr (List.map cluster_to_json cs)))
+             [ Gap.Silent_acceptance; Gap.Late_failure; Gap.Over_strict ]) );
       ("rows", Arr (List.map row_to_json report.rows));
     ]
 

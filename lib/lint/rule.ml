@@ -61,9 +61,40 @@ type body =
     }
   | Check_set of (Conftree.Config_set.t -> raw list)
 
-type t = { id : string; severity : Finding.severity; doc : string; body : body }
+type claim = Agreement | Gap | Unspecified
 
-let make ~id ~severity ~doc body = { id; severity; doc; body }
+let claim_label = function
+  | Agreement -> "agreement"
+  | Gap -> "gap"
+  | Unspecified -> "unspecified"
+
+let claim_of_label = function
+  | "agreement" -> Some Agreement
+  | "gap" -> Some Gap
+  | "unspecified" -> Some Unspecified
+  | _ -> None
+
+type t = {
+  id : string;
+  severity : Finding.severity;
+  doc : string;
+  claim : claim;
+  body : body;
+}
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let claim_of_doc doc =
+  let doc = String.trim doc in
+  if ends_with ~suffix:"(agreement)" doc then Agreement
+  else if ends_with ~suffix:"(gap)" doc then Gap
+  else Unspecified
+
+let make ?claim ~id ~severity ~doc body =
+  let claim = match claim with Some c -> c | None -> claim_of_doc doc in
+  { id; severity; doc; claim; body }
 
 let id_string s = s
 

@@ -95,14 +95,37 @@ type body =
   | Check_set of (Conftree.Config_set.t -> raw list)
       (** whole-set analysis; used for cross-file and semantic rules *)
 
+(** What a rule asserts about the SUT's own validator: [Agreement]
+    mirrors a check the validator performs itself (a violation is
+    rejected at startup), [Gap] encodes a check the validator omits (a
+    violation is accepted silently).  The claim is what makes rules
+    falsifiable against campaign journals: an [Agreement]-claim error
+    rule firing on a mutant the SUT accepted is contradicted by the
+    evidence ([lib/infer]'s differ). *)
+type claim = Agreement | Gap | Unspecified
+
+val claim_label : claim -> string
+(** ["agreement"], ["gap"], ["unspecified"]. *)
+
+val claim_of_label : string -> claim option
+
+val claim_of_doc : string -> claim
+(** Derive the claim from a rule's one-line doc: the existing rule sets
+    end each doc with ["(agreement)"] or ["(gap)"]; anything else is
+    [Unspecified]. *)
+
 type t = {
   id : string;
   severity : Finding.severity;
   doc : string;  (** one-line statement of the constraint *)
+  claim : claim;
   body : body;
 }
 
-val make : id:string -> severity:Finding.severity -> doc:string -> body -> t
+val make :
+  ?claim:claim -> id:string -> severity:Finding.severity -> doc:string ->
+  body -> t
+(** [claim] defaults to {!claim_of_doc} applied to [doc]. *)
 
 val id_string : string -> string
 (** Identity; convenience canonicalizer for case-sensitive rule sets. *)

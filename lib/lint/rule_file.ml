@@ -1,0 +1,332 @@
+module Json = Conferr_obsv.Json
+
+type vspec =
+  | F_int_range of int * int
+  | F_bool
+  | F_enum of { allowed : string list; ci : bool }
+
+type body =
+  | F_value of {
+      file : string option;
+      section : string option;
+      name : string;
+      vspec : vspec;
+    }
+  | F_required of { file : string; section : string option; name : string }
+  | F_unknown of {
+      file : string option;
+      section : string option;
+      node_kind : string;
+      vocabulary : string list;
+      what : string;
+    }
+  | F_no_duplicates of {
+      file : string option;
+      section : string option;
+      names : string list option;
+    }
+  | F_implies_present of {
+      file : string option;
+      section : string option;
+      names : string list;
+    }
+
+type spec = {
+  id : string;
+  severity : Finding.severity;
+  doc : string;
+  claim : Rule.claim;
+  body : body;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Compilation to the checker IR *)
+
+let target ~file ~section = { Rule.in_file = file; in_section = section }
+
+let vtype_of_vspec = function
+  | F_int_range (lo, hi) -> Rule.Int_range (lo, hi)
+  | F_bool -> Rule.Bool_word
+  | F_enum { allowed; ci } -> Rule.Enum { allowed; ci }
+
+let to_rule spec =
+  let body =
+    match spec.body with
+    | F_value { file; section; name; vspec } ->
+      Rule.Value
+        {
+          target = target ~file ~section;
+          name;
+          canon = Rule.lower;
+          vtype = vtype_of_vspec vspec;
+          missing = None;
+        }
+    | F_required { file; section; name } ->
+      Rule.Required
+        { target = target ~file:(Some file) ~section; file; name;
+          canon = Rule.lower }
+    | F_unknown { file; section; node_kind; vocabulary; what } ->
+      let known_set =
+        List.sort_uniq compare (List.map Rule.lower vocabulary)
+      in
+      Rule.Unknown
+        {
+          target = target ~file ~section;
+          kind = node_kind;
+          known = (fun n -> List.mem (Rule.lower n) known_set);
+          vocabulary;
+          what;
+        }
+    | F_no_duplicates { file; section; names } ->
+      Rule.No_duplicates
+        {
+          target = target ~file ~section;
+          names = Option.map (List.map Rule.lower) names;
+          canon = Rule.lower;
+        }
+    | F_implies_present { file; section; names } ->
+      let anchor = match names with n :: _ -> Some n | [] -> None in
+      Rule.Implies
+        {
+          target = target ~file ~section;
+          anchor;
+          canon = Rule.lower;
+          check =
+            (fun ~lookup ->
+              let present = List.filter (fun n -> lookup n <> None) names in
+              let absent = List.filter (fun n -> lookup n = None) names in
+              if present <> [] && absent <> [] then
+                Some
+                  (Printf.sprintf
+                     "directives {%s} are configured together in observed \
+                      campaigns; {%s} missing here"
+                     (String.concat ", " names)
+                     (String.concat ", " absent))
+              else None);
+        }
+  in
+  Rule.make ~claim:spec.claim ~id:spec.id ~severity:spec.severity
+    ~doc:spec.doc body
+
+(* ---------------------------------------------------------------- *)
+(* JSON codec *)
+
+let opt_str = function None -> Json.Null | Some s -> Json.Str s
+
+let json_of_vspec = function
+  | F_int_range (lo, hi) ->
+    Json.Obj
+      [
+        ("kind", Json.Str "int-range");
+        ("min", Json.Num (float_of_int lo));
+        ("max", Json.Num (float_of_int hi));
+      ]
+  | F_bool -> Json.Obj [ ("kind", Json.Str "bool") ]
+  | F_enum { allowed; ci } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "enum");
+        ("allowed", Json.Arr (List.map (fun s -> Json.Str s) allowed));
+        ("ci", Json.Bool ci);
+      ]
+
+let json_of_body = function
+  | F_value { file; section; name; vspec } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "value");
+        ("file", opt_str file);
+        ("section", opt_str section);
+        ("name", Json.Str name);
+        ("vtype", json_of_vspec vspec);
+      ]
+  | F_required { file; section; name } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "required");
+        ("file", Json.Str file);
+        ("section", opt_str section);
+        ("name", Json.Str name);
+      ]
+  | F_unknown { file; section; node_kind; vocabulary; what } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "unknown");
+        ("file", opt_str file);
+        ("section", opt_str section);
+        ("node-kind", Json.Str node_kind);
+        ("vocabulary", Json.Arr (List.map (fun s -> Json.Str s) vocabulary));
+        ("what", Json.Str what);
+      ]
+  | F_no_duplicates { file; section; names } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "no-duplicates");
+        ("file", opt_str file);
+        ("section", opt_str section);
+        ( "names",
+          match names with
+          | None -> Json.Null
+          | Some l -> Json.Arr (List.map (fun s -> Json.Str s) l) );
+      ]
+  | F_implies_present { file; section; names } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "implies-present");
+        ("file", opt_str file);
+        ("section", opt_str section);
+        ("names", Json.Arr (List.map (fun s -> Json.Str s) names));
+      ]
+
+let json_of_spec spec =
+  Json.Obj
+    [
+      ("id", Json.Str spec.id);
+      ("severity", Json.Str (Finding.severity_label spec.severity));
+      ("doc", Json.Str spec.doc);
+      ("claim", Json.Str (Rule.claim_label spec.claim));
+      ("body", json_of_body spec.body);
+    ]
+
+let to_json ?sut specs =
+  let head = [ ("conferr_rules", Json.Num 1.) ] in
+  let head =
+    match sut with None -> head | Some s -> head @ [ ("sut", Json.Str s) ]
+  in
+  Json.Obj (head @ [ ("rules", Json.Arr (List.map json_of_spec specs)) ])
+
+(* -- decoding ---------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str_field name j =
+  let* v = field name j in
+  match Json.str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let opt_str_field name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+    match Json.str v with
+    | Some s -> Ok (Some s)
+    | None -> Error (Printf.sprintf "field %S: expected a string or null" name))
+
+let str_list_field name j =
+  let* v = field name j in
+  match Json.str_list v with
+  | Some l -> Ok l
+  | None -> Error (Printf.sprintf "field %S: expected an array of strings" name)
+
+let int_field name j =
+  let* v = field name j in
+  match Json.num v with
+  (* [float_of_int max_int] rounds up to 2^62, whose [int_of_float] wraps
+     negative; clamp so an open-ended mined range survives the round trip *)
+  | Some f when f >= float_of_int max_int -> Ok max_int
+  | Some f when f <= float_of_int min_int -> Ok min_int
+  | Some f when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let vspec_of_json j =
+  let* kind = str_field "kind" j in
+  match kind with
+  | "int-range" ->
+    let* lo = int_field "min" j in
+    let* hi = int_field "max" j in
+    Ok (F_int_range (lo, hi))
+  | "bool" -> Ok F_bool
+  | "enum" ->
+    let* allowed = str_list_field "allowed" j in
+    let ci = match Json.member "ci" j with Some (Json.Bool b) -> b | _ -> false in
+    Ok (F_enum { allowed; ci })
+  | k -> Error (Printf.sprintf "unknown vtype kind %S" k)
+
+let body_of_json j =
+  let* kind = str_field "kind" j in
+  let* file = opt_str_field "file" j in
+  let* section = opt_str_field "section" j in
+  match kind with
+  | "value" ->
+    let* name = str_field "name" j in
+    let* vj = field "vtype" j in
+    let* vspec = vspec_of_json vj in
+    Ok (F_value { file; section; name; vspec })
+  | "required" ->
+    let* file = str_field "file" j in
+    let* name = str_field "name" j in
+    Ok (F_required { file; section; name })
+  | "unknown" ->
+    let* node_kind = str_field "node-kind" j in
+    let* vocabulary = str_list_field "vocabulary" j in
+    let* what = str_field "what" j in
+    Ok (F_unknown { file; section; node_kind; vocabulary; what })
+  | "no-duplicates" ->
+    let* names =
+      match Json.member "names" j with
+      | None | Some Json.Null -> Ok None
+      | Some v -> (
+        match Json.str_list v with
+        | Some l -> Ok (Some l)
+        | None -> Error "field \"names\": expected an array of strings or null")
+    in
+    Ok (F_no_duplicates { file; section; names })
+  | "implies-present" ->
+    let* names = str_list_field "names" j in
+    if names = [] then Error "implies-present: empty name list"
+    else Ok (F_implies_present { file; section; names })
+  | k -> Error (Printf.sprintf "unknown body kind %S" k)
+
+let spec_of_json j =
+  let* id = str_field "id" j in
+  let* sev = str_field "severity" j in
+  let* severity =
+    match Finding.severity_of_label sev with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown severity %S" sev)
+  in
+  let* doc = str_field "doc" j in
+  let* claim =
+    match Json.member "claim" j with
+    | None -> Ok (Rule.claim_of_doc doc)
+    | Some v -> (
+      match Option.bind (Json.str v) Rule.claim_of_label with
+      | Some c -> Ok c
+      | None -> Error "field \"claim\": expected agreement/gap/unspecified")
+  in
+  let* body_json = field "body" j in
+  let* body = body_of_json body_json in
+  Ok { id; severity; doc; claim; body }
+
+let of_json j =
+  let* version = field "conferr_rules" j in
+  let* () =
+    match Json.num version with
+    | Some 1. -> Ok ()
+    | _ -> Error "unsupported rule-file version (want conferr_rules: 1)"
+  in
+  let* rules = field "rules" j in
+  match rules with
+  | Json.Arr items ->
+    let rec go acc i = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest -> (
+        match spec_of_json item with
+        | Ok spec -> go (spec :: acc) (i + 1) rest
+        | Error e -> Error (Printf.sprintf "rule %d: %s" i e))
+    in
+    go [] 0 items
+  | _ -> Error "field \"rules\": expected an array"
+
+let save ?sut specs = Json.to_string (to_json ?sut specs) ^ "\n"
+
+let load text =
+  match Json.of_string (String.trim text) with
+  | Error e -> Error (Printf.sprintf "not valid JSON: %s" e)
+  | Ok j -> of_json j

@@ -373,6 +373,69 @@ let gaps_section gaps =
    end);
   Buffer.contents b
 
+type infer_row = {
+  inf_id : string;
+  inf_kind : string;
+  inf_target : string;
+  inf_doc : string;
+  inf_support : int;
+  inf_confidence : float;
+  inf_verdict : string;
+}
+
+let infer_verdict_class = function
+  | "recovered" -> "o-startup"
+  | "missed-by-hand" -> "o-ignored"
+  | "missed-by-inference" -> "o-na"
+  | "contradicted" -> "o-crashed"
+  | _ -> "o-functional"
+
+let infer_section infs =
+  let b = Buffer.create 2048 in
+  let vcount v = count (fun r -> r.inf_verdict = v) infs in
+  Buffer.add_string b "<section class=\"tiles\">";
+  Buffer.add_string b
+    (tile "recovered" (string_of_int (vcount "recovered"))
+       "hand-written rules re-derived from journals");
+  Buffer.add_string b
+    (tile "missed by hand" (string_of_int (vcount "missed-by-hand"))
+       "mined candidates with no hand-written rule");
+  Buffer.add_string b
+    (tile "missed by inference" (string_of_int (vcount "missed-by-inference"))
+       "hand-written rules the journals never exercised");
+  Buffer.add_string b
+    (tile "contradicted" (string_of_int (vcount "contradicted"))
+       "hand-written rules the evidence refutes");
+  Buffer.add_string b "</section>";
+  if infs = [] then
+    Buffer.add_string b
+      "<p class=\"muted\">no inferred candidates: the journal holds no \
+       usable evidence at the current thresholds.</p>"
+  else begin
+    Buffer.add_string b
+      "<table><thead><tr><th>id</th><th>kind</th><th>target</th><th class=\"num\">support</th><th class=\"num\">confidence</th><th>verdict</th><th>constraint</th></tr></thead><tbody>";
+    let shown = 40 in
+    List.iteri
+      (fun i r ->
+        if i < shown then
+          Buffer.add_string b
+            (Printf.sprintf
+               "<tr><td class=\"mono\">%s</td><td>%s</td><td class=\"mono\">%s</td><td class=\"num\">%d</td><td class=\"num\">%.2f</td><td><span class=\"key\"><span class=\"swatch %s\"></span>%s</span></td><td class=\"mono\">%s</td></tr>"
+               (esc r.inf_id) (esc r.inf_kind) (esc r.inf_target)
+               r.inf_support r.inf_confidence
+               (infer_verdict_class r.inf_verdict)
+               (esc r.inf_verdict) (esc r.inf_doc)))
+      infs;
+    Buffer.add_string b "</tbody></table>";
+    if List.length infs > shown then
+      Buffer.add_string b
+        (Printf.sprintf
+           "<p class=\"muted\">%d further row(s) not shown \xe2\x80\x94 use \
+            <code>conferr infer --format json</code> for the full list.</p>"
+           (List.length infs - shown))
+  end;
+  Buffer.contents b
+
 let css =
   {|
 :root {
@@ -429,7 +492,7 @@ pre { background: var(--card); border: 1px solid var(--grid); border-radius: 8px
 code { font-family: ui-monospace, monospace; }
 |}
 
-let html ~title ~rows ?metrics_text ?gaps () =
+let html ~title ~rows ?metrics_text ?gaps ?infer () =
   let total = List.length rows in
   let na = count (fun r -> r.outcome = "n/a") rows in
   let detected =
@@ -483,6 +546,15 @@ let html ~title ~rows ?metrics_text ?gaps () =
        replayed mutant (doc/lint.md)</p>";
     Buffer.add_string b (gaps_section gaps);
     Buffer.add_string b "</section>");
+  (match infer with
+  | None -> ()
+  | Some infs ->
+    Buffer.add_string b "<section><h2>Inferred constraints</h2>";
+    Buffer.add_string b
+      "<p class=\"muted\">constraint candidates mined from the campaign \
+       journal, diffed against the hand-written rule set (doc/infer.md)</p>";
+    Buffer.add_string b (infer_section infs);
+    Buffer.add_string b "</section>");
   (match metrics_text with
   | Some text when String.trim text <> "" ->
     Buffer.add_string b "<details><summary>Raw metrics snapshot</summary><pre>";
@@ -492,8 +564,9 @@ let html ~title ~rows ?metrics_text ?gaps () =
   Buffer.add_string b "</body></html>\n";
   Buffer.contents b
 
-let write_file ~title ~rows ?metrics_text ?gaps path =
+let write_file ~title ~rows ?metrics_text ?gaps ?infer path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (html ~title ~rows ?metrics_text ?gaps ()))
+    (fun () ->
+      output_string oc (html ~title ~rows ?metrics_text ?gaps ?infer ()))

@@ -37,15 +37,31 @@ type gap_row = {
     (doc/lint.md).  Plain strings for the same dependency-order reason
     as {!row}; [conferr gaps] maps its scan rows into it. *)
 
+type infer_row = {
+  inf_id : string;         (** candidate or hand-written rule id *)
+  inf_kind : string;       (** value/required/unknown/implies, or "hand-rule" *)
+  inf_target : string;     (** [file\[#section\]:name] the constraint scopes to *)
+  inf_doc : string;        (** one-line statement of the mined constraint *)
+  inf_support : int;       (** supporting journal entries *)
+  inf_confidence : float;  (** support / (support + contradictions) *)
+  inf_verdict : string;
+      (** differ verdict label: recovered / missed-by-hand /
+          missed-by-inference / contradicted *)
+}
+(** One row of the inferred-constraints panel (doc/infer.md); [conferr
+    infer] maps its candidates and rule-diff verdicts into it. *)
+
 val html :
   title:string -> rows:row list -> ?metrics_text:string ->
-  ?gaps:gap_row list -> unit -> string
+  ?gaps:gap_row list -> ?infer:infer_row list -> unit -> string
 (** The complete document.  [rows] in journal order (the frontier
     timeline reads order as campaign progress); [metrics_text] is a
     Prometheus exposition snapshot to mine for breaker/chaos panels and
     embed verbatim in a collapsible section; [gaps] adds the validator
-    gaps panel (static verdict × dynamic outcome disagreements). *)
+    gaps panel (static verdict × dynamic outcome disagreements);
+    [infer] adds the inferred-constraints panel (mined candidates vs
+    hand-written rules). *)
 
 val write_file :
   title:string -> rows:row list -> ?metrics_text:string ->
-  ?gaps:gap_row list -> string -> unit
+  ?gaps:gap_row list -> ?infer:infer_row list -> string -> unit

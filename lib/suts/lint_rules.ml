@@ -1792,3 +1792,14 @@ let all =
   ]
 
 let for_sut name = List.assoc_opt name all
+
+(* Distinct rule ids of a set, first-appearance order.  Several rules
+   share one id (PG-VALUE is one rule per parameter spec, PG-REQUIRED
+   one per stock directive); the id is the unit the inference differ
+   and the acceptance tests count recovery over. *)
+let ids rules =
+  List.rev
+    (List.fold_left
+       (fun acc (r : Conferr_lint.Rule.t) ->
+         if List.mem r.id acc then acc else r.id :: acc)
+       [] rules)

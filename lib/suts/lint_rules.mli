@@ -49,3 +49,8 @@ val all : (string * Conferr_lint.Rule.t list) list
 (** Keyed by {!Sut.t.sut_name}, in registry order. *)
 
 val for_sut : string -> Conferr_lint.Rule.t list option
+
+val ids : Conferr_lint.Rule.t list -> string list
+(** Distinct rule ids, first-appearance order.  Several rules share one
+    id (e.g. one [PG-VALUE] rule per parameter spec); the id is the unit
+    the inference differ ([lib/infer]) counts recovery over. *)
