@@ -1,4 +1,5 @@
-.PHONY: all build test smoke lint-smoke serve-smoke infer-smoke check bench clean
+.PHONY: all build test smoke lint-smoke serve-smoke infer-smoke \
+  durability-smoke check bench clean
 
 all: build
 
@@ -169,7 +170,55 @@ infer-smoke: build
 	dune exec bin/main.exe -- lint --sut postgres --fail-on warn \
 	  --rules /tmp/conferr-infer-rules.json
 
-check: build test smoke lint-smoke serve-smoke infer-smoke
+# Durability smoke (doc/exec.md, doc/harden.md): the v3 segmented
+# journal under storage chaos, end to end through the CLI.
+#   1. a seeded disk-chaos campaign (--disk, 10% fault rate) at --jobs 4
+#      into a --segment-bytes store must terminate (complete, or abort
+#      on the first raising fault — either way exit <= 1);
+#   2. fsck --repair must heal the store and the JSON report must then
+#      say "clean":true;
+#   3. a chaos-off --resume must complete and re-execute nothing that
+#      was already durable (the resumed journal fscks clean with every
+#      scenario exactly once — profile re-verifies via fsck);
+#   4. a daemon started with --inject-disk-fault must fail only the
+#      faulted campaign (c0001 failed, journal-fault metric exposed)
+#      while its co-tenant completes (c0002 done).
+durability-smoke: build
+	rm -rf /tmp/conferr-dura.v3 /tmp/conferr-dura-state \
+	  /tmp/conferr-dura.port /tmp/conferr-dura-fsck.json
+	set -e; \
+	BIN=_build/default/bin/main.exe; \
+	$$BIN chaos --sut postgres --jobs 4 --timeout 0.5 --chaos-rate 0.1 \
+	  --journal /tmp/conferr-dura.v3 --segment-bytes 4096 --disk \
+	  || test $$? -le 1
+	dune exec bin/main.exe -- fsck --repair /tmp/conferr-dura.v3
+	dune exec bin/main.exe -- fsck --format json /tmp/conferr-dura.v3 \
+	  > /tmp/conferr-dura-fsck.json
+	grep -q '"clean":true' /tmp/conferr-dura-fsck.json
+	dune exec bin/main.exe -- chaos --sut postgres --jobs 4 --timeout 0.5 \
+	  --journal /tmp/conferr-dura.v3 --segment-bytes 4096 --resume --stats
+	dune exec bin/main.exe -- fsck /tmp/conferr-dura.v3
+	set -e; \
+	BIN=_build/default/bin/main.exe; \
+	$$BIN serve --port 0 --port-file /tmp/conferr-dura.port \
+	  --state-dir /tmp/conferr-dura-state --jobs 2 --segment-bytes 4096 \
+	  --inject-disk-fault & \
+	DPID=$$!; \
+	for i in $$(seq 1 50); do \
+	  test -s /tmp/conferr-dura.port && break; sleep 0.1; \
+	done; \
+	test -s /tmp/conferr-dura.port || { kill $$DPID; exit 1; }; \
+	PORT=$$(cat /tmp/conferr-dura.port); \
+	$$BIN submit --port $$PORT --sut mini_pg --seed 7; \
+	$$BIN submit --port $$PORT --sut mini_pg --seed 7; \
+	$$BIN watch --port $$PORT c0002 > /dev/null; \
+	$$BIN status --port $$PORT c0001 | grep -q failed; \
+	$$BIN status --port $$PORT c0002 | grep -q done; \
+	$$BIN get --port $$PORT /metrics | grep -q conferr_journal_faults_total; \
+	kill -TERM $$DPID; \
+	wait $$DPID
+
+check: build test smoke lint-smoke serve-smoke infer-smoke durability-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -855,6 +855,138 @@ let print_infer_throughput () =
        ]);
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Journal throughput: single-file v2 vs segmented v3 store            *)
+(* ------------------------------------------------------------------ *)
+
+(* The v3 layout exists to take the global append lock off the journal
+   hot path: every worker domain writes its own segment.  This section
+   measures raw appends/sec for both layouts sequentially (the layouts
+   should be within noise of each other — same bytes, same flush per
+   line) and, on multi-core hosts, with 4 domains appending through one
+   writer, where v2 serializes on the mutex and v3 does not. *)
+let print_journal_throughput () =
+  print_endline "=== Journal throughput (v2 single file vs v3 segmented store) ===\n";
+  let module Journal = Conferr_exec.Journal in
+  let n = 20_000 in
+  let entry i =
+    {
+      Journal.scenario_id = Printf.sprintf "bench-%06d" i;
+      class_name = "typo/name";
+      description = "journal throughput bench";
+      seed = Int64.of_int i;
+      outcome = Conferr.Outcome.Passed;
+      elapsed_ms = 0.1;
+      attempts = 1;
+      votes = [];
+      phase_ms = [];
+    }
+  in
+  let entries = Array.init n entry in
+  let temp_path () =
+    let p = Filename.temp_file "conferr_bench_journal" "" in
+    Sys.remove p;
+    p
+  in
+  let rec rm_rf p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun x -> rm_rf (Filename.concat p x)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  let best f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let seq ?segment_bytes () =
+    let path = temp_path () in
+    let t =
+      best (fun () ->
+          let w = Journal.open_append ~fresh:true ?segment_bytes path in
+          Array.iter (Journal.append w) entries;
+          Journal.close w)
+    in
+    rm_rf path;
+    t
+  in
+  let par ?segment_bytes jobs =
+    let path = temp_path () in
+    let per = n / jobs in
+    let t =
+      best (fun () ->
+          let w = Journal.open_append ~fresh:true ?segment_bytes path in
+          let workers =
+            List.init jobs (fun d ->
+                Domain.spawn (fun () ->
+                    for i = d * per to (d * per) + per - 1 do
+                      Journal.append w entries.(i)
+                    done))
+          in
+          List.iter Domain.join workers;
+          Journal.close w)
+    in
+    rm_rf path;
+    t
+  in
+  let rate t = float_of_int n /. t in
+  let v2 = seq () in
+  let v3 = seq ~segment_bytes:(1 lsl 20) () in
+  Printf.printf "  sequential v2 : %8.2f ms   %9.0f appends/s\n%!" (v2 *. 1e3)
+    (rate v2);
+  Printf.printf "  sequential v3 : %8.2f ms   %9.0f appends/s\n%!" (v3 *. 1e3)
+    (rate v3);
+  let parallel =
+    if Conferr_pool.recommended_jobs () = 1 then begin
+      (* 4 domains on one core measure scheduler thrash, not the
+         append-lock contention this section is about *)
+      print_endline
+        "  parallel      : skipped (single-core host — domains would \
+         measure scheduling, not lock contention)";
+      Json.Obj
+        [
+          ("skipped", Json.Bool true);
+          ( "reason",
+            Json.Str
+              "single-core host (recommended_jobs = 1): parallel appends \
+               measure scheduling, not lock contention" );
+        ]
+    end
+    else begin
+      let jobs = 4 in
+      let pv2 = par jobs in
+      let pv3 = par ~segment_bytes:(1 lsl 20) jobs in
+      Printf.printf
+        "  %d domains, v2 : %8.2f ms   %9.0f appends/s  (one file, one lock)\n%!"
+        jobs (pv2 *. 1e3) (rate pv2);
+      Printf.printf
+        "  %d domains, v3 : %8.2f ms   %9.0f appends/s  (a segment per domain)\n%!"
+        jobs (pv3 *. 1e3) (rate pv3);
+      Json.Obj
+        [
+          ("jobs", Json.Num (float_of_int jobs));
+          ("v2_appends_per_s", Json.Num (rate pv2));
+          ("v3_appends_per_s", Json.Num (rate pv3));
+        ]
+    end
+  in
+  write_artifact "BENCH_journal.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "journal-throughput");
+         ("entries", Json.Num (float_of_int n));
+         ("v2_appends_per_s", Json.Num (rate v2));
+         ("v3_appends_per_s", Json.Num (rate v3));
+         ("parallel", parallel);
+       ]);
+  print_newline ()
+
 (* Each measured section is addressable on its own — `bench/main.exe
    serve` (or executor, sandbox, tracer, adaptive, lint, infer)
    regenerates just that section and its BENCH_*.json artifact without
@@ -868,6 +1000,7 @@ let sections =
     ("lint", print_lint_throughput);
     ("serve", print_serve_throughput);
     ("infer", print_infer_throughput);
+    ("journal", print_journal_throughput);
   ]
 
 let () =

@@ -108,6 +108,15 @@ let metrics_arg =
           "Collect campaign metrics and write a Prometheus text-format \
            snapshot to $(docv) when the run finishes.")
 
+let segment_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "segment-bytes" ]
+        ~docv:"N"
+        ~doc:
+          "Write the journal as a v3 segmented store: a directory of segment            files rotated at $(docv) bytes plus a CRC-carrying manifest, each            worker domain appending to its own segment (doc/exec.md). Without            this flag a journal path that already is a store keeps the store            layout.")
+
 (* Build the observers requested by --trace/--metrics, run the campaign,
    then write the files.  With neither flag the campaign runs exactly as
    before (no clock, byte-identical journal and profile). *)
@@ -170,24 +179,58 @@ let checked_jobs ?scenario_count jobs_text =
     Option.iter (fun w -> Printf.eprintf "conferr: warning: %s\n" w) warning;
     jobs
 
-let executor_settings ?scenario_count ~jobs ~seed ~journal ~resume ~timeout
-    ~retries () =
+let checked_segment_bytes segment_bytes =
+  match segment_bytes with
+  | Some n when n <= 0 ->
+    Printf.eprintf "conferr: --segment-bytes must be positive, got %d\n" n;
+    exit 2
+  | sb -> sb
+
+(* Journals named as *outputs* are validated up front (unwritable
+   parent, directory where a file is expected, single file where a
+   --segment-bytes store is requested, ...): a path the writer cannot
+   plausibly open is a usage error, exit 2, before any campaign work
+   starts. *)
+let checked_journal_path ?segment_bytes journal =
+  (match journal with
+   | Some path -> (
+     match Conferr_exec.Journal.validate_path ?segment_bytes path with
+     | Ok () -> ()
+     | Error msg ->
+       Printf.eprintf "conferr: %s\n" msg;
+       exit 2)
+   | None -> ());
+  journal
+
+let executor_settings ?scenario_count ?segment_bytes ?journal_io ~jobs ~seed
+    ~journal ~resume ~timeout ~retries () =
   require_journal_for_resume ~journal ~resume;
+  let segment_bytes = checked_segment_bytes segment_bytes in
+  let journal = checked_journal_path ?segment_bytes journal in
   {
     Conferr_exec.Executor.default_settings with
     jobs = checked_jobs ?scenario_count jobs;
     campaign_seed = seed;
     journal_path = journal;
+    segment_bytes;
+    journal_io;
     resume;
     timeout_s = timeout;
     retries;
   }
 
 (* The executor touches the filesystem only through the journal; surface
-   open/rename failures as a CLI error rather than an uncaught exception. *)
+   open/rename failures — and storage faults re-labelled as
+   Journal.Fault — as a CLI error rather than an uncaught exception. *)
 let run_campaign ~settings ~sut ~base ~scenarios () =
   try Conferr_exec.Executor.run_from ~settings ~sut ~base ~scenarios ()
-  with Sys_error msg ->
+  with
+  | Conferr_exec.Journal.Fault msg ->
+    Printf.eprintf
+      "conferr: journal fault: %s\nconferr: the journal is repairable: run fsck --repair, then resume with --resume\n"
+      msg;
+    exit 1
+  | Sys_error msg ->
     Printf.eprintf "conferr: %s\n" msg;
     exit 1
 
@@ -206,7 +249,7 @@ let list_cmd =
 
 let profile_cmd =
   let run sut seed entries csv by_level verbose jobs journal resume timeout retries
-      signatures stats trace metrics =
+      signatures stats trace metrics segment_bytes =
     setup_logging verbose;
     let rng = Conferr_util.Rng.create seed in
     match Conferr.Engine.parse_default_config sut with
@@ -223,7 +266,8 @@ let profile_cmd =
             let settings =
               {
                 (executor_settings ~scenario_count:(List.length scenarios)
-                   ~jobs ~seed ~journal ~resume ~timeout ~retries ())
+                   ?segment_bytes ~jobs ~seed ~journal ~resume ~timeout
+                   ~retries ())
                 with
                 trace = tracer;
                 metrics = registry;
@@ -274,7 +318,8 @@ let profile_cmd =
     Term.(
       const run $ sut $ seed_arg $ entries_arg $ csv $ by_level $ verbose_arg
       $ jobs_arg $ journal_arg $ resume_arg $ timeout_arg $ retries_arg
-      $ signatures_arg $ stats_arg $ trace_arg $ metrics_arg)
+      $ signatures_arg $ stats_arg $ trace_arg $ metrics_arg
+      $ segment_bytes_arg)
 
 let benchmark_cmd =
   let run seed experiments =
@@ -341,7 +386,7 @@ let variations_cmd =
     Term.(const run $ sut $ seed_arg)
 
 let semantic_cmd =
-  let run sut entries jobs journal resume stats trace metrics =
+  let run sut entries jobs journal resume stats trace metrics segment_bytes =
     let codec =
       match sut.Suts.Sut.sut_name with
       | "bind" -> Dnsmodel.Codec.bind ~zones:Suts.Mini_bind.zones
@@ -364,7 +409,8 @@ let semantic_cmd =
             let settings =
               {
                 (executor_settings ~scenario_count:(List.length scenarios)
-                   ~jobs ~seed:42 ~journal ~resume ~timeout:None ~retries:0 ())
+                   ?segment_bytes ~jobs ~seed:42 ~journal ~resume ~timeout:None
+                   ~retries:0 ())
                 with
                 trace = tracer;
                 metrics = registry;
@@ -390,13 +436,15 @@ let semantic_cmd =
        ~doc:"Run the full RFC-1912 semantic fault catalog against a DNS SUT.")
     Term.(
       const run $ sut $ entries_arg $ jobs_arg $ journal_arg $ resume_arg
-      $ stats_arg $ trace_arg $ metrics_arg)
+      $ stats_arg $ trace_arg $ metrics_arg $ segment_bytes_arg)
 
 let explore_cmd =
   let run sut seed entries verbose jobs journal resume timeout retries budget
-      batch plateau wallclock quarantine stats trace metrics =
+      batch plateau wallclock quarantine stats trace metrics segment_bytes =
     setup_logging verbose;
     require_journal_for_resume ~journal ~resume;
+    let segment_bytes = checked_segment_bytes segment_bytes in
+    let journal = checked_journal_path ?segment_bytes journal in
     let stream base =
       Errgen.Gen.of_generator ~prefix:"typo" ~seed
         (fun ~rng set ->
@@ -418,6 +466,7 @@ let explore_cmd =
               retries;
               campaign_seed = seed;
               journal_path = journal;
+              segment_bytes;
               resume;
               quarantine_path = quarantine;
               trace = tracer;
@@ -425,6 +474,9 @@ let explore_cmd =
             }
           in
           try Conferr_adapt.Explore.run ~settings ~sut ~stream () with
+          | Conferr_exec.Journal.Fault msg ->
+            Printf.eprintf "conferr: journal fault: %s\n" msg;
+            exit 1
           | Sys_error msg ->
             Printf.eprintf "conferr: %s\n" msg;
             exit 1)
@@ -499,19 +551,25 @@ let explore_cmd =
     Term.(
       const run $ sut $ seed_arg $ entries_arg $ verbose_arg $ jobs_arg
       $ journal_arg $ resume_arg $ timeout_arg $ retries_arg $ budget $ batch
-      $ plateau $ wallclock $ quarantine $ stats_arg $ trace_arg $ metrics_arg)
+      $ plateau $ wallclock $ quarantine $ stats_arg $ trace_arg $ metrics_arg
+      $ segment_bytes_arg)
 
 let chaos_cmd =
   let run sut seed chaos_seed rate verbose jobs journal resume timeout retries
-      quorum breaker quarantine fuel entries stats trace metrics =
+      quorum breaker quarantine fuel entries stats trace metrics segment_bytes
+      disk disk_kill_at =
     setup_logging verbose;
     if rate < 0.0 || rate > 1.0 then begin
       prerr_endline "conferr: --chaos-rate must be within [0; 1]";
       exit 2
     end;
+    if (disk || disk_kill_at <> None) && journal = None then begin
+      prerr_endline "conferr: --disk/--disk-kill-at require --journal";
+      exit 2
+    end;
     (* The observers wrap the whole campaign (not just the executor) so
-       the chaos injector can count its faults in the same registry. *)
-    let profile, chaos_stats, snapshot =
+       both chaos injectors can count their faults in the same registry. *)
+    let outcome, chaos_stats, disk_stats =
       with_observers ~trace ~metrics (fun tracer registry ->
           let chaos_settings =
             { Conferr_harden.Chaos.default_settings with seed = chaos_seed; rate }
@@ -519,6 +577,25 @@ let chaos_cmd =
           let chaotic, chaos_stats =
             Conferr_harden.Chaos.wrap ~settings:chaos_settings ?metrics:registry
               sut
+          in
+          let journal_io, disk_stats =
+            if not disk && disk_kill_at = None then (None, None)
+            else begin
+              let disk_settings =
+                {
+                  Conferr_harden.Diskchaos.seed = chaos_seed;
+                  rate = (if disk then rate else 0.0);
+                  kill_at = disk_kill_at;
+                  faults =
+                    (if disk then Conferr_harden.Diskchaos.all_faults else []);
+                }
+              in
+              let io, st =
+                Conferr_harden.Diskchaos.wrap ~settings:disk_settings
+                  ?metrics:registry Conferr_harden.Diskchaos.real
+              in
+              (Some io, Some st)
+            end
           in
           match Conferr.Engine.parse_default_config sut with
           | Error msg ->
@@ -531,8 +608,9 @@ let chaos_cmd =
             in
             let settings =
               {
-                (executor_settings ~scenario_count:(List.length scenarios) ~jobs
-                   ~seed ~journal ~resume ~timeout:(Some timeout) ~retries ())
+                (executor_settings ~scenario_count:(List.length scenarios)
+                   ?segment_bytes ?journal_io ~jobs ~seed ~journal ~resume
+                   ~timeout:(Some timeout) ~retries ())
                 with
                 quorum;
                 breaker = (if breaker <= 0 then None else Some breaker);
@@ -542,12 +620,48 @@ let chaos_cmd =
                 metrics = registry;
               }
             in
-            let profile, snapshot =
-              run_campaign ~settings ~sut:chaotic ~base ~scenarios ()
+            (* A storage fault must not hide the disk-chaos stats — they
+               are the point of the exercise — so catch the abort here
+               and report after printing them. *)
+            let outcome =
+              try
+                Ok
+                  (Conferr_exec.Executor.run_from ~settings ~sut:chaotic ~base
+                     ~scenarios ())
+              with
+              | Conferr_exec.Journal.Fault msg ->
+                Error (Printf.sprintf "journal fault: %s" msg)
+              | Sys_error msg -> Error msg
             in
-            (profile, chaos_stats, snapshot))
+            (outcome, chaos_stats, disk_stats))
     in
-    begin
+    let print_disk_stats () =
+      match disk_stats with
+      | None -> ()
+      | Some st ->
+        Printf.printf "Disk chaos: %d fault(s) injected%s, %d byte(s) written%s\n"
+          (Conferr_harden.Diskchaos.injected st)
+          (match Conferr_harden.Diskchaos.by_fault st with
+           | [] -> ""
+           | per ->
+             Printf.sprintf " (%s)"
+               (String.concat ", "
+                  (List.map
+                     (fun (f, n) ->
+                       Printf.sprintf "%s %d"
+                         (Conferr_harden.Diskchaos.fault_label f) n)
+                     per)))
+          (Conferr_harden.Diskchaos.written_bytes st)
+          (if Conferr_harden.Diskchaos.killed st then ", killed" else "")
+    in
+    match outcome with
+    | Error msg ->
+      print_disk_stats ();
+      Printf.eprintf
+        "conferr: journal aborted the campaign: %s\nconferr: the journal is repairable: run fsck --repair, then resume with --resume\n"
+        msg;
+      exit 1
+    | Ok (profile, snapshot) ->
       print_string (Conferr.Profile.render profile);
       if entries then print_string (Conferr.Profile.render_entries profile);
       Printf.printf "\nChaos injection: %d fault(s) injected%s\n"
@@ -561,11 +675,11 @@ let chaos_cmd =
                    (fun (f, n) ->
                      Printf.sprintf "%s %d" (Conferr_harden.Chaos.fault_label f) n)
                    per)));
+      print_disk_stats ();
       if stats then begin
         print_newline ();
         print_string (Conferr_exec.Progress.render snapshot)
       end
-    end
   in
   let sut =
     Arg.(
@@ -621,48 +735,94 @@ let chaos_cmd =
           ~doc:"Cooperative step budget per execution (allocation storms \
                 burn it).")
   in
+  let disk =
+    Arg.(
+      value & flag
+      & info [ "disk" ]
+          ~doc:
+            "Also inject storage faults under the journal writer (torn and \
+             short writes, ENOSPC, dropped fsyncs) at --chaos-rate with \
+             --chaos-seed; requires --journal.  A storage fault aborts the \
+             campaign with the journal left repairable (fsck --repair) and \
+             resumable (doc/harden.md).")
+  in
+  let disk_kill_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "disk-kill-at" ] ~docv:"BYTES"
+          ~doc:
+            "Simulate a crash: abort the campaign after exactly $(docv) \
+             journal bytes reach storage (a deterministic kill point for \
+             crash-consistency testing); requires --journal.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run the typo faultload with chaos self-injection: the SUT is \
           wrapped so boot/test calls randomly crash, hang, allocate or flip \
           outcomes, proving the hardened executor (sandbox, quorum, breaker, \
-          journal) survives a hostile SUT (doc/harden.md).")
+          journal) survives a hostile SUT; --disk extends the hostility to \
+          the journal's own storage (doc/harden.md).")
     Term.(
       const run $ sut $ seed_arg $ chaos_seed $ rate $ verbose_arg $ jobs_arg
       $ journal_arg $ resume_arg $ timeout $ retries_arg $ quorum $ breaker
-      $ quarantine $ fuel $ entries_arg $ stats_arg $ trace_arg $ metrics_arg)
+      $ quarantine $ fuel $ entries_arg $ stats_arg $ trace_arg $ metrics_arg
+      $ segment_bytes_arg $ disk $ disk_kill_at)
 
 let fsck_cmd =
-  let run journal repair =
+  let run journal repair format =
     require_journal_file journal;
-    let report =
-      if repair then Conferr_exec.Journal.repair journal
-      else Conferr_exec.Journal.fsck journal
-    in
-    if
-      report.Conferr_exec.Journal.valid = 0
-      && report.Conferr_exec.Journal.torn = 0
-      && report.Conferr_exec.Journal.corrupt = 0
-    then begin
-      (* A 0-byte journal is what a campaign that never reached its first
-         append leaves behind; it is clean, not damaged. *)
-      Printf.printf "%s: empty journal\n" journal;
-      exit 0
-    end;
-    Printf.printf
-      "%s: %d valid line(s), %d torn, %d corrupt (valid prefix: %d bytes)\n"
-      journal report.Conferr_exec.Journal.valid report.Conferr_exec.Journal.torn
-      report.Conferr_exec.Journal.corrupt
-      report.Conferr_exec.Journal.valid_prefix_bytes;
-    if Conferr_exec.Journal.clean report then exit 0
-    else if repair then begin
-      Printf.printf "repaired: truncated to the %d-byte valid prefix\n"
-        report.Conferr_exec.Journal.valid_prefix_bytes;
-      exit 0
-    end
+    let module J = Conferr_exec.Journal in
+    let s = J.survey ~repair journal in
+    let totals = J.survey_totals s in
+    let pre_clean = J.survey_clean s in
+    (match format with
+     | `Json -> print_endline (Conferr_exec.Json.to_string (J.survey_to_json s))
+     | `Text ->
+       if
+         (not s.J.store)
+         && totals.J.valid = 0 && totals.J.torn = 0 && totals.J.corrupt = 0
+       then
+         (* A 0-byte journal is what a campaign that never reached its first
+            append leaves behind; it is clean, not damaged. *)
+         Printf.printf "%s: empty journal\n" journal
+       else if not s.J.store then begin
+         Printf.printf
+           "%s: %d valid line(s), %d torn, %d corrupt (valid prefix: %d bytes)\n"
+           journal totals.J.valid totals.J.torn totals.J.corrupt
+           totals.J.valid_prefix_bytes;
+         if (not pre_clean) && repair then
+           Printf.printf "repaired: truncated to the %d-byte valid prefix\n"
+             totals.J.valid_prefix_bytes
+       end
+       else begin
+         Printf.printf "%s: v3 store, %d segment(s), %d valid line(s), %d torn, %d corrupt\n"
+           journal (List.length s.J.segments) totals.J.valid totals.J.torn
+           totals.J.corrupt;
+         if not s.J.manifest_ok then
+           print_endline "manifest: missing or unreadable";
+         List.iter
+           (fun (seg : J.segment_fsck) ->
+             Printf.printf "  %s [%s]: %d valid, %d torn, %d corrupt%s%s\n"
+               seg.J.segment (J.standing_label seg.J.standing)
+               seg.J.counts.J.valid seg.J.counts.J.torn seg.J.counts.J.corrupt
+               (if seg.J.crc_ok then "" else ", crc mismatch")
+               (if seg.J.dropped > 0 then
+                  Printf.sprintf ", repaired: dropped %d line(s)" seg.J.dropped
+                else ""))
+           s.J.segments;
+         if (not pre_clean) && s.J.repaired then
+           print_endline "repaired: segments healed and manifest resealed"
+       end);
+    if pre_clean || (repair && s.J.repaired) then exit 0
+    else if repair then exit 0
     else begin
-      print_endline "journal is damaged; re-run with --repair to truncate it";
+      (match format with
+       | `Text ->
+         print_endline
+           "journal is damaged; re-run with --repair to heal it"
+       | `Json -> ());
       exit 1
     end
   in
@@ -670,23 +830,36 @@ let fsck_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"JOURNAL" ~doc:"Path of the JSONL journal to check.")
+      & info [] ~docv:"JOURNAL"
+          ~doc:"Path of the journal to check: a JSONL file or a v3 store.")
   in
   let repair =
     Arg.(
       value & flag
       & info [ "repair" ]
           ~doc:
-            "Truncate the journal to its valid prefix (atomically) when torn \
-             or corrupt lines are found.")
+            "Heal the journal when torn or corrupt lines are found: a single \
+             file is truncated to its valid prefix (atomically); a v3 store \
+             has each damaged segment truncated individually, orphan segments \
+             dropped, and the manifest resealed.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Report format: $(b,text) (default) or $(b,json) (one object \
+             with totals and a per-segment array).")
   in
   Cmd.v
     (Cmd.info "fsck"
        ~doc:
          "Verify a campaign journal line by line (JSON shape and per-line \
-          CRC-32), reporting valid, torn and corrupt lines; --repair keeps \
-          the valid prefix.")
-    Term.(const run $ journal $ repair)
+          CRC-32) and, for a v3 store, segment by segment against the \
+          manifest CRCs; --repair heals what is damaged, --format json \
+          reports per-segment counts machine-readably.")
+    Term.(const run $ journal $ repair $ format)
 
 let suggest_cmd =
   let run sut seed =
@@ -1257,7 +1430,8 @@ let infer_cmd =
 module Json = Conferr_obsv.Json
 
 let serve_cmd =
-  let run jobs port port_file state_dir max_campaigns =
+  let run jobs port port_file state_dir max_campaigns segment_bytes
+      inject_disk_fault =
     let jobs = checked_jobs jobs in
     if port < 0 || port > 65535 then begin
       prerr_endline "conferr: --port must be within [0; 65535] (0 = ephemeral)";
@@ -1267,8 +1441,44 @@ let serve_cmd =
       prerr_endline "conferr: --max-campaigns must be at least 1";
       exit 2
     end;
+    let segment_bytes = checked_segment_bytes segment_bytes in
+    if Sys.file_exists state_dir && not (Sys.is_directory state_dir) then begin
+      Printf.eprintf
+        "conferr: --state-dir %s exists and is not a directory\n" state_dir;
+      exit 2
+    end;
+    (* Test hook for the durability smoke: the first campaign submitted
+       gets a journal whose storage always reports ENOSPC, so the smoke
+       can assert it fails while its co-tenant completes untouched. *)
+    let journal_io =
+      if not inject_disk_fault then fun _ -> None
+      else fun cid ->
+        if cid <> "c0001" then None
+        else
+          let settings =
+            {
+              Conferr_harden.Diskchaos.default_settings with
+              rate = 1.0;
+              faults = [ Conferr_harden.Diskchaos.Enospc ];
+            }
+          in
+          Some
+            (fst
+               (Conferr_harden.Diskchaos.wrap ~settings
+                  Conferr_harden.Diskchaos.real))
+    in
     let daemon =
-      Conferr_serve.Daemon.create ~jobs ~max_campaigns ~state_dir ()
+      try
+        Conferr_serve.Daemon.create ~jobs ~max_campaigns ?segment_bytes
+          ~journal_io ~state_dir ()
+      with
+      | Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "conferr: cannot create state dir %s: %s\n" state_dir
+          (Unix.error_message err);
+        exit 2
+      | Sys_error msg ->
+        Printf.eprintf "conferr: cannot create state dir: %s\n" msg;
+        exit 2
     in
     (try
        Conferr_serve.Daemon.listen daemon ~port ?port_file
@@ -1312,6 +1522,16 @@ let serve_cmd =
           ~doc:"Most campaigns queued or running at once; submissions beyond \
                 it are answered 429 with Retry-After.")
   in
+  let inject_disk_fault =
+    Arg.(
+      value & flag
+      & info [ "inject-disk-fault" ]
+          ~doc:
+            "Test hook: the first submitted campaign's journal storage \
+             always reports ENOSPC, so smoke tests can assert that a \
+             journal fault fails only that campaign while co-tenants \
+             complete (doc/harden.md).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1319,7 +1539,9 @@ let serve_cmd =
           multiple concurrent campaigns as round-robin tenants, a JSON API \
           with streaming progress, live /metrics and /dashboard, graceful \
           SIGTERM drain (doc/serve.md).")
-    Term.(const run $ jobs_arg $ port $ port_file $ state_dir $ max_campaigns)
+    Term.(
+      const run $ jobs_arg $ port $ port_file $ state_dir $ max_campaigns
+      $ segment_bytes_arg $ inject_disk_fault)
 
 (* Client-side plumbing: every client subcommand targets one daemon. *)
 

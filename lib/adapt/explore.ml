@@ -24,6 +24,7 @@ type settings = {
   retries : int;
   campaign_seed : int;
   journal_path : string option;
+  segment_bytes : int option;
   resume : bool;
   quarantine_path : string option;
   fuel : int option;
@@ -42,6 +43,7 @@ let default_settings =
     retries = 0;
     campaign_seed = 42;
     journal_path = None;
+    segment_bytes = None;
     resume = false;
     quarantine_path = None;
     fuel = None;
@@ -173,7 +175,9 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
    | _ -> ());
   let writer =
     Option.map
-      (fun path -> Journal.open_append ~fresh:(not settings.resume) path)
+      (fun path ->
+         Journal.open_append ~fresh:(not settings.resume)
+           ?segment_bytes:settings.segment_bytes path)
       settings.journal_path
   in
   let cache = Mutant_cache.create () in
@@ -475,7 +479,8 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event)
     loop;
   let entries = List.rev !journal_entries_rev in
   Option.iter
-    (fun path -> Journal.checkpoint path entries)
+    (fun path ->
+       Journal.checkpoint ?segment_bytes:settings.segment_bytes path entries)
     settings.journal_path;
   (match settings.metrics with
    | None -> ()

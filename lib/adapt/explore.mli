@@ -36,6 +36,10 @@ type settings = {
   retries : int;  (** re-runs after a timeout *)
   campaign_seed : int;
   journal_path : string option;
+  segment_bytes : int option;
+      (** write the journal as a v3 segmented store rotating at this
+          byte bound (doc/exec.md); [None] keeps the single-file
+          layout unless the path already is a store *)
   resume : bool;
       (** reuse journaled outcomes: the loop replays deterministically,
           so already-executed scenarios are spliced in without booting
@@ -61,7 +65,8 @@ type settings = {
 val default_settings : settings
 (** [{ jobs = 1; batch = 32; budget = None; wallclock_s = None;
       plateau = 4; timeout_s = None; retries = 0; campaign_seed = 42;
-      journal_path = None; resume = false; quarantine_path = None;
+      journal_path = None; segment_bytes = None; resume = false;
+      quarantine_path = None;
       fuel = None; trace = None; metrics = None }] *)
 
 type stop_reason =

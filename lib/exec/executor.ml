@@ -16,6 +16,8 @@ type settings = {
   retries : int;
   campaign_seed : int;
   journal_path : string option;
+  segment_bytes : int option;
+  journal_io : Conferr_harden.Diskchaos.io option;
   resume : bool;
   quorum : int;
   breaker : int option;
@@ -33,6 +35,8 @@ let default_settings =
     retries = 0;
     campaign_seed = 42;
     journal_path = None;
+    segment_bytes = None;
+    journal_io = None;
     resume = false;
     quorum = 1;
     breaker = None;
@@ -163,7 +167,9 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~su
   if resumed > 0 then emit (Progress.Resumed { count = resumed });
   let writer =
     Option.map
-      (fun path -> Journal.open_append ~fresh:(not settings.resume) path)
+      (fun path ->
+        Journal.open_append ~fresh:(not settings.resume)
+          ?segment_bytes:settings.segment_bytes ?io:settings.journal_io path)
       settings.journal_path
   in
   let pending =
@@ -327,7 +333,11 @@ let run_from ?(settings = default_settings) ?(on_event = Progress.log_event) ~su
       if slots.(i) = None then slots.(i) <- Hashtbl.find_opt journaled s.id)
     arr;
   let entries = List.filter_map Fun.id (Array.to_list slots) in
-  Option.iter (fun path -> Journal.checkpoint path entries) settings.journal_path;
+  Option.iter
+    (fun path ->
+      Journal.checkpoint ?io:settings.journal_io
+        ?segment_bytes:settings.segment_bytes path entries)
+    settings.journal_path;
   let profile_entries =
     List.map
       (fun (e : Journal.entry) ->

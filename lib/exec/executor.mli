@@ -35,6 +35,17 @@ type settings = {
           seed from it, independent of execution order *)
   journal_path : string option;
       (** JSONL journal location; [None] keeps results in memory only *)
+  segment_bytes : int option;
+      (** write the journal as a v3 segmented store rotating segments
+          at this byte bound (doc/exec.md); [None] keeps the
+          single-file v2 layout unless [journal_path] already is a
+          store *)
+  journal_io : Conferr_harden.Diskchaos.io option;
+      (** the storage layer under the journal writer; [None] is the
+          real filesystem.  [conferr chaos --disk] passes a
+          {!Conferr_harden.Diskchaos.wrap}ped one — a storage fault
+          surfaces as {!Journal.Fault} and aborts the campaign (the
+          journal stays repairable and resumable) *)
   resume : bool;
       (** load [journal_path] and skip scenarios already recorded;
           when false an existing journal is truncated *)
@@ -74,7 +85,8 @@ type settings = {
 
 val default_settings : settings
 (** [{ jobs = 1; timeout_s = None; retries = 0; campaign_seed = 42;
-      journal_path = None; resume = false; quorum = 1; breaker = None;
+      journal_path = None; segment_bytes = None; journal_io = None;
+      resume = false; quorum = 1; breaker = None;
       quarantine_dir = None; fuel = None; trace = None;
       metrics = None; tenant = None }] — hardening, observability and
     service mode off by default, so existing callers behave exactly as

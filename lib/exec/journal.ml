@@ -1,6 +1,23 @@
 module Outcome = Conferr.Outcome
+module Diskchaos = Conferr_harden.Diskchaos
 
 let format_version = 2
+let store_version = 3
+
+exception Fault of string
+
+(* Storage-level failures surface as [Fault] so callers (executor,
+   daemon, CLI) can tell "the journal's disk is failing" apart from a
+   scenario failure.  [Diskchaos.Killed] is the injected crash point. *)
+let fault_of_exn path = function
+  | Sys_error msg -> Fault msg
+  | Diskchaos.Killed off ->
+    Fault
+      (Printf.sprintf "%s: journal writer killed at byte offset %d (injected)"
+         path off)
+  | exn -> exn
+
+let faultable path f = try f () with exn -> raise (fault_of_exn path exn)
 
 type entry = {
   scenario_id : string;
@@ -147,7 +164,9 @@ let entry_of_json j =
 (* v2 line: {"v":2,"crc":"<8 hex>","entry":{...}}.  The CRC covers the
    canonical serialization of the entry member; the codec round-trips
    its own output byte-for-byte, so verification re-serializes the
-   parsed member.  A v1 line is the bare entry object. *)
+   parsed member.  A v1 line is the bare entry object.  The v3 store
+   (a directory of segments, see {!Segstore}) keeps this exact line
+   format — v3 is a layout change, not a wire change. *)
 let line_to_json e =
   let body = entry_to_json e in
   let crc = Crc32.string (Json.to_string body) in
@@ -186,62 +205,128 @@ let entry_of_line j =
 
 let entry_of_string line = Result.bind (Json.of_string line) entry_of_line
 
+let is_store = Segstore.is_store
+
+(* Read-side dispatch is more lenient than {!is_store}: a directory
+   that is not (yet) a recognizable store — e.g. a store whose creation
+   was killed before its first manifest write became durable — must
+   still be read (as empty) and surveyed/repaired as a store, never fed
+   to the single-file reader. *)
+let reads_as_store path =
+  is_store path || (Sys.file_exists path && Sys.is_directory path)
+
+let load_lines lines =
+  List.filter_map
+    (fun line ->
+      if String.trim line = "" then None
+      else match entry_of_string line with Ok e -> Some e | Error _ -> None)
+    lines
+
 let load path =
-  match open_in_bin path with
-  | exception Sys_error _ -> []
-  | ic ->
+  if reads_as_store path then load_lines (Segstore.read_lines path)
+  else
+    match open_in_bin path with
+    | exception Sys_error _ -> []
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec lines acc =
+            match input_line ic with
+            | exception End_of_file -> List.rev acc
+            | line ->
+              let acc =
+                if String.trim line = "" then acc
+                else
+                  match entry_of_string line with
+                  | Ok e -> e :: acc
+                  | Error _ -> acc (* torn, corrupt or foreign line: tolerate *)
+              in
+              lines acc
+          in
+          lines [])
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let rec lines acc =
-          match input_line ic with
-          | exception End_of_file -> List.rev acc
-          | line ->
-            let acc =
-              if String.trim line = "" then acc
-              else
-                match entry_of_string line with
-                | Ok e -> e :: acc
-                | Error _ -> acc (* torn, corrupt or foreign line: tolerate *)
-            in
-            lines acc
-        in
-        lines [])
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error _ -> ""
 
-type writer = { oc : out_channel; lock : Mutex.t }
+let read_text path =
+  if reads_as_store path then Segstore.read_text path else read_file path
 
-let open_append ?(fresh = false) path =
-  let flags =
-    if fresh then [ Open_wronly; Open_creat; Open_trunc ]
-    else [ Open_wronly; Open_creat; Open_append ]
-  in
-  { oc = open_out_gen flags 0o644 path; lock = Mutex.create () }
+(* ---- writing ---- *)
+
+type writer =
+  | Single of { file : Diskchaos.file; lock : Mutex.t; path : string }
+  | Store of { store : Segstore.t; path : string }
+
+let writer_path = function Single s -> s.path | Store s -> s.path
+
+let open_append ?(fresh = false) ?segment_bytes ?io path =
+  faultable path (fun () ->
+      match segment_bytes with
+      | Some sb ->
+        if Sys.file_exists path && not (Sys.is_directory path) then
+          raise
+            (Sys_error
+               (path
+              ^ ": exists as a single-file journal; a segmented \
+                 (--segment-bytes) journal is a directory — remove the file \
+                 or choose another path"));
+        Store { store = Segstore.create ?io ~fresh ~segment_bytes:sb path; path }
+      | None ->
+        if Segstore.is_store path then
+          Store { store = Segstore.create ?io ~fresh path; path }
+        else if Sys.file_exists path && Sys.is_directory path then
+          raise
+            (Sys_error
+               (path
+              ^ ": is a directory, not a journal file (pass --segment-bytes \
+                 to write a segmented v3 store there)"))
+        else
+          let io = Option.value io ~default:Diskchaos.real in
+          Single
+            { file = io.open_file ~append:(not fresh) path;
+              lock = Mutex.create (); path })
 
 let append w e =
   let line = Json.to_string (line_to_json e) in
-  Mutex.lock w.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock w.lock)
-    (fun () ->
-      output_string w.oc line;
-      output_char w.oc '\n';
-      flush w.oc)
+  faultable (writer_path w) (fun () ->
+      match w with
+      | Single s ->
+        Mutex.lock s.lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock s.lock)
+          (fun () ->
+            s.file.write (line ^ "\n");
+            s.file.flush ())
+      | Store s -> Segstore.append_line s.store line)
 
-let close w = close_out_noerr w.oc
+(* Best-effort: the writer is closed in cleanup paths where a raise
+   would mask the original failure; unsynced damage is fsck's job. *)
+let close = function
+  | Single s -> s.file.close ()
+  | Store s -> ( try Segstore.close s.store with _ -> ())
 
-let checkpoint path entries =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      List.iter
-        (fun e ->
-          output_string oc (Json.to_string (line_to_json e));
-          output_char oc '\n')
-        entries;
-      flush oc);
-  Sys.rename tmp path
+let checkpoint ?io ?segment_bytes path entries =
+  let lines = List.map (fun e -> Json.to_string (line_to_json e)) entries in
+  faultable path (fun () ->
+      if is_store path || segment_bytes <> None then
+        Segstore.checkpoint ?io ?segment_bytes path lines
+      else begin
+        let io = Option.value io ~default:Diskchaos.real in
+        let tmp = path ^ ".tmp" in
+        let f = io.open_file ~append:false tmp in
+        Fun.protect
+          ~finally:(fun () -> f.close ())
+          (fun () ->
+            List.iter (fun line -> f.write (line ^ "\n")) lines;
+            f.flush ());
+        io.rename tmp path
+      end)
 
 (* ---- fsck ---- *)
 
@@ -254,14 +339,6 @@ type fsck_report = {
 
 let clean r = r.torn = 0 && r.corrupt = 0
 
-let read_file path =
-  match open_in_bin path with
-  | exception Sys_error _ -> ""
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-
 (* A blank line is harmless: it extends the valid prefix but counts as
    no entry.  Torn = not even JSON (the truncated-write shape); corrupt
    = parses as JSON but fails CRC or decoding. *)
@@ -272,8 +349,7 @@ let classify_line line =
     | Error _ -> `Torn
     | Ok j -> ( match entry_of_line j with Ok _ -> `Valid | Error _ -> `Corrupt)
 
-let fsck path =
-  let data = read_file path in
+let fsck_text data =
   let len = String.length data in
   let rec loop pos valid torn corrupt prefix prefix_ok =
     if pos >= len then { valid; torn; corrupt; valid_prefix_bytes = prefix }
@@ -299,8 +375,10 @@ let fsck path =
   in
   loop 0 0 0 0 0 true
 
-let repair path =
-  let report = fsck path in
+let fsck_file path = fsck_text (read_file path)
+
+let repair_file path =
+  let report = fsck_file path in
   if not (clean report) then begin
     let data = read_file path in
     let keep =
@@ -316,3 +394,188 @@ let repair path =
     Sys.rename tmp path
   end;
   report
+
+(* ---- store-aware survey (fsck with segment detail) ---- *)
+
+type segment_standing = File | Sealed | Open | Orphan
+
+let standing_label = function
+  | File -> "file"
+  | Sealed -> "sealed"
+  | Open -> "open"
+  | Orphan -> "orphan"
+
+type segment_fsck = {
+  segment : string;
+  standing : segment_standing;
+  crc_ok : bool;
+  counts : fsck_report;
+  dropped : int;
+}
+
+type survey = {
+  path : string;
+  store : bool;
+  manifest_ok : bool;
+  segments : segment_fsck list;
+  repaired : bool;
+}
+
+let segment_clean s = clean s.counts && s.crc_ok && s.standing <> Orphan
+
+let survey_clean s =
+  s.manifest_ok && List.for_all segment_clean s.segments
+
+let survey_totals s =
+  List.fold_left
+    (fun acc seg ->
+      {
+        valid = acc.valid + seg.counts.valid;
+        torn = acc.torn + seg.counts.torn;
+        corrupt = acc.corrupt + seg.counts.corrupt;
+        valid_prefix_bytes =
+          acc.valid_prefix_bytes + seg.counts.valid_prefix_bytes;
+      })
+    { valid = 0; torn = 0; corrupt = 0; valid_prefix_bytes = 0 }
+    s.segments
+
+let survey_store ?(repair = false) path =
+  let scan () =
+    let manifest_ok = Segstore.load_manifest path <> None in
+    let segments =
+      List.map
+        (fun (name, standing) ->
+          let data = read_file (Filename.concat path name) in
+          let counts = fsck_text data in
+          let standing, crc_ok =
+            match standing with
+            | Segstore.Sealed_as s ->
+              ( Sealed,
+                s.Segstore.crc = Crc32.string data
+                && s.Segstore.bytes = String.length data )
+            | Segstore.Open -> (Open, true)
+            | Segstore.Orphan -> (Orphan, true)
+          in
+          { segment = name; standing; crc_ok; counts; dropped = 0 })
+        (Segstore.segments path)
+    in
+    { path; store = true; manifest_ok; segments; repaired = false }
+  in
+  let before = scan () in
+  if repair && not (survey_clean before) then begin
+    let segments =
+      List.map
+        (fun seg ->
+          if seg.standing <> Orphan && not (clean seg.counts) then begin
+            Segstore.truncate_segment ~dir:path seg.segment
+              seg.counts.valid_prefix_bytes;
+            { seg with dropped = seg.counts.torn + seg.counts.corrupt }
+          end
+          else seg)
+        before.segments
+    in
+    (* Reseal rebuilds the manifest from the healed files and deletes
+       orphan segments and temp leftovers. *)
+    Segstore.reseal path;
+    { before with segments; repaired = true }
+  end
+  else before
+
+let survey ?(repair = false) path =
+  if reads_as_store path then survey_store ~repair path
+  else begin
+    let counts = if repair then repair_file path else fsck_file path in
+    let damaged = not (clean counts) in
+    {
+      path;
+      store = false;
+      manifest_ok = true;
+      segments =
+        [
+          {
+            segment = Filename.basename path;
+            standing = File;
+            crc_ok = true;
+            counts;
+            dropped = (if repair && damaged then counts.torn + counts.corrupt else 0);
+          };
+        ];
+      repaired = repair && damaged;
+    }
+  end
+
+let survey_to_json s =
+  let totals = survey_totals s in
+  Json.Obj
+    [
+      ("path", Json.Str s.path);
+      ("store", Json.Bool s.store);
+      ("manifest_ok", Json.Bool s.manifest_ok);
+      ("clean", Json.Bool (survey_clean s || s.repaired));
+      ("repaired", Json.Bool s.repaired);
+      ("valid", Json.Num (float_of_int totals.valid));
+      ("torn", Json.Num (float_of_int totals.torn));
+      ("corrupt", Json.Num (float_of_int totals.corrupt));
+      ( "segments",
+        Json.Arr
+          (List.map
+             (fun seg ->
+               Json.Obj
+                 [
+                   ("segment", Json.Str seg.segment);
+                   ("standing", Json.Str (standing_label seg.standing));
+                   ("valid", Json.Num (float_of_int seg.counts.valid));
+                   ("torn", Json.Num (float_of_int seg.counts.torn));
+                   ("corrupt", Json.Num (float_of_int seg.counts.corrupt));
+                   ( "valid_prefix_bytes",
+                     Json.Num (float_of_int seg.counts.valid_prefix_bytes) );
+                   ("crc_ok", Json.Bool seg.crc_ok);
+                   ("repaired", Json.Num (float_of_int seg.dropped));
+                 ])
+             s.segments) );
+    ]
+
+(* Single-file compatibility surface: [fsck]/[repair] keep their
+   historical signatures and, on a v3 store, aggregate across
+   segments. *)
+let fsck path =
+  if reads_as_store path then survey_totals (survey path) else fsck_file path
+
+let repair path =
+  if reads_as_store path then survey_totals (survey ~repair:true path)
+  else repair_file path
+
+(* ---- CLI-facing path validation (exit-2 material) ---- *)
+
+let validate_path ?segment_bytes path =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let writable p =
+    match Unix.access p [ Unix.W_OK ] with
+    | () -> true
+    | exception Unix.Unix_error _ -> false
+  in
+  let parent = Filename.dirname path in
+  if not (Sys.file_exists parent) then
+    err "%s: parent directory %s does not exist" path parent
+  else if not (Sys.is_directory parent) then
+    err "%s: %s is not a directory" path parent
+  else if not (writable parent) then
+    err "%s: parent directory %s is not writable" path parent
+  else if not (Sys.file_exists path) then Ok ()
+  else if Sys.is_directory path then
+    if Segstore.is_store path || segment_bytes <> None then
+      if writable path then Ok ()
+      else err "%s: journal directory is not writable" path
+    else
+      err
+        "%s: is a directory, not a journal file (pass --segment-bytes N to \
+         write a segmented v3 store there, or point the journal at a file \
+         path)"
+        path
+  else if segment_bytes <> None then
+    err
+      "%s: exists as a single-file journal; a segmented (--segment-bytes) \
+       journal is a directory — remove the file or choose another path"
+      path
+  else if not (writable path) then err "%s: journal is not writable" path
+  else Ok ()

@@ -24,11 +24,31 @@
     [--metrics].  The field is omitted when empty, so journals written
     with observability off are byte-identical to plain v2; v2 and v1
     files still load, and {!fsck} validates the field's shape when
-    present. *)
+    present.
+
+    {b Format v3} is a {e layout} change, not a wire change: the
+    journal becomes a directory — a {!Segstore} of length-bounded
+    segment files plus a manifest with per-segment CRCs — and each
+    worker domain appends to its own segment, eliminating the global
+    append lock.  Lines inside the segments are exactly the v2 format
+    above, so every reader ({!load}, [report], [gaps], [infer]) sees
+    one logical journal and v1/v2 single files keep loading unchanged.
+    Opt in with [?segment_bytes] ({[--segment-bytes]} at the CLI); a
+    path that already is a store is recognized automatically. *)
 
 val format_version : int
-(** Currently 2 (v2.1 is the same wire version plus the optional
-    ["phase"] field). *)
+(** Line format, currently 2 (v2.1 is the same wire version plus the
+    optional ["phase"] field). *)
+
+val store_version : int
+(** Store layout version: 3 (the segmented directory layout). *)
+
+exception Fault of string
+(** A storage-level failure while writing the journal — [Sys_error] or
+    an injected {!Conferr_harden.Diskchaos} fault, re-labelled so
+    callers can distinguish "the journal's disk is failing" (fail the
+    campaign, keep the service alive) from a scenario failure.  Raised
+    by {!open_append}, {!append} and {!checkpoint}. *)
 
 type entry = {
   scenario_id : string;
@@ -58,30 +78,62 @@ val entry_of_json : Json.t -> (entry, string) result
 val entry_of_string : string -> (entry, string) result
 (** Decode one journal line, v2 (wrapper, CRC verified) or v1 (bare). *)
 
+val is_store : string -> bool
+(** The path is a v3 segmented store ({!Segstore.is_store}). *)
+
 val load : string -> entry list
-(** Load every verifiable entry, in file order.  A missing file is an
-    empty journal; a torn final line (the crash case), a CRC-failing
-    line, or any other unparseable line is skipped rather than fatal —
-    run {!fsck} to count what was skipped. *)
+(** Load every verifiable entry, in file order — segment order for a
+    v3 store.  A missing file is an empty journal; a torn final line
+    (the crash case), a CRC-failing line, or any other unparseable
+    line is skipped rather than fatal — run {!fsck} to count what was
+    skipped. *)
+
+val read_text : string -> string
+(** The journal's raw bytes: the file itself, or for a v3 store the
+    concatenation of its segments in logical order (what the daemon's
+    journal route serves).  Missing path reads as [""]. *)
 
 type writer
-(** Append handle; internally serialized, safe to share across the
-    worker domains of one executor run. *)
+(** Append handle; internally serialized for a single file, lock-free
+    across domains for a v3 store (each domain owns a segment). *)
 
-val open_append : ?fresh:bool -> string -> writer
+val open_append :
+  ?fresh:bool ->
+  ?segment_bytes:int ->
+  ?io:Conferr_harden.Diskchaos.io ->
+  string ->
+  writer
 (** Open (creating if needed) for appending.  [~fresh:true] truncates
-    first — used when starting a new campaign over an old journal. *)
+    first — used when starting a new campaign over an old journal.
+    [segment_bytes] opts into the v3 store layout (rotating segments
+    at that bound); without it a path that already is a store keeps
+    the store layout, and a plain existing directory raises {!Fault}
+    rather than silently adopting it.  [io] (default
+    {!Conferr_harden.Diskchaos.real}) is the storage-chaos seam. *)
 
 val append : writer -> entry -> unit
-(** Write one line and flush it to the OS. *)
+(** Write one line and flush it to the OS.  Raises {!Fault} when the
+    storage layer fails. *)
 
 val close : writer -> unit
+(** Best-effort: seals open segments (v3) but never raises — the
+    writer is closed in cleanup paths, and unsynced damage is
+    {!fsck}'s job to find. *)
 
-val checkpoint : string -> entry list -> unit
+val checkpoint :
+  ?io:Conferr_harden.Diskchaos.io -> ?segment_bytes:int -> string -> entry list -> unit
 (** Atomically replace the journal with exactly [entries]
-    (write-then-rename to a [.tmp] sibling): compacts duplicate lines
-    from resumed runs and guarantees readers never observe a torn
-    file. *)
+    (write-then-rename): compacts duplicate lines from resumed runs
+    and guarantees readers never observe a torn file.  On a v3 store
+    (or with [segment_bytes] set) the result is a single sealed
+    segment plus a manifest cut over atomically. *)
+
+val validate_path : ?segment_bytes:int -> string -> (unit, string) result
+(** Pre-flight check for CLI commands: would {!open_append} with these
+    arguments plausibly succeed?  [Error] carries a usage-style
+    message (unwritable parent, directory where a file is expected,
+    single file where a store is requested, …) — exit-2 material,
+    checked before any campaign work starts. *)
 
 (** {1 Integrity checking} *)
 
@@ -91,7 +143,7 @@ type fsck_report = {
   corrupt : int;  (** JSON lines failing CRC or entry decoding *)
   valid_prefix_bytes : int;
       (** byte length of the leading run of valid (or blank) lines —
-          what {!repair} keeps *)
+          what {!repair} keeps (per segment on a v3 store) *)
 }
 
 val clean : fsck_report -> bool
@@ -99,9 +151,60 @@ val clean : fsck_report -> bool
 
 val fsck : string -> fsck_report
 (** Classify every line.  Blank lines count as no entry but do extend
-    the valid prefix; a missing file reports all-zero. *)
+    the valid prefix; a missing file reports all-zero.  On a v3 store
+    the counts aggregate across segments — use {!survey} for the
+    per-segment detail. *)
 
 val repair : string -> fsck_report
-(** {!fsck}, then — if anything is torn or corrupt — truncate the file
-    to its valid prefix (atomically, write-then-rename).  Returns the
-    {e pre}-repair report. *)
+(** {!fsck}, then — if anything is damaged — heal: a single file is
+    truncated to its valid prefix (atomically, write-then-rename); a
+    v3 store has each damaged {e segment} truncated individually,
+    orphan segments and temp leftovers deleted, and the manifest
+    resealed from the healed files.  Returns the {e pre}-repair
+    report. *)
+
+(** {1 Store-aware survey — [conferr fsck]'s engine} *)
+
+type segment_standing =
+  | File    (** a single-file journal (v1/v2) *)
+  | Sealed  (** listed sealed in the manifest, CRC-protected *)
+  | Open    (** still listed open — an interrupted writer *)
+  | Orphan  (** on disk but not in the manifest (interrupted checkpoint) *)
+
+val standing_label : segment_standing -> string
+
+type segment_fsck = {
+  segment : string;            (** segment file name (or the file's basename) *)
+  standing : segment_standing;
+  crc_ok : bool;               (** manifest CRC and length match the bytes on
+                                   disk; [true] when there is nothing to check *)
+  counts : fsck_report;        (** pre-repair line counts *)
+  dropped : int;               (** lines dropped by repair (0 without [~repair]) *)
+}
+
+type survey = {
+  path : string;
+  store : bool;                (** v3 store vs single file *)
+  manifest_ok : bool;          (** manifest present and parseable; [true] for files *)
+  segments : segment_fsck list;  (** logical order; one entry for a single file *)
+  repaired : bool;             (** [~repair] ran and healed something *)
+}
+
+val survey : ?repair:bool -> string -> survey
+(** The full fsck: per-segment line classification, manifest/CRC
+    verification, orphan detection.  With [~repair:true], heal as
+    {!repair} does; [counts] keep the pre-repair numbers and
+    [dropped]/[repaired] record what healing did. *)
+
+val survey_clean : survey -> bool
+(** Nothing torn, corrupt, CRC-mismatched or orphaned, and the
+    manifest is readable — the {e pre}-repair verdict. *)
+
+val survey_totals : survey -> fsck_report
+(** Line counts summed across segments. *)
+
+val survey_to_json : survey -> Json.t
+(** The [conferr fsck --format json] object: totals, [clean] (true
+    when clean before repair {e or} repaired), [repaired], and a
+    [segments] array with per-segment valid/torn/corrupt/repaired
+    counts, standing and CRC verdict. *)

@@ -1,0 +1,205 @@
+module Rng = Conferr_util.Rng
+module Metrics = Conferr_obsv.Metrics
+
+type fault = Torn_write | Short_write | Enospc | Fsync_drop
+
+let fault_label = function
+  | Torn_write -> "torn-write"
+  | Short_write -> "short-write"
+  | Enospc -> "enospc"
+  | Fsync_drop -> "fsync-drop"
+
+let all_faults = [ Torn_write; Short_write; Enospc; Fsync_drop ]
+
+exception Killed of int
+
+type settings = {
+  seed : int;
+  rate : float;
+  kill_at : int option;
+  faults : fault list;
+}
+
+let default_settings =
+  { seed = 0xD15C; rate = 0.1; kill_at = None; faults = all_faults }
+
+type stats = {
+  mutable injected : int;
+  mutable by_fault : (fault * int) list;
+  mutable was_killed : bool;
+  mutable bytes : int;
+}
+
+let injected stats = stats.injected
+
+let by_fault stats =
+  List.sort (fun (a, _) (b, _) -> compare a b) stats.by_fault
+
+let killed stats = stats.was_killed
+let written_bytes stats = stats.bytes
+
+type file = {
+  write : string -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+type io = {
+  open_file : append:bool -> string -> file;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  mkdir : string -> unit;
+}
+
+let real =
+  let open_file ~append path =
+    let flags =
+      if append then [ Open_wronly; Open_creat; Open_append; Open_binary ]
+      else [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
+    in
+    let oc = open_out_gen flags 0o644 path in
+    {
+      write = (fun s -> output_string oc s);
+      flush = (fun () -> flush oc);
+      close = (fun () -> close_out_noerr oc);
+    }
+  in
+  {
+    open_file;
+    rename = Sys.rename;
+    remove = (fun p -> try Sys.remove p with Sys_error _ -> ());
+    mkdir =
+      (fun p ->
+        try Unix.mkdir p 0o755 with
+        | Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  }
+
+let wrap ?(settings = default_settings) ?metrics io =
+  if settings.faults = [] && settings.kill_at = None then
+    invalid_arg "Diskchaos.wrap: no faults and no kill point — nothing to inject";
+  (match metrics with
+  | Some reg ->
+    Metrics.declare reg Metrics.Counter "conferr_disk_faults_total"
+      ~help:"Storage faults injected under the journal writer, by kind"
+  | None -> ());
+  let rng = Rng.create settings.seed in
+  let lock = Mutex.create () in
+  let stats = { injected = 0; by_fault = []; was_killed = false; bytes = 0 } in
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> f ())
+  in
+  let bump fault =
+    locked (fun () ->
+        stats.injected <- stats.injected + 1;
+        let n = try List.assoc fault stats.by_fault with Not_found -> 0 in
+        stats.by_fault <- (fault, n + 1) :: List.remove_assoc fault stats.by_fault);
+    match metrics with
+    | Some reg ->
+      Metrics.inc reg "conferr_disk_faults_total"
+        ~labels:[ ("fault", fault_label fault) ]
+    | None -> ()
+  in
+  let check_killed () =
+    locked (fun () -> if stats.was_killed then raise (Killed (Option.value settings.kill_at ~default:0)))
+  in
+  (* Push bytes through to the OS, honouring the global kill point: the
+     write that crosses it lands exactly the bytes up to the offset,
+     flushes them (they are durable), and dies. *)
+  let push (f : file) s =
+    let cut =
+      locked (fun () ->
+          match settings.kill_at with
+          | Some k when stats.bytes + String.length s >= k ->
+            let keep = max 0 (k - stats.bytes) in
+            stats.bytes <- k;
+            stats.was_killed <- true;
+            Some (keep, k)
+          | _ ->
+            stats.bytes <- stats.bytes + String.length s;
+            None)
+    in
+    match cut with
+    | Some (keep, k) ->
+      f.write (String.sub s 0 keep);
+      f.flush ();
+      raise (Killed k)
+    | None -> f.write s
+  in
+  let open_file ~append path =
+    check_killed ();
+    let f = io.open_file ~append path in
+    (* Per-file pending buffer: a normal write buffers here and is
+       pushed on flush, which is what makes [Fsync_drop] expressible
+       (the next flush discards instead).  The journal flushes once
+       per line, so granularity is one entry. *)
+    let pending = Buffer.create 256 in
+    let drop_next_flush = ref false in
+    let flush_pending () =
+      let p = Buffer.contents pending in
+      Buffer.clear pending;
+      if p <> "" then push f p
+    in
+    let write s =
+      check_killed ();
+      let fault =
+        if settings.faults = [] then None
+        else
+          locked (fun () ->
+              if Rng.float rng 1.0 < settings.rate then
+                Some (Rng.pick rng settings.faults)
+              else None)
+      in
+      match fault with
+      | None -> Buffer.add_string pending s
+      | Some Enospc ->
+        bump Enospc;
+        raise (Sys_error (path ^ ": No space left on device (injected)"))
+      | Some Fsync_drop ->
+        bump Fsync_drop;
+        Buffer.add_string pending s;
+        drop_next_flush := true
+      | Some (Torn_write as fk) | Some (Short_write as fk) ->
+        bump fk;
+        let keep = locked (fun () -> Rng.int rng (max 1 (String.length s))) in
+        flush_pending ();
+        push f (String.sub s 0 keep);
+        f.flush ();
+        if fk = Short_write then
+          raise (Sys_error (path ^ ": short write (injected)"))
+    in
+    let flush () =
+      check_killed ();
+      if !drop_next_flush then begin
+        drop_next_flush := false;
+        Buffer.clear pending
+      end
+      else begin
+        flush_pending ();
+        f.flush ()
+      end
+    in
+    let close () =
+      Buffer.clear pending;
+      f.close ()
+    in
+    { write; flush; close }
+  in
+  let wrapped =
+    {
+      open_file;
+      rename =
+        (fun a b ->
+          check_killed ();
+          io.rename a b);
+      remove =
+        (fun p ->
+          check_killed ();
+          io.remove p);
+      mkdir =
+        (fun p ->
+          check_killed ();
+          io.mkdir p);
+    }
+  in
+  (wrapped, stats)

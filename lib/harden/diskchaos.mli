@@ -1,0 +1,107 @@
+(** Storage chaos: a seeded fault-injecting I/O shim (doc/harden.md).
+
+    {!Chaos} storms the system under test; [Diskchaos] storms the
+    tool's own storage layer.  It interposes on the tiny write-side
+    I/O surface the journal uses ({!io}) and injects the faults a real
+    disk serves up — torn writes, short writes, ENOSPC, dropped
+    fsyncs, and a kill -9 at an exact byte offset — so the segmented
+    journal's crash-consistency contract (fsck to clean, resume
+    re-executes nothing durable; see [doc/exec.md]) is *tested*, not
+    assumed.  [conferr chaos --disk] puts it under a live campaign.
+
+    The shim is deliberately ignorant of what is being written: it
+    lives below the journal codec, mangles byte strings, and never
+    parses them.  Everything is driven by one seeded
+    {!Conferr_util.Rng}, shared across files and domains under a
+    mutex, so a given seed replays the same fault schedule for a given
+    write sequence. *)
+
+(** What the next faulty write does.  Every fault is something a real
+    kernel/disk pair can do to an application that buffers, writes and
+    fsyncs:
+
+    - [Torn_write]: a strict prefix of the buffer reaches the disk and
+      the write {e reports success} — the classic torn line that only
+      CRC verification catches later.
+    - [Short_write]: a strict prefix reaches the disk and the write
+      raises [Sys_error] — the caller knows, the bytes are still torn.
+    - [Enospc]: nothing is written; the write raises [Sys_error]
+      ("No space left on device").
+    - [Fsync_drop]: the write buffers normally but the next flush
+      silently discards it — a lying fsync; the line is simply gone
+      after a crash. *)
+type fault = Torn_write | Short_write | Enospc | Fsync_drop
+
+val fault_label : fault -> string
+(** ["torn-write"], ["short-write"], ["enospc"], ["fsync-drop"] —
+    metrics label values. *)
+
+val all_faults : fault list
+
+exception Killed of int
+(** [Killed offset]: the simulated process death of {!settings.kill_at}.
+    Raised by the write that crosses the configured global byte
+    offset, after pushing exactly the bytes up to it; every later
+    operation through the same wrapped {!io} raises it too (the
+    process is dead).  The payload is the offset. *)
+
+type settings = {
+  seed : int;
+  rate : float;  (** probability a write draws a fault from [faults] *)
+  kill_at : int option;
+      (** die at this cumulative byte offset, counted across every
+          write through the wrapped {!io} — segment appends and
+          manifest/checkpoint temp files alike — so a sweep over
+          offsets also lands crash points {e inside} a manifest
+          update, not just between journal lines *)
+  faults : fault list;
+}
+
+val default_settings : settings
+(** seed [0xD15C], rate [0.1], no kill point, every fault kind. *)
+
+type stats
+
+val injected : stats -> int
+val by_fault : stats -> (fault * int) list
+(** Injection counts in declaration order of {!fault}. *)
+
+val killed : stats -> bool
+(** The {!Killed} crash point fired. *)
+
+val written_bytes : stats -> int
+(** Bytes pushed through to the OS so far — the counter
+    {!settings.kill_at} is measured against.  Measure a fault-free run
+    (rate 0, [kill_at = None]) to learn the offset range to sweep. *)
+
+(** {1 The I/O surface} *)
+
+type file = {
+  write : string -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;  (** never raises *)
+}
+
+(** The write-side operations the journal needs.  [remove] and [mkdir]
+    are best-effort (missing target / existing directory are not
+    errors), mirroring the bare [Sys]/[Unix] calls {!real} wraps. *)
+type io = {
+  open_file : append:bool -> string -> file;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  mkdir : string -> unit;
+}
+
+val real : io
+(** The undisturbed operations ([open_out_gen], [Sys.rename], …) —
+    what the journal uses when no chaos is configured. *)
+
+val wrap : ?settings:settings -> ?metrics:Conferr_obsv.Metrics.t -> io -> io * stats
+(** Interpose the fault injector on [io].  Faults strike the data path
+    ([file.write] / [file.flush]); [rename]/[remove]/[mkdir] only
+    check the kill switch, so metadata operations stay deterministic
+    and the crash point remains the one knob that can land inside a
+    manifest update.  With [metrics], declares and increments the
+    [conferr_disk_faults_total] counter labelled by fault kind.
+    Raises [Invalid_argument] when [faults] is empty and no [kill_at]
+    is set — the wrap would be inert. *)

@@ -40,6 +40,9 @@ type t = {
   reg : Metrics.t;
   state_dir : string;
   max_campaigns : int;
+  segment_bytes : int option;
+  journal_io : string -> Conferr_harden.Diskchaos.io option;
+  mutable disk_faults : int;  (* campaigns failed by a journal fault *)
   mutable campaigns : campaign list;  (* oldest first *)
   mutable next_id : int;
   mutable draining : bool;
@@ -56,7 +59,8 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ?(jobs = 1) ?(max_campaigns = 4) ~state_dir () =
+let create ?(jobs = 1) ?(max_campaigns = 4) ?segment_bytes
+    ?(journal_io = fun _ -> None) ~state_dir () =
   mkdir_p state_dir;
   let reg = Metrics.create () in
   Metrics.declare reg Metrics.Counter "conferr_serve_submissions_total"
@@ -65,6 +69,10 @@ let create ?(jobs = 1) ?(max_campaigns = 4) ~state_dir () =
     ~help:"Campaigns currently queued or running";
   Metrics.declare reg Metrics.Counter "conferr_serve_requests_total"
     ~help:"HTTP requests served, by route and status";
+  Metrics.declare reg Metrics.Counter "conferr_journal_faults_total"
+    ~help:"Campaigns aborted by a journal storage fault, by campaign";
+  Metrics.declare reg Metrics.Gauge "conferr_serve_disk_faults"
+    ~help:"Campaigns failed so far by a journal storage fault";
   {
     lock = Mutex.create ();
     changed = Condition.create ();
@@ -72,6 +80,9 @@ let create ?(jobs = 1) ?(max_campaigns = 4) ~state_dir () =
     reg;
     state_dir;
     max_campaigns;
+    segment_bytes;
+    journal_io;
+    disk_faults = 0;
     campaigns = [];
     next_id = 1;
     draining = false;
@@ -114,11 +125,13 @@ let find t id = locked t (fun () -> List.find_opt (fun c -> c.cid = id) t.campai
 (* Campaign execution                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let settings_of c reg =
+let settings_of t c reg =
   {
     Executor.default_settings with
     campaign_seed = c.seed;
     journal_path = Some c.journal_path;
+    segment_bytes = t.segment_bytes;
+    journal_io = t.journal_io c.cid;
     timeout_s = c.policy.Policy.timeout_s;
     retries = c.policy.Policy.retries;
     quorum = c.policy.Policy.quorum;
@@ -130,13 +143,17 @@ let settings_of c reg =
 
 let terminal_event c =
   Json.Obj
-    [
-      ("event", Json.Str "campaign");
-      ("id", Json.Str c.cid);
-      ("status", Json.Str (status_of c.cstatus));
-      ("finished", Json.Num (float_of_int c.done_count));
-      ("total", Json.Num (float_of_int c.total));
-    ]
+    ([
+       ("event", Json.Str "campaign");
+       ("id", Json.Str c.cid);
+       ("status", Json.Str (status_of c.cstatus));
+       ("finished", Json.Num (float_of_int c.done_count));
+       ("total", Json.Num (float_of_int c.total));
+     ]
+    @
+    match c.cstatus with
+    | Failed msg -> [ ("error", Json.Str msg) ]
+    | _ -> [])
 
 let run_campaign t c =
   locked t (fun () -> if c.cstatus = Queued then c.cstatus <- Running);
@@ -150,11 +167,17 @@ let run_campaign t c =
   in
   let result =
     match
-      Executor.run_from ~settings:(settings_of c t.reg) ~on_event ~sut:c.sut
+      Executor.run_from ~settings:(settings_of t c t.reg) ~on_event ~sut:c.sut
         ~base:c.base ~scenarios:c.scenarios ()
     with
     | profile, _snapshot -> Ok profile
-    | exception exn -> Error (Printexc.to_string exn)
+    | exception Journal.Fault msg ->
+      (* The campaign's storage is failing, not the service: mark this
+         campaign failed, count the fault, leave co-tenants alone. *)
+      Metrics.inc t.reg "conferr_journal_faults_total"
+        ~labels:[ ("campaign", c.cid) ];
+      Error (true, "journal fault: " ^ msg)
+    | exception exn -> Error (false, Printexc.to_string exn)
   in
   locked t (fun () ->
       (match result with
@@ -165,7 +188,13 @@ let run_campaign t c =
            (if c.cancel_requested then Cancelled
             else if complete then Done
             else Interrupted)
-       | Error msg -> c.cstatus <- Failed msg);
+       | Error (disk, msg) ->
+         if disk then begin
+           t.disk_faults <- t.disk_faults + 1;
+           Metrics.set t.reg "conferr_serve_disk_faults"
+             (float_of_int t.disk_faults)
+         end;
+         c.cstatus <- Failed msg);
       push_event t c (Json.to_string (terminal_event c));
       c.closed <- true;
       Metrics.set t.reg "conferr_serve_active_campaigns"
@@ -232,7 +261,11 @@ let submit t body =
                           Scheduler.tenant ~max_active:policy.Policy.jobs_cap
                             ~name:cid t.sched;
                         journal_path =
-                          Filename.concat t.state_dir (cid ^ ".jsonl");
+                          Filename.concat t.state_dir
+                            (cid
+                            ^
+                            if t.segment_bytes = None then ".jsonl"
+                            else ".v3");
                         base;
                         scenarios;
                         total = List.length scenarios;
@@ -376,12 +409,6 @@ let stream_events t c ~from write =
        i := !i + List.length lines)
   done
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let segments path =
   String.split_on_char '/' path |> List.filter (fun s -> s <> "")
 
@@ -465,7 +492,7 @@ let handle t (req : Http.request) =
   | "GET", [ "campaigns"; id; "journal" ] ->
     with_campaign "journal" id (fun c ->
         if Sys.file_exists c.journal_path then
-          respond "journal" (Http.response 200 (read_file c.journal_path))
+          respond "journal" (Http.response 200 (Journal.read_text c.journal_path))
         else respond "journal" (error_json ~status:404 "no journal yet"))
   | _, ([ "healthz" ] | [ "metrics" ] | [ "dashboard" ] | [ "campaigns" ]
        | [ "campaigns"; _ ] | [ "campaigns"; _; ("cancel" | "events" | "results" | "journal") ]) ->

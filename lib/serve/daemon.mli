@@ -18,11 +18,28 @@ type t
 type campaign
 
 val create :
-  ?jobs:int -> ?max_campaigns:int -> state_dir:string -> unit -> t
+  ?jobs:int ->
+  ?max_campaigns:int ->
+  ?segment_bytes:int ->
+  ?journal_io:(string -> Conferr_harden.Diskchaos.io option) ->
+  state_dir:string ->
+  unit ->
+  t
 (** Start the pool ([jobs] worker domains, default 1) and create
     [state_dir] if needed.  [max_campaigns] (default 4) bounds the
     campaigns that may be queued or running at once — the submission
-    queue whose overflow {!handle} answers with 429. *)
+    queue whose overflow {!handle} answers with 429.
+
+    [segment_bytes] makes every campaign journal a v3 segmented store
+    ([<id>.v3] directories instead of [<id>.jsonl] files, doc/exec.md).
+    [journal_io] maps a campaign id to the storage layer under its
+    journal writer — the storage-chaos seam ([conferr serve
+    --inject-disk-fault] and the durability tests fault exactly one
+    campaign's disk with it).  A journal storage fault fails only that
+    campaign: status [failed], a terminal event carrying the error, a
+    [conferr_journal_faults_total] tick and the
+    [conferr_serve_disk_faults] gauge — co-tenant campaigns are
+    untouched (per-tenant failure isolation in the scheduler). *)
 
 val jobs : t -> int
 
