@@ -1,5 +1,5 @@
 .PHONY: all build test smoke lint-smoke serve-smoke infer-smoke \
-  durability-smoke check bench clean
+  repair-smoke durability-smoke check bench clean
 
 all: build
 
@@ -170,6 +170,60 @@ infer-smoke: build
 	dune exec bin/main.exe -- lint --sut postgres --fail-on warn \
 	  --rules /tmp/conferr-infer-rules.json
 
+# Repair smoke (doc/repair.md): break the stock postgres and bind
+# configurations, synthesize repairs, and verify them end to end.
+#   1. a directive-name typo in postgresql.conf must be repaired back
+#      to stock (exit 0) and --apply must rewrite the file so
+#      `lint --fail-on warn` then exits 0;
+#   2. a cross-parameter fault (max_fsm_pages / max_fsm_relations both
+#      in range but mutually inconsistent) must be repaired by a
+#      multi-edit candidate grouped by a mined co-occurrence cluster;
+#   3. a typo'd named.conf must be repaired for bind;
+#   4. journal-mode repair of a recorded pg campaign must exit 0
+#      (everything repairable) and report byte-identical text for
+#      --jobs 1 vs --jobs 4.
+repair-smoke: build
+	rm -rf /tmp/conferr-repair-typo /tmp/conferr-repair-cross \
+	  /tmp/conferr-repair-bind
+	rm -f /tmp/conferr-repair.jsonl \
+	  /tmp/conferr-repair-j1.txt /tmp/conferr-repair-j4.txt \
+	  /tmp/conferr-repair.html /tmp/conferr-repair.prom
+	mkdir -p /tmp/conferr-repair-typo /tmp/conferr-repair-cross \
+	  /tmp/conferr-repair-bind
+	sed 's/max_connections/max_connektions/' \
+	  examples/configs/postgresql.conf \
+	  > /tmp/conferr-repair-typo/postgresql.conf
+	dune exec bin/main.exe -- repair --sut postgres --apply \
+	  /tmp/conferr-repair-typo/postgresql.conf
+	dune exec bin/main.exe -- lint --sut postgres --fail-on warn \
+	  /tmp/conferr-repair-typo/postgresql.conf
+	cmp examples/configs/postgresql.conf \
+	  /tmp/conferr-repair-typo/postgresql.conf
+	sed -e 's/max_fsm_pages = 153600/max_fsm_pages = 1500/' \
+	  -e 's/max_fsm_relations = 1000/max_fsm_relations = 20000/' \
+	  examples/configs/postgresql.conf \
+	  > /tmp/conferr-repair-cross/postgresql.conf
+	dune exec bin/main.exe -- repair --sut postgres \
+	  /tmp/conferr-repair-cross/postgresql.conf \
+	  | grep -q "cluster: {max_fsm_pages"
+	sed 's/recursion/recursino/' examples/configs/named.conf \
+	  > /tmp/conferr-repair-bind/named.conf
+	dune exec bin/main.exe -- repair --sut bind \
+	  /tmp/conferr-repair-bind/named.conf
+	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
+	  --journal /tmp/conferr-repair.jsonl > /dev/null
+	dune exec bin/main.exe -- repair --sut postgres --jobs 1 \
+	  --journal /tmp/conferr-repair.jsonl > /tmp/conferr-repair-j1.txt
+	dune exec bin/main.exe -- repair --sut postgres --jobs 4 \
+	  --journal /tmp/conferr-repair.jsonl > /tmp/conferr-repair-j4.txt
+	cmp /tmp/conferr-repair-j1.txt /tmp/conferr-repair-j4.txt
+	dune exec bin/main.exe -- repair --sut postgres \
+	  --journal /tmp/conferr-repair.jsonl \
+	  --html /tmp/conferr-repair.html \
+	  --metrics /tmp/conferr-repair.prom > /dev/null
+	grep -q "Repairs" /tmp/conferr-repair.html
+	grep -q conferr_repair_targets_total /tmp/conferr-repair.prom
+
 # Durability smoke (doc/exec.md, doc/harden.md): the v3 segmented
 # journal under storage chaos, end to end through the CLI.
 #   1. a seeded disk-chaos campaign (--disk, 10% fault rate) at --jobs 4
@@ -218,7 +272,8 @@ durability-smoke: build
 	kill -TERM $$DPID; \
 	wait $$DPID
 
-check: build test smoke lint-smoke serve-smoke infer-smoke durability-smoke
+check: build test smoke lint-smoke serve-smoke infer-smoke repair-smoke \
+  durability-smoke
 
 bench:
 	dune exec bench/main.exe

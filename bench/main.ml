@@ -856,6 +856,80 @@ let print_infer_throughput () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Repair throughput: candidate validation (lib/repair, doc/repair.md) *)
+(* ------------------------------------------------------------------ *)
+
+(* `conferr repair` spends its time validating candidates: every
+   generated edit sequence is applied, re-serialized, re-linted and
+   booted through the sandbox.  This section breaks the stock postgres
+   configuration with the first scenarios of the paper faultload, runs
+   the full pipeline over them (best of 3) and reports candidate
+   validations per second — the figure that bounds how many targets a
+   journal-mode repair can chew through. *)
+let print_repair_throughput () =
+  print_endline "=== Repair throughput (mini-postgres faultload targets) ===\n";
+  let sut = Suts.Mini_pg.sut in
+  let stock =
+    match Conferr.Engine.parse_default_config sut with
+    | Ok base -> base
+    | Error msg -> failwith msg
+  in
+  let rules =
+    match Suts.Lint_rules.for_sut sut.Suts.Sut.sut_name with
+    | Some rules -> rules
+    | None -> failwith "no rule set for postgres"
+  in
+  let scenarios =
+    Conferr.Faultload.journal_scenarios ~seed sut stock
+    |> List.filteri (fun i _ -> i < 40)
+  in
+  let targets =
+    List.filter_map
+      (fun (s : Errgen.Scenario.t) ->
+        match s.apply stock with
+        | Ok broken ->
+          Some (Conferr_repair.Pipeline.file_target ~id:s.id broken)
+        | Error _ -> None)
+      scenarios
+  in
+  let run () =
+    Conferr_repair.Pipeline.run ~nearest:Conferr.Suggest.nearest ~sut ~rules
+      ~stock targets
+  in
+  ignore (run ()) (* warm up *);
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    ignore (run ());
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  let result = run () in
+  let repaired, clean, unrepaired, _ = Conferr_repair.Pipeline.counts result in
+  let validated = result.Conferr_repair.Pipeline.validated in
+  let validations_per_sec = float_of_int validated /. !best in
+  Printf.printf "  targets       : %d (best of 3 pipeline runs)\n"
+    (List.length targets);
+  Printf.printf "  pipeline      : %8.2f ms   %8.0f validations/s\n"
+    (!best *. 1e3) validations_per_sec;
+  Printf.printf "  verdicts      : %d repaired, %d already clean, %d unrepairable\n"
+    repaired clean unrepaired;
+  write_artifact "BENCH_repair.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "repair-throughput");
+         ("sut", Json.Str "postgres");
+         ("seed", Json.Num (float_of_int seed));
+         ("targets", Json.Num (float_of_int (List.length targets)));
+         ("pipeline_s", Json.Num !best);
+         ("validations", Json.Num (float_of_int validated));
+         ("validations_per_sec", Json.Num validations_per_sec);
+         ("repaired", Json.Num (float_of_int repaired));
+         ("already_clean", Json.Num (float_of_int clean));
+         ("unrepairable", Json.Num (float_of_int unrepaired));
+       ]);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Journal throughput: single-file v2 vs segmented v3 store            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1000,6 +1074,7 @@ let sections =
     ("lint", print_lint_throughput);
     ("serve", print_serve_throughput);
     ("infer", print_infer_throughput);
+    ("repair", print_repair_throughput);
     ("journal", print_journal_throughput);
   ]
 

@@ -1028,28 +1028,11 @@ let rules_for sut =
     Printf.eprintf "conferr: no rule set for SUT %s\n" sut.Suts.Sut.sut_name;
     exit 2
 
-(* Regenerate the scenario set a campaign journal was recorded from:
-   the paper typo faultload at --seed plus, for the DNS SUTs, the
-   RFC 1912 semantic scenarios (ids relabelled like `conferr semantic`).
-   gaps and infer both replay journals against this set, so they must
-   derive it identically. *)
+(* The scenario set a campaign journal was recorded from is re-derived
+   by Conferr.Faultload.journal_scenarios — gaps, infer and repair all
+   replay journals against it, so the derivation lives in one module. *)
 let regenerate_scenarios ~seed sut base =
-  let typo =
-    Conferr.Campaign.typo_scenarios ~rng:(Conferr_util.Rng.create seed)
-      ~faultload:Conferr.Campaign.paper_faultload sut base
-  in
-  let semantic =
-    let relabel codec =
-      Dnsmodel.Rfc1912.scenarios ~codec ~faults:Dnsmodel.Rfc1912.all_faults base
-      |> Errgen.Scenario.relabel_ids ~prefix:"semantic"
-    in
-    match sut.Suts.Sut.sut_name with
-    | "bind" -> relabel (Dnsmodel.Codec.bind ~zones:Suts.Mini_bind.zones)
-    | "djbdns" ->
-      relabel (Dnsmodel.Codec.tinydns ~file:Suts.Mini_djbdns.data_file)
-    | _ -> []
-  in
-  typo @ semantic
+  Conferr.Faultload.journal_scenarios ~seed sut base
 
 (* Parse one configuration set for linting: the SUT's default files,
    with any FILE arguments (matched to config files by base name)
@@ -1423,6 +1406,216 @@ let infer_cmd =
       const run $ sut $ journals $ seed_arg $ format_arg $ jobs_arg
       $ min_support $ min_confidence $ emit_rules $ html $ metrics)
 
+let repair_cmd =
+  let run sut files journal ids seed format jobs rules_file apply html metrics =
+    let sut = required_sut sut in
+    let rules, specs =
+      match rules_file with
+      | None -> (rules_for sut, [])
+      | Some path ->
+        (match Conferr_lint.Rule_file.load (read_file ~missing_exit:2 path) with
+        | Ok specs -> (List.map Conferr_lint.Rule_file.to_rule specs, specs)
+        | Error msg ->
+          Printf.eprintf "conferr: %s: %s\n" path msg;
+          exit 2)
+    in
+    (match (files, journal) with
+    | [], None ->
+      prerr_endline
+        "conferr: repair needs FILE arguments (broken configuration files) or \
+         --journal PATH (a recorded campaign)";
+      exit 2
+    | _ :: _, Some _ ->
+      prerr_endline "conferr: give FILE arguments or --journal, not both";
+      exit 2
+    | _ -> ());
+    if apply && journal <> None then begin
+      prerr_endline
+        "conferr: --apply rewrites the given FILE arguments and has no \
+         meaning in --journal mode";
+      exit 2
+    end;
+    let stock =
+      match Conferr.Engine.parse_default_config sut with
+      | Error msg ->
+        Printf.eprintf "conferr: %s\n" msg;
+        exit 2
+      | Ok base -> base
+    in
+    let paths_by_name = ref [] in
+    let targets =
+      match journal with
+      | None ->
+        let overrides =
+          List.map
+            (fun path ->
+              let name = Filename.basename path in
+              if not (List.mem_assoc name sut.Suts.Sut.config_files) then begin
+                Printf.eprintf
+                  "conferr: %s: %s is not a configuration file of %s \
+                   (expected: %s)\n"
+                  path name sut.Suts.Sut.sut_name
+                  (String.concat ", " (List.map fst sut.Suts.Sut.config_files));
+                exit 2
+              end;
+              paths_by_name := (name, path) :: !paths_by_name;
+              (name, read_file ~missing_exit:2 path))
+            files
+        in
+        (* Files that fail to parse are simply absent from the set: the
+           whole-file restoration candidate covers them. *)
+        let set, _syntax = lint_parse sut overrides in
+        let id =
+          String.concat "+" (List.map Filename.basename files)
+        in
+        [ Conferr_repair.Pipeline.file_target ~id set ]
+      | Some jpath ->
+        let entries = load_journal jpath in
+        List.iter
+          (fun id ->
+            if
+              not
+                (List.exists
+                   (fun (e : Conferr_exec.Journal.entry) -> e.scenario_id = id)
+                   entries)
+            then begin
+              Printf.eprintf "conferr: no journal entry with id '%s'\n" id;
+              exit 2
+            end)
+          ids;
+        Conferr_repair.Pipeline.journal_targets ~ids
+          ~scenarios:(regenerate_scenarios ~seed sut stock)
+          ~stock entries
+    in
+    let result =
+      Conferr_repair.Pipeline.run
+        ~jobs:(checked_jobs ~scenario_count:(List.length targets) jobs)
+        ~nearest:Conferr.Suggest.nearest ~specs ~sut ~rules ~stock targets
+    in
+    (match format with
+    | `Text -> print_string (Conferr_repair.Repair_report.render result)
+    | `Json ->
+      print_endline
+        (Conferr_obsv.Json.to_string
+           (Conferr_repair.Repair_report.to_json result)));
+    if apply then
+      List.iter
+        (fun (r : Conferr_repair.Pipeline.repair) ->
+          match r.r_chosen with
+          | Some v ->
+            List.iter
+              (fun (name, text) ->
+                match List.assoc_opt name !paths_by_name with
+                | None -> ()
+                | Some path ->
+                  (try
+                     let oc = open_out_bin path in
+                     Fun.protect
+                       ~finally:(fun () -> close_out_noerr oc)
+                       (fun () -> output_string oc text)
+                   with Sys_error msg ->
+                     Printf.eprintf "conferr: %s\n" msg;
+                     exit 2);
+                  Printf.eprintf "conferr: wrote repaired %s\n" path)
+              v.Conferr_repair.Validate.files
+          | None -> ())
+        result.Conferr_repair.Pipeline.repairs;
+    Option.iter
+      (fun path ->
+        let registry = Conferr_obsv.Metrics.create () in
+        Conferr_repair.Repair_report.record_metrics registry result;
+        try Conferr_obsv.Metrics.write_file registry path
+        with Sys_error msg ->
+          Printf.eprintf "conferr: %s\n" msg;
+          exit 2)
+      metrics;
+    Option.iter
+      (fun path ->
+        let title = "conferr repairs \xe2\x80\x94 " ^ sut.Suts.Sut.sut_name in
+        try
+          Conferr_obsv.Report.write_file ~title ~rows:[]
+            ~repairs:(Conferr_repair.Repair_report.dashboard_rows result)
+            path
+        with Sys_error msg ->
+          Printf.eprintf "conferr: %s\n" msg;
+          exit 2)
+      html;
+    if not (Conferr_repair.Pipeline.all_repaired result) then exit 1
+  in
+  let sut =
+    Arg.(
+      value
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT"
+          ~doc:"System under test whose configuration is being repaired.")
+  in
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Broken configuration files to repair, matched to the SUT's \
+             configuration files by base name (like $(b,conferr lint)); \
+             files not given keep the SUT's default text.")
+  in
+  let ids =
+    Arg.(
+      value & opt_all string []
+      & info [ "id" ] ~docv:"ID"
+          ~doc:
+            "Repair only the journal entry with this scenario id; repeatable.  \
+             Default: every entry in the journal.")
+  in
+  let rules_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"PATH"
+          ~doc:
+            "Validate repairs against the rule file at $(docv) (the format \
+             $(b,conferr infer --emit-rules) writes) instead of the SUT's \
+             built-in rule set; its implies-present rules also seed \
+             multi-edit cluster candidates.")
+  in
+  let apply =
+    Arg.(
+      value & flag
+      & info [ "apply" ]
+          ~doc:
+            "Write each repaired configuration back over the FILE argument it \
+             came from (FILE mode only).")
+  in
+  let html =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"PATH"
+          ~doc:"Also write the HTML dashboard with the repairs panel to $(docv).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Write a Prometheus snapshot of the repair counters \
+             (conferr_repair_targets_total, conferr_repair_edits_total, \
+             conferr_repair_candidates_total) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Synthesize the minimal edit sequence that makes a broken \
+          configuration lint-clean and accepted by the SUT's sandboxed \
+          validation (doc/repair.md).  Takes broken files directly, or \
+          reproduces them from a recorded campaign journal (--journal, \
+          scenarios regenerated from --seed which must match the \
+          campaign's).  Exit 0 when every target was repaired or already \
+          clean, 1 when some target is unrepairable, 2 on usage errors.")
+    Term.(
+      const run $ sut $ files $ journal_arg $ ids $ seed_arg $ format_arg
+      $ jobs_arg $ rules_file $ apply $ html $ metrics)
+
 (* ------------------------------------------------------------------ *)
 (* Service mode (doc/serve.md).  serve runs the daemon; the client
    subcommands talk to a running daemon over its JSON API. *)
@@ -1788,7 +1981,8 @@ let main =
        ~doc:"Assess resilience to human configuration errors (DSN'08 reproduction).")
     [
       list_cmd; profile_cmd; explore_cmd; chaos_cmd; fsck_cmd; benchmark_cmd;
-      report_cmd; suggest_cmd; lint_cmd; gaps_cmd; infer_cmd; table1_cmd;
+      report_cmd; suggest_cmd; lint_cmd; gaps_cmd; infer_cmd; repair_cmd;
+      table1_cmd;
       table2_cmd;
       table3_cmd; figure3_cmd; all_cmd; variations_cmd; semantic_cmd;
       serve_cmd; submit_cmd; status_cmd; results_cmd; watch_cmd; cancel_cmd;

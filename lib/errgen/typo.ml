@@ -244,3 +244,29 @@ let sampled_scenarios ?(layout = default_layout) ~rng ~per_target ~class_prefix 
     end
   in
   Template.modify ~class_name:(Printf.sprintf "%s/sampled" class_prefix) ~mutate tgt set
+
+(* Reverse mode (doc/repair.md): rank the vocabulary words a typo could
+   have come from.  One-slip explanations (the forward model reproduces
+   the word exactly) sort ahead of bare edit-distance neighbours. *)
+let corrections ?(layout = default_layout) ?(max_distance = 2) ~vocabulary word =
+  let one_slip w =
+    List.exists
+      (fun kind ->
+        List.exists (fun (v, _) -> v = word) (variants ~layout kind w))
+      all_kinds
+  in
+  vocabulary
+  |> List.filter_map (fun w ->
+         if w = word then None
+         else
+           let d = Conferr_util.Strutil.damerau_levenshtein w word in
+           let slip = one_slip w in
+           if slip || d <= max_distance then Some (w, d, slip) else None)
+  |> List.sort (fun (a, da, sa) (b, db, sb) ->
+         match (sa, sb) with
+         | true, false -> -1
+         | false, true -> 1
+         | _ ->
+           let c = compare da db in
+           if c <> 0 then c else compare a b)
+  |> List.map (fun (w, d, _) -> (w, d))

@@ -95,3 +95,20 @@ val sampled_scenarios :
   Scenario.t list
 (** The paper's §5.2 faultload shape: for each matched directive, draw
     [per_target] random typos (random kind, random position). *)
+
+(** {1 Reverse mode (doc/repair.md)}
+
+    Repair synthesis runs the typo model backwards: given a word the
+    SUT's vocabulary does not know, which vocabulary words could a
+    one-letter slip have produced it from? *)
+
+val corrections :
+  ?layout:Keyboard.Layout.t -> ?max_distance:int -> vocabulary:string list ->
+  string -> (string * int) list
+(** [corrections ~vocabulary word] ranks the vocabulary words [word]
+    plausibly resulted from, closest first.  A vocabulary word whose
+    forward typo model ({!variants}, any kind) produces [word] exactly
+    is ranked by its true Damerau-Levenshtein distance but always ahead
+    of words merely within [max_distance] (default 2) that no single
+    modelled slip explains; ties break lexicographically.  [word]
+    itself is never returned. *)

@@ -436,6 +436,69 @@ let infer_section infs =
   end;
   Buffer.contents b
 
+type repair_row = {
+  rep_id : string;
+  rep_class : string;
+  rep_status : string;
+  rep_distance : int;
+  rep_edits : int;
+  rep_stock : bool;
+  rep_detail : string;
+}
+
+let repair_status_class = function
+  | "repaired" -> "o-startup"
+  | "already-clean" -> "o-functional"
+  | "unrepairable" -> "o-crashed"
+  | _ -> "o-na"
+
+let repairs_section reps =
+  let b = Buffer.create 2048 in
+  let scount s = count (fun r -> r.rep_status = s) reps in
+  Buffer.add_string b "<section class=\"tiles\">";
+  Buffer.add_string b
+    (tile "repaired" (string_of_int (scount "repaired"))
+       "lint-clean and SUT-accepted after the edits");
+  Buffer.add_string b
+    (tile "already clean" (string_of_int (scount "already-clean"))
+       "no repair needed");
+  Buffer.add_string b
+    (tile "unrepairable" (string_of_int (scount "unrepairable"))
+       "no candidate passed validation");
+  Buffer.add_string b
+    (tile "back to stock"
+       (string_of_int (count (fun r -> r.rep_stock) reps))
+       "repaired set equals the stock configuration");
+  Buffer.add_string b "</section>";
+  if reps = [] then
+    Buffer.add_string b "<p class=\"muted\">no repair targets.</p>"
+  else begin
+    Buffer.add_string b
+      "<table><thead><tr><th>target</th><th>class</th><th>status</th><th \
+       class=\"num\">edits</th><th class=\"num\">distance</th><th>stock</th><th>repair</th></tr></thead><tbody>";
+    let shown = 40 in
+    List.iteri
+      (fun i r ->
+        if i < shown then
+          Buffer.add_string b
+            (Printf.sprintf
+               "<tr><td class=\"mono\">%s</td><td class=\"mono\">%s</td><td><span class=\"key\"><span class=\"swatch %s\"></span>%s</span></td><td class=\"num\">%d</td><td class=\"num\">%d</td><td>%s</td><td class=\"mono\">%s</td></tr>"
+               (esc r.rep_id) (esc r.rep_class)
+               (repair_status_class r.rep_status)
+               (esc r.rep_status) r.rep_edits r.rep_distance
+               (if r.rep_stock then "yes" else "\xe2\x80\x94")
+               (esc r.rep_detail)))
+      reps;
+    Buffer.add_string b "</tbody></table>";
+    if List.length reps > shown then
+      Buffer.add_string b
+        (Printf.sprintf
+           "<p class=\"muted\">%d further target(s) not shown \xe2\x80\x94 use \
+            <code>conferr repair --format json</code> for the full list.</p>"
+           (List.length reps - shown))
+  end;
+  Buffer.contents b
+
 let css =
   {|
 :root {
@@ -492,7 +555,7 @@ pre { background: var(--card); border: 1px solid var(--grid); border-radius: 8px
 code { font-family: ui-monospace, monospace; }
 |}
 
-let html ~title ~rows ?metrics_text ?gaps ?infer () =
+let html ~title ~rows ?metrics_text ?gaps ?infer ?repairs () =
   let total = List.length rows in
   let na = count (fun r -> r.outcome = "n/a") rows in
   let detected =
@@ -555,6 +618,15 @@ let html ~title ~rows ?metrics_text ?gaps ?infer () =
        journal, diffed against the hand-written rule set (doc/infer.md)</p>";
     Buffer.add_string b (infer_section infs);
     Buffer.add_string b "</section>");
+  (match repairs with
+  | None -> ()
+  | Some reps ->
+    Buffer.add_string b "<section><h2>Repairs</h2>";
+    Buffer.add_string b
+      "<p class=\"muted\">synthesized minimal edits making each broken \
+       configuration lint-clean and SUT-accepted (doc/repair.md)</p>";
+    Buffer.add_string b (repairs_section reps);
+    Buffer.add_string b "</section>");
   (match metrics_text with
   | Some text when String.trim text <> "" ->
     Buffer.add_string b "<details><summary>Raw metrics snapshot</summary><pre>";
@@ -564,9 +636,9 @@ let html ~title ~rows ?metrics_text ?gaps ?infer () =
   Buffer.add_string b "</body></html>\n";
   Buffer.contents b
 
-let write_file ~title ~rows ?metrics_text ?gaps ?infer path =
+let write_file ~title ~rows ?metrics_text ?gaps ?infer ?repairs path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (html ~title ~rows ?metrics_text ?gaps ?infer ()))
+      output_string oc (html ~title ~rows ?metrics_text ?gaps ?infer ?repairs ()))

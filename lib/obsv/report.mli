@@ -51,17 +51,33 @@ type infer_row = {
 (** One row of the inferred-constraints panel (doc/infer.md); [conferr
     infer] maps its candidates and rule-diff verdicts into it. *)
 
+type repair_row = {
+  rep_id : string;      (** target id: scenario id or file label *)
+  rep_class : string;   (** fault class, or ["file"] *)
+  rep_status : string;
+      (** repaired / already-clean / unrepairable / skipped *)
+  rep_distance : int;   (** character edit distance of the chosen repair *)
+  rep_edits : int;      (** edits in the chosen repair *)
+  rep_stock : bool;     (** repaired set equals the stock configuration *)
+  rep_detail : string;  (** chosen-candidate description or skip reason *)
+}
+(** One row of the repairs panel (doc/repair.md); [conferr repair] maps
+    its pipeline results into it. *)
+
 val html :
   title:string -> rows:row list -> ?metrics_text:string ->
-  ?gaps:gap_row list -> ?infer:infer_row list -> unit -> string
+  ?gaps:gap_row list -> ?infer:infer_row list ->
+  ?repairs:repair_row list -> unit -> string
 (** The complete document.  [rows] in journal order (the frontier
     timeline reads order as campaign progress); [metrics_text] is a
     Prometheus exposition snapshot to mine for breaker/chaos panels and
     embed verbatim in a collapsible section; [gaps] adds the validator
     gaps panel (static verdict × dynamic outcome disagreements);
     [infer] adds the inferred-constraints panel (mined candidates vs
-    hand-written rules). *)
+    hand-written rules); [repairs] adds the repairs panel (synthesized
+    fixes per target). *)
 
 val write_file :
   title:string -> rows:row list -> ?metrics_text:string ->
-  ?gaps:gap_row list -> ?infer:infer_row list -> string -> unit
+  ?gaps:gap_row list -> ?infer:infer_row list ->
+  ?repairs:repair_row list -> string -> unit

@@ -1,0 +1,79 @@
+module Config_set = Conftree.Config_set
+module Rule_file = Conferr_lint.Rule_file
+
+(* Wrap the failure messages observed on the broken configuration as
+   evidence rows so Cooccur mines them exactly as it mines journals:
+   the stock/broken diff is the typed edit provenance, each message a
+   "startup failure" observation. *)
+let rows ~stock ~broken messages =
+  let edits = Conferr_infer.Edit.diff ~base:stock ~mutated:broken in
+  messages
+  |> List.filter (fun m -> String.trim m <> "")
+  |> List.mapi (fun i message ->
+         {
+           Conferr_infer.Evidence.scenario_id = Printf.sprintf "live-%d" i;
+           class_name = "repair";
+           description = "failure observed on the broken configuration";
+           outcome = "startup";
+           message;
+           template = Conferr_infer.Template.mine message;
+           edits;
+         })
+
+let of_names ~stock ~broken ~file ~why names =
+  let edits =
+    List.filter_map
+      (fun name -> Generate.restore_name ~stock ~broken ~file name)
+      names
+  in
+  match edits with
+  | [] -> None
+  | _ ->
+    Some
+      {
+        Generate.origin = "cluster";
+        description =
+          Printf.sprintf "restore co-occurrence cluster {%s} (%s)"
+            (String.concat ", " names) why;
+        edits;
+        cluster = names;
+      }
+
+let candidates ?(specs = []) ~stock ~broken ~messages () =
+  let mined =
+    Conferr_infer.Cooccur.candidates ~base:stock (rows ~stock ~broken messages)
+    |> List.filter_map (fun (c : Conferr_infer.Candidate.t) ->
+           match c.spec with
+           | Some (Rule_file.F_implies_present { names; _ }) ->
+             of_names ~stock ~broken ~file:c.file ~why:"mined from failure messages"
+               names
+           | _ -> None)
+  in
+  let from_specs =
+    specs
+    |> List.filter_map (fun (s : Rule_file.spec) ->
+           match s.body with
+           | Rule_file.F_implies_present { file; names; _ }
+             when List.length names >= 2 ->
+             let file =
+               match file with
+               | Some f -> f
+               | None -> (
+                 match Config_set.to_list stock with
+                 | (f, _) :: _ -> f
+                 | [] -> "")
+             in
+             of_names ~stock ~broken ~file
+               ~why:(Printf.sprintf "rule %s" s.id)
+               names
+           | _ -> None)
+  in
+  (* keep first appearance of each edit set: mined clusters ahead of
+     rule-file ones *)
+  List.fold_left
+    (fun acc (c : Generate.candidate) ->
+      if List.exists (fun (c' : Generate.candidate) -> c'.edits = c.edits) acc
+      then acc
+      else c :: acc)
+    [] (mined @ from_specs)
+  |> List.rev

@@ -1,0 +1,30 @@
+(** Multi-edit repair candidates from co-occurrence clusters
+    (doc/repair.md).
+
+    Ocasta's insight, applied in reverse: when a failure message
+    implicates several directives at once ("max_fsm_pages must be at
+    least 16 * max_fsm_relations"), repairing one of them in isolation
+    usually leaves the joint invariant broken — the candidate must edit
+    the whole cluster together.  The clusters themselves come from
+    {!Conferr_infer.Cooccur}: the observed failure messages are wrapped
+    as evidence rows (with the stock/broken tree diff as typed edit
+    provenance) and mined exactly as [conferr infer] mines journals, so
+    repair and inference agree on what "changes together".  Mined rule
+    files ([conferr repair --rules]) contribute their
+    [F_implies_present] name sets as additional clusters. *)
+
+val candidates :
+  ?specs:Conferr_lint.Rule_file.spec list ->
+  stock:Conftree.Config_set.t ->
+  broken:Conftree.Config_set.t ->
+  messages:string list ->
+  unit ->
+  Generate.candidate list
+(** Cluster candidates in first-appearance order: for every
+    {!Conferr_infer.Cooccur} cluster mined from [messages] (failure
+    messages observed on the broken configuration — lint findings and
+    the SUT's own rejection) and every [F_implies_present] spec in
+    [specs], one candidate restoring each clustered directive that
+    diverges from stock.  Candidates that produce no edit (the cluster
+    already matches stock) are dropped; [cluster] is the directive name
+    set, so the report can attribute the repair to its cluster. *)

@@ -1,0 +1,121 @@
+module Node = Conftree.Node
+module Path = Conftree.Path
+module Config_set = Conftree.Config_set
+
+type op =
+  | Rename of string
+  | Set_value of string option
+  | Delete
+  | Insert of { index : int; node : Node.t }
+  | Restore_file of Node.t
+
+type t = { file : string; path : Path.t; op : op }
+
+let op_label e =
+  match e.op with
+  | Rename _ -> "rename"
+  | Set_value _ -> "set-value"
+  | Delete -> "delete"
+  | Insert _ -> "insert"
+  | Restore_file _ -> "restore-file"
+
+let site e =
+  match e.op with Insert { index; _ } -> e.path @ [ index ] | _ -> e.path
+
+(* Rendered size of a subtree in characters — the common currency of
+   delete/insert costs. *)
+let rec chars (n : Node.t) =
+  String.length n.name
+  + (match n.value with None -> 0 | Some v -> 1 + String.length v)
+  + List.fold_left (fun acc c -> acc + 1 + chars c) 0 n.children
+
+let node_at broken e = Option.bind (Config_set.find broken e.file) (fun root -> Node.get root e.path)
+
+let render_node (n : Node.t) =
+  match n.value with
+  | Some v when n.name <> "" -> Printf.sprintf "'%s' = '%s'" n.name v
+  | Some v -> Printf.sprintf "'%s'" v
+  | None when n.name <> "" -> Printf.sprintf "'%s'" n.name
+  | None -> Printf.sprintf "<%s>" n.kind
+
+let describe ~broken e =
+  let old = node_at broken e in
+  let old_name = match old with Some n -> n.Node.name | None -> "?" in
+  match e.op with
+  | Rename to_ -> Printf.sprintf "rename '%s' -> '%s'" old_name to_
+  | Set_value (Some v) ->
+    let was =
+      match old with
+      | Some { Node.value = Some w; _ } -> Printf.sprintf " (was '%s')" w
+      | _ -> ""
+    in
+    Printf.sprintf "set '%s' = '%s'%s" old_name v was
+  | Set_value None -> Printf.sprintf "clear value of '%s'" old_name
+  | Delete ->
+    Printf.sprintf "delete %s"
+      (match old with Some n -> render_node n | None -> "?")
+  | Insert { node; index } ->
+    Printf.sprintf "insert %s at position %d" (render_node node) index
+  | Restore_file _ -> Printf.sprintf "restore '%s' to the stock file" e.file
+
+let cost ~broken e =
+  let dist = Conferr_util.Strutil.damerau_levenshtein in
+  match (e.op, node_at broken e) with
+  | Rename to_, Some n -> max 1 (dist n.Node.name to_)
+  | Rename to_, None -> String.length to_
+  | Set_value v, Some n ->
+    let old = Option.value ~default:"" n.Node.value in
+    max 1 (dist old (Option.value ~default:"" v))
+  | Set_value v, None -> String.length (Option.value ~default:"" v)
+  | Delete, Some n -> max 1 (chars n)
+  | Delete, None -> 1
+  | Insert { node; _ }, _ -> max 1 (chars node)
+  | Restore_file stock, _ ->
+    let broken_chars =
+      match Config_set.find broken e.file with Some r -> chars r | None -> 0
+    in
+    max 1 (broken_chars + chars stock)
+
+let total_cost ~broken edits =
+  List.fold_left (fun acc e -> acc + cost ~broken e) 0 edits
+
+(* Deletes sort before inserts at the same site so a delete+insert pair
+   at one position means "replace", never "delete what was inserted". *)
+let op_rank e = match e.op with Delete -> 0 | _ -> 1
+
+let apply set edits =
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        let c = Path.compare (site b) (site a) in
+        if c <> 0 then c else compare (op_rank a) (op_rank b))
+      edits
+  in
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | Error _ as err -> err
+      | Ok set -> (
+        match e.op with
+        | Restore_file stock when e.path = [] ->
+          (* also (re-)adds a file absent from the set, e.g. one that
+             never parsed *)
+          Ok (Config_set.add set e.file stock)
+        | _ ->
+        let edit root =
+          match e.op with
+          | Rename name -> Node.update root e.path (fun n -> { n with Node.name })
+          | Set_value value ->
+            Node.update root e.path (fun n -> { n with Node.value = value })
+          | Delete -> Node.delete root e.path
+          | Insert { index; node } ->
+            Node.insert_child root ~parent:e.path ~index node
+          | Restore_file stock -> if e.path = [] then Some stock else None
+        in
+        match Config_set.update set e.file edit with
+        | Some set -> Ok set
+        | None ->
+          Error
+            (Printf.sprintf "repair edit %s at %s:%s does not apply"
+               (op_label e) e.file (Path.to_string e.path))))
+    (Ok set) sorted
