@@ -1,0 +1,26 @@
+module Node = Conftree.Node
+module Config_set = Conftree.Config_set
+
+let dir name value = Node.directive ~value name
+let root children = Node.make ~kind:"file" ~children ()
+
+let () =
+  (* stock = [alpha; beta; gamma=1], broken = [beta; gamma=2] *)
+  let stock = Config_set.of_list [ ("f.conf", root [ dir "alpha" "1"; dir "beta" "2"; dir "gamma" "1" ]) ] in
+  let broken = Config_set.of_list [ ("f.conf", root [ dir "beta" "2"; dir "gamma" "2" ]) ] in
+  let edits = Conferr_repair.Generate.stock_diff ~stock ~broken in
+  List.iter
+    (fun (e : Conferr_repair.Redit.t) ->
+      Printf.printf "edit: %s at %s\n" (Conferr_repair.Redit.op_label e)
+        (Conftree.Path.to_string e.path))
+    edits;
+  match Conferr_repair.Redit.apply broken edits with
+  | Error msg -> Printf.printf "APPLY FAILED: %s\n" msg
+  | Ok set ->
+    (match Config_set.find set "f.conf" with
+     | None -> print_endline "no file"
+     | Some r ->
+       List.iter
+         (fun (n : Node.t) ->
+           Printf.printf "node %s = %s\n" n.name (Option.value ~default:"" n.value))
+         r.Node.children)
