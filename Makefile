@@ -1,5 +1,5 @@
-.PHONY: all build test smoke lint-smoke serve-smoke infer-smoke \
-  repair-smoke durability-smoke check bench clean
+.PHONY: all build test smoke lint-smoke analyze-smoke serve-smoke \
+  infer-smoke repair-smoke durability-smoke check bench clean
 
 all: build
 
@@ -81,6 +81,65 @@ lint-smoke: build
 	  --metrics /tmp/conferr-gaps.prom > /dev/null; test $$? -eq 1
 	grep -q "Validator gaps" /tmp/conferr-gaps.html
 	grep -q conferr_gap_total /tmp/conferr-gaps.prom
+
+# Corpus-analysis smoke (doc/lint.md, dataflow section):
+#   1. every SUT's stock configuration set must analyze clean (no
+#      relation violations, no taint, no dangling references);
+#   2. the paper's pg cross-parameter fault (max_fsm_pages and
+#      max_fsm_relations both individually in range but mutually
+#      inconsistent) must be caught *statically* as a relation
+#      violation naming both ConfPaths, byte-identically for --jobs 1
+#      and --jobs 4;
+#   3. --format sarif must emit schema-tagged SARIF 2.1.0 carrying the
+#      relation result and its related location;
+#   4. --html/--metrics must render the corpus-analysis panel and the
+#      conferr_dataflow_findings_total counter;
+#   5. gaps --deep over a fresh pg campaign must reclassify the silent
+#      acceptances that gap-claiming rules predicted: the base scan
+#      exits 1 with silent-acceptance rows, the deep scan drives them
+#      to zero.
+analyze-smoke: build
+	rm -rf /tmp/conferr-analyze
+	mkdir -p /tmp/conferr-analyze
+	for sut in postgres mysql apache bind djbdns appserver; do \
+	  dune exec bin/main.exe -- analyze --sut $$sut --fail-on warn || exit 1; \
+	done
+	sed -e 's/max_fsm_pages = 153600/max_fsm_pages = 1500/' \
+	  -e 's/max_fsm_relations = 1000/max_fsm_relations = 20000/' \
+	  examples/configs/postgresql.conf \
+	  > /tmp/conferr-analyze/postgresql.conf
+	dune exec bin/main.exe -- analyze --sut postgres \
+	  /tmp/conferr-analyze/postgresql.conf \
+	  > /tmp/conferr-analyze/j1.txt; test $$? -eq 1
+	grep -q "PG-REL-FSM" /tmp/conferr-analyze/j1.txt
+	grep -q "/max_fsm_pages" /tmp/conferr-analyze/j1.txt
+	grep -q "/max_fsm_relations" /tmp/conferr-analyze/j1.txt
+	dune exec bin/main.exe -- analyze --sut postgres --jobs 4 \
+	  /tmp/conferr-analyze/postgresql.conf \
+	  > /tmp/conferr-analyze/j4.txt; test $$? -eq 1
+	cmp /tmp/conferr-analyze/j1.txt /tmp/conferr-analyze/j4.txt
+	dune exec bin/main.exe -- analyze --sut postgres --format sarif \
+	  /tmp/conferr-analyze/postgresql.conf \
+	  > /tmp/conferr-analyze/out.sarif; test $$? -eq 1
+	grep -q '"version":"2.1.0"' /tmp/conferr-analyze/out.sarif
+	grep -q 'sarif-2.1.0' /tmp/conferr-analyze/out.sarif
+	grep -q 'relatedLocations' /tmp/conferr-analyze/out.sarif
+	dune exec bin/main.exe -- analyze --sut postgres \
+	  --html /tmp/conferr-analyze/report.html \
+	  --metrics /tmp/conferr-analyze/metrics.prom \
+	  /tmp/conferr-analyze/postgresql.conf > /dev/null; test $$? -eq 1
+	grep -q "Corpus analysis" /tmp/conferr-analyze/report.html
+	grep -q conferr_dataflow_findings_total /tmp/conferr-analyze/metrics.prom
+	dune exec bin/main.exe -- profile --sut postgres --jobs 2 \
+	  --journal /tmp/conferr-analyze/campaign.jsonl > /dev/null
+	dune exec bin/main.exe -- gaps --sut postgres \
+	  --journal /tmp/conferr-analyze/campaign.jsonl \
+	  > /tmp/conferr-analyze/gaps-base.txt; test $$? -eq 1
+	dune exec bin/main.exe -- gaps --sut postgres --deep \
+	  --journal /tmp/conferr-analyze/campaign.jsonl \
+	  > /tmp/conferr-analyze/gaps-deep.txt
+	! grep -Eq "silent-acceptance +0$$" /tmp/conferr-analyze/gaps-base.txt
+	grep -Eq "silent-acceptance +0$$" /tmp/conferr-analyze/gaps-deep.txt
 
 # Service-mode smoke (doc/serve.md): a real daemon on an ephemeral port.
 #   1. submit a mini-postgres campaign through the client and stream its
@@ -272,8 +331,8 @@ durability-smoke: build
 	kill -TERM $$DPID; \
 	wait $$DPID
 
-check: build test smoke lint-smoke serve-smoke infer-smoke repair-smoke \
-  durability-smoke
+check: build test smoke lint-smoke analyze-smoke serve-smoke infer-smoke \
+  repair-smoke durability-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -529,6 +529,86 @@ let print_lint_throughput () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Dataflow throughput: the deepened (corpus-level) rule set            *)
+(* ------------------------------------------------------------------ *)
+
+(* conferr analyze and the --deep variants of lint/gaps run the
+   deepened rule set — relation checks, reference graph, taint — over
+   whole configuration sets; gaps --deep puts it on the O(scenarios)
+   replay path.  Same protocol as the lint section (best of 3 loops of
+   100 runs) so the marginal cost of the deep rules is a measured
+   number, not a guess.  doc/lint.md points here. *)
+let print_dataflow_throughput () =
+  print_endline "=== Dataflow throughput (deepened rule sets) ===\n";
+  let rows = ref [] in
+  List.iter
+    (fun (name, sut) ->
+      let base =
+        match Conferr.Engine.parse_default_config sut with
+        | Ok base -> base
+        | Error msg -> failwith msg
+      in
+      let rules =
+        match Suts.Lint_rules.for_sut name with
+        | Some rules -> rules
+        | None -> failwith ("no rule set for " ^ name)
+      in
+      let deep = Suts.Dataflow_rules.deepen name rules in
+      let nearest = Conferr.Suggest.nearest in
+      let runs = 100 in
+      let loop () =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to runs do
+          ignore (Conferr_lint.Checker.run ~nearest ~rules:deep base);
+          ignore
+            (Conferr_lint.Dataflow.env_of_set
+               ~specs:(Suts.Dataflow_rules.specs name)
+               ~canon:(Suts.Dataflow_rules.canon name)
+               base)
+        done;
+        Unix.gettimeofday () -. t0
+      in
+      ignore (loop ());
+      let best = ref infinity in
+      for _ = 1 to 3 do
+        best := Float.min !best (loop ())
+      done;
+      let per_run_us = !best /. float_of_int runs *. 1e6 in
+      Printf.printf
+        "  %-10s %2d rules (%d deep)  %8.1f us / analyze  %8.0f analyses/s\n"
+        name (List.length deep)
+        (List.length (Suts.Dataflow_rules.deep_rules name))
+        per_run_us (1e6 /. per_run_us);
+      rows :=
+        Json.Obj
+          [
+            ("sut", Json.Str name);
+            ("rules", Json.Num (float_of_int (List.length deep)));
+            ( "deep_rules",
+              Json.Num
+                (float_of_int (List.length (Suts.Dataflow_rules.deep_rules name)))
+            );
+            ("us_per_analyze", Json.Num per_run_us);
+            ("analyses_per_sec", Json.Num (1e6 /. per_run_us));
+          ]
+        :: !rows)
+    [
+      ("postgres", Suts.Mini_pg.sut);
+      ("mysql", Suts.Mini_mysql.sut);
+      ("apache", Suts.Mini_apache.sut);
+      ("bind", Suts.Mini_bind.sut);
+      ("djbdns", Suts.Mini_djbdns.sut);
+      ("appserver", Suts.Mini_appserver.sut);
+    ];
+  write_artifact "BENCH_dataflow.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "dataflow-throughput");
+         ("suts", Json.Arr (List.rev !rows));
+       ]);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timings                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1072,6 +1152,7 @@ let sections =
     ("tracer", print_tracer_overhead);
     ("adaptive", print_adaptive_discovery);
     ("lint", print_lint_throughput);
+    ("dataflow", print_dataflow_throughput);
     ("serve", print_serve_throughput);
     ("infer", print_infer_throughput);
     ("repair", print_repair_throughput);

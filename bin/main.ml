@@ -1015,6 +1015,17 @@ let format_arg =
     & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
     & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format, $(b,text) or $(b,json).")
 
+(* lint and analyze additionally speak SARIF 2.1.0 (doc/lint.md); the
+   other subcommands keep the plain text/json pair. *)
+let lint_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text), $(b,json) or $(b,sarif) (2.1.0).")
+
+let deep_arg doc = Arg.(value & flag & info [ "deep" ] ~doc)
+
 let required_sut = function
   | Some sut -> sut
   | None ->
@@ -1060,13 +1071,14 @@ let lint_parse sut overrides =
             address = "/";
             message = Formats.Parse_error.to_string e;
             suggestion = None;
+            related = [];
           }
           :: syntax ))
     (Conftree.Config_set.empty, [])
     sut.Suts.Sut.config_files
 
 let lint_cmd =
-  let run sut files format fail_on rules_file =
+  let run sut files format fail_on rules_file deep =
     let sut = required_sut sut in
     let rules =
       match rules_file with
@@ -1077,6 +1089,10 @@ let lint_cmd =
         | Error msg ->
           Printf.eprintf "conferr: %s: %s\n" path msg;
           exit 2)
+    in
+    let rules =
+      if deep then Suts.Dataflow_rules.deepen sut.Suts.Sut.sut_name rules
+      else rules
     in
     let overrides =
       List.map
@@ -1106,7 +1122,8 @@ let lint_cmd =
     | `Text -> print_string (Conferr_lint.Checker.render_text findings)
     | `Json ->
       print_endline
-        (Conferr_obsv.Json.to_string (Conferr_lint.Checker.to_json findings)));
+        (Conferr_obsv.Json.to_string (Conferr_lint.Checker.to_json findings))
+    | `Sarif -> print_string (Conferr_lint.Sarif.render findings));
     if Conferr_lint.Checker.exceeds ~threshold:fail_on findings then exit 1
   in
   let sut =
@@ -1147,6 +1164,12 @@ let lint_cmd =
              $(b,conferr infer --emit-rules) writes, doc/infer.md) instead \
              of the SUT's built-in rule set.")
   in
+  let deep =
+    deep_arg
+      "Also apply the SUT's corpus-level (dataflow) rules: relation checks, \
+       cross-file shadowing, reference-graph and silent-default taint \
+       (doc/lint.md)."
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -1154,10 +1177,204 @@ let lint_cmd =
           rule set (doc/lint.md), or against a mined rule file (--rules).  \
           Exit 0 when clean, 1 on findings at or above --fail-on, 2 on usage \
           errors.")
-    Term.(const run $ sut $ files $ format_arg $ fail_on $ rules_file)
+    Term.(const run $ sut $ files $ lint_format_arg $ fail_on $ rules_file $ deep)
+
+(* conferr analyze: the corpus-level pass on its own — the deepened rule
+   set over the whole configuration set, plus the abstract-environment
+   and reference-graph summaries.  Byte-identical for any --jobs: the
+   pool shards per rule and the merged findings are re-sorted with the
+   same comparator the sequential path uses. *)
+let analyze_cmd =
+  let run sut files format fail_on jobs rules_file html metrics =
+    let sut = required_sut sut in
+    let sut_name = sut.Suts.Sut.sut_name in
+    let rules =
+      match rules_file with
+      | None -> rules_for sut
+      | Some path ->
+        (match Conferr_lint.Rule_file.load (read_file ~missing_exit:2 path) with
+        | Ok specs -> List.map Conferr_lint.Rule_file.to_rule specs
+        | Error msg ->
+          Printf.eprintf "conferr: %s: %s\n" path msg;
+          exit 2)
+    in
+    let rules = Suts.Dataflow_rules.deepen sut_name rules in
+    let overrides =
+      List.map
+        (fun path ->
+          let name = Filename.basename path in
+          if not (List.mem_assoc name sut.Suts.Sut.config_files) then begin
+            Printf.eprintf
+              "conferr: %s: %s is not a configuration file of %s (expected: %s)\n"
+              path name sut_name
+              (String.concat ", " (List.map fst sut.Suts.Sut.config_files));
+            exit 2
+          end;
+          (name, read_file ~missing_exit:2 path))
+        files
+    in
+    let set, syntax = lint_parse sut overrides in
+    let jobs = checked_jobs ~scenario_count:(List.length rules) jobs in
+    let findings =
+      if jobs <= 1 then
+        Conferr_lint.Checker.run ~nearest:Conferr.Suggest.nearest ~rules set
+      else
+        Conferr_pool.map ~jobs
+          (fun _ rule ->
+            Conferr_lint.Checker.run ~nearest:Conferr.Suggest.nearest
+              ~rules:[ rule ] set)
+          (Array.of_list rules)
+        |> Array.to_list |> List.concat
+    in
+    let findings =
+      List.sort_uniq
+        (Conferr_lint.Finding.compare
+           ~file_order:(List.map fst sut.Suts.Sut.config_files))
+        (syntax @ findings)
+    in
+    let env =
+      Conferr_lint.Dataflow.env_of_set
+        ~specs:(Suts.Dataflow_rules.specs sut_name)
+        ~canon:(Suts.Dataflow_rules.canon sut_name)
+        set
+    in
+    let graph =
+      Conferr_lint.Refgraph.build set (Suts.Dataflow_rules.edges sut_name set)
+    in
+    (match format with
+    | `Text ->
+      print_string (Conferr_lint.Checker.render_text findings);
+      Printf.printf "%s\n%s\n"
+        (Conferr_lint.Dataflow.summarize env)
+        (Conferr_lint.Refgraph.summarize graph)
+    | `Json ->
+      let open Conferr_obsv.Json in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("sut", Str sut_name);
+                ("report", Conferr_lint.Checker.to_json findings);
+                ("dataflow", Str (Conferr_lint.Dataflow.summarize env));
+                ("graph", Str (Conferr_lint.Refgraph.summarize graph));
+              ]))
+    | `Sarif -> print_string (Conferr_lint.Sarif.render findings));
+    Option.iter
+      (fun path ->
+        let module M = Conferr_obsv.Metrics in
+        let registry = M.create () in
+        M.declare ~help:"Corpus-level (dataflow) findings by rule" registry
+          M.Counter "conferr_dataflow_findings_total";
+        let ids = Suts.Dataflow_rules.dataflow_ids sut_name in
+        List.iter
+          (fun (f : Conferr_lint.Finding.t) ->
+            if List.mem f.rule_id ids then
+              M.inc
+                ~labels:[ ("rule", f.rule_id); ("sut", sut_name) ]
+                registry "conferr_dataflow_findings_total")
+          findings;
+        try M.write_file registry path
+        with Sys_error msg ->
+          Printf.eprintf "conferr: %s\n" msg;
+          exit 2)
+      metrics;
+    Option.iter
+      (fun path ->
+        let analysis =
+          List.map
+            (fun (f : Conferr_lint.Finding.t) ->
+              {
+                Conferr_obsv.Report.an_rule = f.rule_id;
+                an_severity = Conferr_lint.Finding.severity_label f.severity;
+                an_file = f.file;
+                an_address = f.address;
+                an_message = f.message;
+                an_related =
+                  String.concat ", "
+                    (List.map (fun (fl, ad) -> fl ^ ":" ^ ad) f.related);
+              })
+            findings
+        in
+        let title = "conferr analyze \xe2\x80\x94 " ^ sut_name in
+        try Conferr_obsv.Report.write_file ~title ~rows:[] ~analysis path
+        with Sys_error msg ->
+          Printf.eprintf "conferr: %s\n" msg;
+          exit 2)
+      html;
+    if Conferr_lint.Checker.exceeds ~threshold:fail_on findings then exit 1
+  in
+  let sut =
+    Arg.(
+      value
+      & opt (some sut_conv) None
+      & info [ "sut" ] ~docv:"SUT"
+          ~doc:"System under test whose deep rule profile to apply.")
+  in
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Configuration files to analyze, matched to the SUT's \
+             configuration files by base name (like $(b,conferr lint)); with \
+             no $(docv) the SUT's stock configuration set is analyzed.")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("warn", Conferr_lint.Finding.Warning);
+               ("error", Conferr_lint.Finding.Error);
+             ])
+          Conferr_lint.Finding.Error
+      & info [ "fail-on" ] ~docv:"SEVERITY"
+          ~doc:"Exit 1 when a finding at or above $(docv) (warn or error) exists.")
+  in
+  let rules_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"PATH"
+          ~doc:
+            "Analyze against the rule file at $(docv) (which may carry \
+             $(b,relation) entries, doc/lint.md) instead of the SUT's \
+             built-in base rules; the SUT's deep profile is added either way.")
+  in
+  let html =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"PATH"
+          ~doc:
+            "Also write the HTML dashboard with the corpus-analysis panel to \
+             $(docv).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Write a Prometheus snapshot of conferr_dataflow_findings_total \
+             to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Corpus-level static analysis of a whole configuration set \
+          (doc/lint.md): abstract values per directive, linear relation \
+          checks across parameters and files, cross-file reference graph \
+          (dangling targets, cycles, shadowing) and silent-default taint.  \
+          Exit 0 when clean, 1 on findings at or above --fail-on, 2 on usage \
+          errors.")
+    Term.(
+      const run $ sut $ files $ lint_format_arg $ fail_on $ jobs_arg
+      $ rules_file $ html $ metrics)
 
 let gaps_cmd =
-  let run sut journal seed format jobs html metrics =
+  let run sut journal seed format jobs html metrics deep =
     let sut = required_sut sut in
     let rules = rules_for sut in
     let jpath =
@@ -1176,7 +1393,7 @@ let gaps_cmd =
       let report =
         Conferr_lint_replay.scan
           ~jobs:(checked_jobs ~scenario_count:(List.length entries) jobs)
-          ~nearest:Conferr.Suggest.nearest ~sut ~rules
+          ~nearest:Conferr.Suggest.nearest ~deep ~sut ~rules
           ~scenarios:(regenerate_scenarios ~seed sut base)
           ~entries ~base ()
       in
@@ -1185,10 +1402,14 @@ let gaps_cmd =
       | `Json ->
         print_endline
           (Conferr_obsv.Json.to_string (Conferr_lint_replay.to_json report)));
+      let dataflow_ids =
+        if deep then Suts.Dataflow_rules.dataflow_ids sut.Suts.Sut.sut_name
+        else []
+      in
       Option.iter
         (fun path ->
           let registry = Conferr_obsv.Metrics.create () in
-          Conferr_lint_replay.record_metrics registry report;
+          Conferr_lint_replay.record_metrics ~dataflow_ids registry report;
           try Conferr_obsv.Metrics.write_file registry path
           with Sys_error msg ->
             Printf.eprintf "conferr: %s\n" msg;
@@ -1200,10 +1421,37 @@ let gaps_cmd =
           let title =
             "conferr validator gaps \xe2\x80\x94 " ^ Filename.basename jpath
           in
+          let analysis =
+            if not deep then None
+            else
+              Some
+                (List.concat_map
+                   (fun (r : Conferr_lint_replay.row) ->
+                     List.filter_map
+                       (fun (f : Conferr_lint.Finding.t) ->
+                         if List.mem f.rule_id dataflow_ids then
+                           Some
+                             {
+                               Conferr_obsv.Report.an_rule = f.rule_id;
+                               an_severity =
+                                 Conferr_lint.Finding.severity_label f.severity;
+                               an_file = f.file;
+                               an_address = f.address;
+                               an_message = f.message;
+                               an_related =
+                                 String.concat ", "
+                                   (List.map
+                                      (fun (fl, ad) -> fl ^ ":" ^ ad)
+                                      f.related);
+                             }
+                         else None)
+                       r.findings)
+                   report.Conferr_lint_replay.rows)
+          in
           try
             Conferr_obsv.Report.write_file ~title ~rows
               ~gaps:(Conferr_lint_replay.dashboard_rows report)
-              path
+              ?analysis path
           with Sys_error msg ->
             Printf.eprintf "conferr: %s\n" msg;
             exit 2)
@@ -1232,7 +1480,15 @@ let gaps_cmd =
       & info [ "metrics" ] ~docv:"PATH"
           ~doc:
             "Write a Prometheus snapshot of the gap counters \
-             (conferr_gap_total, conferr_lint_findings_total) to $(docv).")
+             (conferr_gap_total, conferr_lint_findings_total, and with \
+             --deep conferr_dataflow_findings_total) to $(docv).")
+  in
+  let deep =
+    deep_arg
+      "Replay with the SUT's corpus-level (dataflow) rules added: relation \
+       violations carry both ConfPaths, and silent acceptances predicted by \
+       a gap-claiming deep rule are reclassified as agreements \
+       (doc/lint.md)."
   in
   Cmd.v
     (Cmd.info "gaps"
@@ -1245,7 +1501,7 @@ let gaps_cmd =
           gaps were found, 2 on usage errors.")
     Term.(
       const run $ sut $ journal_arg $ seed_arg $ format_arg $ jobs_arg $ html
-      $ metrics)
+      $ metrics $ deep)
 
 let infer_cmd =
   let run sut journals seed format jobs min_support min_confidence emit_rules
@@ -1407,7 +1663,8 @@ let infer_cmd =
       $ min_support $ min_confidence $ emit_rules $ html $ metrics)
 
 let repair_cmd =
-  let run sut files journal ids seed format jobs rules_file apply html metrics =
+  let run sut files journal ids seed format jobs rules_file apply html metrics
+      deep =
     let sut = required_sut sut in
     let rules, specs =
       match rules_file with
@@ -1418,6 +1675,12 @@ let repair_cmd =
         | Error msg ->
           Printf.eprintf "conferr: %s: %s\n" path msg;
           exit 2)
+    in
+    (* Opt-in: deepened rules make violated relations visible to the
+       generator, which turns them into multi-edit candidates. *)
+    let rules =
+      if deep then Suts.Dataflow_rules.deepen sut.Suts.Sut.sut_name rules
+      else rules
     in
     (match (files, journal) with
     | [], None ->
@@ -1602,6 +1865,12 @@ let repair_cmd =
              (conferr_repair_targets_total, conferr_repair_edits_total, \
              conferr_repair_candidates_total) to $(docv).")
   in
+  let deep =
+    deep_arg
+      "Also apply the SUT's corpus-level (dataflow) rules; a violated \
+       relation seeds a multi-edit candidate restoring every parameter the \
+       relation mentions (doc/repair.md)."
+  in
   Cmd.v
     (Cmd.info "repair"
        ~doc:
@@ -1614,7 +1883,7 @@ let repair_cmd =
           clean, 1 when some target is unrepairable, 2 on usage errors.")
     Term.(
       const run $ sut $ files $ journal_arg $ ids $ seed_arg $ format_arg
-      $ jobs_arg $ rules_file $ apply $ html $ metrics)
+      $ jobs_arg $ rules_file $ apply $ html $ metrics $ deep)
 
 (* ------------------------------------------------------------------ *)
 (* Service mode (doc/serve.md).  serve runs the daemon; the client
@@ -1981,7 +2250,8 @@ let main =
        ~doc:"Assess resilience to human configuration errors (DSN'08 reproduction).")
     [
       list_cmd; profile_cmd; explore_cmd; chaos_cmd; fsck_cmd; benchmark_cmd;
-      report_cmd; suggest_cmd; lint_cmd; gaps_cmd; infer_cmd; repair_cmd;
+      report_cmd; suggest_cmd; lint_cmd; analyze_cmd; gaps_cmd; infer_cmd;
+      repair_cmd;
       table1_cmd;
       table2_cmd;
       table3_cmd; figure3_cmd; all_cmd; variations_cmd; semantic_cmd;

@@ -25,6 +25,45 @@ let update t name f =
 
 let map f t = List.map (fun (n, v) -> (n, f n v)) t
 
+let fold_nodes f t acc =
+  let rec go file path node acc =
+    let acc = f file path node acc in
+    let acc, _ =
+      List.fold_left
+        (fun (acc, i) child -> (go file (path @ [ i ]) child acc, i + 1))
+        (acc, 0) node.Node.children
+    in
+    acc
+  in
+  List.fold_left (fun acc (file, root) -> go file [] root acc) acc t
+
+(* Sites of [kind] nodes grouped by canonical name, document order
+   within the set's file order.  [top_level] restricts to direct
+   children of each file root — the scope where cross-file last-one-wins
+   shadowing actually happens. *)
+let cross_file_duplicates ?(top_level = true) ~kind ~canon t =
+  let sites =
+    fold_nodes
+      (fun file path (n : Node.t) acc ->
+        if n.kind = kind && (not top_level || List.length path = 1) then
+          (canon n.name, (file, path)) :: acc
+        else acc)
+      t []
+    |> List.rev
+  in
+  let names =
+    List.fold_left
+      (fun acc (name, _) -> if List.mem name acc then acc else name :: acc)
+      [] sites
+    |> List.rev
+  in
+  List.filter_map
+    (fun name ->
+      let occs = List.filter (fun (n, _) -> n = name) sites in
+      let files = List.sort_uniq compare (List.map (fun (_, (f, _)) -> f) occs) in
+      if List.length files >= 2 then Some (name, List.map snd occs) else None)
+    names
+
 let equal a b =
   List.length a = List.length b
   && List.for_all2 (fun (n1, v1) (n2, v2) -> n1 = n2 && Node.equal v1 v2) a b

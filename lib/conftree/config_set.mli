@@ -27,6 +27,20 @@ val update : t -> string -> (Node.t -> Node.t option) -> t option
 
 val map : (string -> Node.t -> Node.t) -> t -> t
 
+val fold_nodes : (string -> Path.t -> Node.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every node of every file: file order of the set, then
+    document (pre-)order within each tree.  The substrate the
+    cross-file analyses ([lib/lint]'s reference graph) walk. *)
+
+val cross_file_duplicates :
+  ?top_level:bool -> kind:string -> canon:(string -> string) -> t ->
+  (string * (string * Path.t) list) list
+(** Canonical names of [kind] nodes that appear in two or more distinct
+    files of the set, with every site in document order — the cross-file
+    shadowing a per-file scan cannot see.  [top_level] (default [true])
+    restricts to direct children of each file root, where last-one-wins
+    shadowing across files actually applies. *)
+
 val equal : t -> t -> bool
 
 val cardinal : t -> int

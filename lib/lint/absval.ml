@@ -1,0 +1,100 @@
+type shape = Sh_any | Sh_word | Sh_path | Sh_empty
+
+type t =
+  | Bot
+  | Ival of int * int
+  | Eset of string list
+  | Bval of bool option
+  | Sval of shape
+  | Top
+
+let bot = Bot
+let top = Top
+
+let ival lo hi = if lo > hi then Bot else Ival (lo, hi)
+let point n = Ival (n, n)
+
+let eset members =
+  match List.sort_uniq compare (List.map String.lowercase_ascii members) with
+  | [] -> Bot
+  | ms -> Eset ms
+
+let bval b = Bval (Some b)
+let any_bool = Bval None
+
+let shape_label = function
+  | Sh_any -> "string"
+  | Sh_word -> "word"
+  | Sh_path -> "path"
+  | Sh_empty -> "empty"
+
+let classify_shape s =
+  if s = "" then Sh_empty
+  else if String.contains s '/' then Sh_path
+  else if String.exists (fun c -> c = ' ' || c = '\t') s then Sh_any
+  else Sh_word
+
+let sval s = Sval (classify_shape s)
+
+let shape_join a b =
+  if a = b then a
+  else
+    match (a, b) with
+    | Sh_empty, x | x, Sh_empty -> if x = Sh_empty then Sh_empty else Sh_any
+    | _ -> Sh_any
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | Ival (l1, h1), Ival (l2, h2) -> Ival (min l1 l2, max h1 h2)
+  | Eset m1, Eset m2 -> Eset (List.sort_uniq compare (m1 @ m2))
+  | Bval b1, Bval b2 -> if b1 = b2 then Bval b1 else Bval None
+  | Sval s1, Sval s2 -> Sval (shape_join s1 s2)
+  | _ -> Top
+
+let leq a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Top -> true
+  | Top, _ -> false
+  | _, Bot -> false
+  | Ival (l1, h1), Ival (l2, h2) -> l2 <= l1 && h1 <= h2
+  | Eset m1, Eset m2 -> List.for_all (fun m -> List.mem m m2) m1
+  | Bval _, Bval None -> true
+  | Bval b1, Bval b2 -> b1 = b2
+  | Sval s1, Sval s2 -> s1 = s2 || s2 = Sh_any
+  | _ -> false
+
+let contains_int v n =
+  match v with
+  | Top -> true
+  | Ival (lo, hi) -> lo <= n && n <= hi
+  | _ -> false
+
+let contains_string v s =
+  match v with
+  | Top -> true
+  | Bot -> false
+  | Ival _ -> ( match int_of_string_opt (String.trim s) with
+    | Some n -> contains_int v n
+    | None -> false)
+  | Eset ms -> List.mem (String.lowercase_ascii s) ms
+  | Bval None ->
+    List.mem
+      (String.lowercase_ascii s)
+      [ "on"; "off"; "true"; "false"; "yes"; "no"; "1"; "0" ]
+  | Bval (Some true) -> List.mem (String.lowercase_ascii s) [ "on"; "true"; "yes"; "1" ]
+  | Bval (Some false) ->
+    List.mem (String.lowercase_ascii s) [ "off"; "false"; "no"; "0" ]
+  | Sval sh -> shape_join sh (classify_shape s) = sh
+
+let to_string = function
+  | Bot -> "bot"
+  | Top -> "top"
+  | Ival (lo, hi) -> if lo = hi then string_of_int lo else Printf.sprintf "[%d, %d]" lo hi
+  | Eset ms -> "{" ^ String.concat ", " ms ^ "}"
+  | Bval None -> "bool"
+  | Bval (Some true) -> "true"
+  | Bval (Some false) -> "false"
+  | Sval sh -> shape_label sh

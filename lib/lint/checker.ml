@@ -113,6 +113,7 @@ let eval_rule ?nearest set sites (rule : Rule.t) =
             Printf.sprintf "file '%s' is missing from the configuration set"
               file;
           suggestion = None;
+          related = [];
         }
     | Some (_, root, nodes) ->
       let present =
@@ -257,6 +258,110 @@ let eval_rule ?nearest set sites (rule : Rule.t) =
                        (Printf.sprintf "dangling %s reference: '%s'" what v)))
           nodes)
       sites
+  | Relation { target; canon; op; lhs; rhs; describe; per_file; harvest } ->
+    (* Ordered bindings within the evaluation scope: directives in
+       document order (files in set order), then harvested
+       pseudo-directives per file; last occurrence of a name wins, the
+       same resolution the SUT applies. *)
+    let scope_bindings (file, root, nodes) =
+      if match target.Rule.in_file with None -> true | Some f -> f = file
+      then begin
+        let directives =
+          List.filter_map
+            (fun s ->
+              if
+                s.s_node.Node.kind = Node.kind_directive
+                && target_ok target ~file ~section:s.s_section
+              then
+                Some
+                  ( canon s.s_node.Node.name,
+                    (file, root, s.s_path, s.s_node.Node.value) )
+              else None)
+            nodes
+        in
+        let harvested =
+          match harvest with
+          | None -> []
+          | Some h ->
+            List.map
+              (fun (name, path, v) -> (canon name, (file, root, path, Some v)))
+              (h file root)
+        in
+        directives @ harvested
+      end
+      else []
+    in
+    let eval_scope bindings =
+      if bindings <> [] then begin
+        let lookup name =
+          List.fold_left
+            (fun acc (n, b) -> if n = name then Some b else acc)
+            None bindings
+        in
+        (* The value that flows into the relation is the one the SUT
+           would run with: the parsed written value, or the built-in
+           default when the directive is absent, unreadable, or masked
+           (silently rejected and defaulted). *)
+        let resolve (t : Rule.term) =
+          match lookup (canon t.t_name) with
+          | None -> (t, None, t.t_default, true)
+          | Some (bfile, broot, bpath, vopt) -> (
+            let site = Some (bfile, broot, bpath) in
+            match vopt with
+            | None -> (t, site, t.t_default, true)
+            | Some v ->
+              if t.t_masked v then (t, site, t.t_default, true)
+              else (
+                match t.t_read v with
+                | Some n -> (t, site, n, false)
+                | None -> (t, site, t.t_default, true)))
+        in
+        let eval_linexp (e : Rule.linexp) =
+          let rs = List.map resolve e.Rule.l_terms in
+          let v =
+            List.fold_left
+              (fun acc ((t : Rule.term), _, v, _) -> acc + (t.Rule.t_coeff * v))
+              e.Rule.l_const rs
+          in
+          (v, rs)
+        in
+        let lv, lres = eval_linexp lhs in
+        let rv, rres = eval_linexp rhs in
+        let resolved = lres @ rres in
+        let any_bound = List.exists (fun (_, s, _, _) -> s <> None) resolved in
+        if any_bound && not (Rule.rel_holds op lv rv) then begin
+          let bound =
+            List.filter_map
+              (fun (t, s, v, d) ->
+                match s with Some si -> Some (t, si, v, d) | None -> None)
+              resolved
+          in
+          match bound with
+          | [] -> ()
+          | (_, (afile, aroot, apath), _, _) :: rest ->
+            let related =
+              List.map
+                (fun (_, (f, r, p), _, _) -> (f, Finding.address_of_path r p))
+                rest
+            in
+            let detail =
+              String.concat ", "
+                (List.map
+                   (fun ((t : Rule.term), _, v, defaulted) ->
+                     Printf.sprintf "%s = %d%s" t.Rule.t_name v
+                       (if defaulted then " (default)" else ""))
+                   resolved)
+            in
+            emit
+              (Finding.make ~related ~rule_id:rule.Rule.id
+                 ~severity:rule.Rule.severity ~file:afile ~root:aroot
+                 ~path:apath
+                 (Printf.sprintf "relation violated: %s (%s)" describe detail))
+        end
+      end
+    in
+    if per_file then List.iter (fun fr -> eval_scope (scope_bindings fr)) sites
+    else eval_scope (List.concat_map scope_bindings sites)
   | Check_set f ->
     List.iter
       (fun (raw : Rule.raw) ->
@@ -275,6 +380,7 @@ let eval_rule ?nearest set sites (rule : Rule.t) =
               address = "/";
               message = raw.raw_message;
               suggestion = raw.raw_suggestion;
+              related = [];
             })
       (f set));
   List.rev !out
@@ -284,6 +390,18 @@ let run ?nearest ~rules set =
   let findings = List.concat_map (eval_rule ?nearest set sites) rules in
   let file_order = Config_set.names set in
   List.sort_uniq (Finding.compare ~file_order) findings
+
+(* A rule set resolved once and reused across many configuration sets
+   (the replay loop evaluates the same rules against every journal
+   entry; [prepare] hoists the rule-list construction out of it). *)
+type prepared = { p_nearest : nearest option; p_rules : Rule.t list }
+
+let prepare ?nearest rules = { p_nearest = nearest; p_rules = rules }
+
+let run_prepared p set =
+  match p.p_nearest with
+  | None -> run ~rules:p.p_rules set
+  | Some nearest -> run ~nearest ~rules:p.p_rules set
 
 let exceeds ~threshold findings =
   List.exists (fun f -> Finding.at_least ~threshold f.Finding.severity) findings

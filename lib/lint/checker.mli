@@ -19,6 +19,17 @@ val run :
     Suggestions are attached to {!Rule.Unknown} findings when the
     nearest vocabulary name is within edit distance 3. *)
 
+type prepared
+(** A rule set resolved once for evaluation against many configuration
+    sets — the replay loop's per-entry lint verdicts reuse one
+    [prepared] value instead of rebuilding the rule list per entry. *)
+
+val prepare : ?nearest:nearest -> Rule.t list -> prepared
+
+val run_prepared : prepared -> Conftree.Config_set.t -> Finding.t list
+(** Identical findings to {!run} with the same rules and nearest oracle
+    (asserted by [test_dataflow]). *)
+
 val exceeds : threshold:Finding.severity -> Finding.t list -> bool
 (** At least one finding at or above the threshold. *)
 

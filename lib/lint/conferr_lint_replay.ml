@@ -13,6 +13,7 @@ module Journal = Conferr_exec.Journal
 module Finding = Conferr_lint.Finding
 module Gap = Conferr_lint.Gap
 module Checker = Conferr_lint.Checker
+module Rule = Conferr_lint.Rule
 
 type row = {
   entry : Journal.entry;
@@ -28,7 +29,7 @@ type report = {
       (** journal entry ids with no regenerated scenario, in order *)
 }
 
-let static_of ~nearest ~rules ~sut ~base (sc : Errgen.Scenario.t) =
+let static_of ~checker ~sut ~base (sc : Errgen.Scenario.t) =
   match sc.apply base with
   | Error m -> (Gap.Inexpressible m, [])
   | Ok mutated -> (
@@ -38,15 +39,42 @@ let static_of ~nearest ~rules ~sut ~base (sc : Errgen.Scenario.t) =
       match Conferr.Engine.parse_config sut files with
       | Error m -> (Gap.Unparseable m, [])
       | Ok set ->
-        let findings = Checker.run ?nearest ~rules set in
+        let findings = Checker.run_prepared checker set in
         (Gap.verdict_of_findings findings, findings)))
 
-let scan ?jobs ?nearest ~sut ~rules ~scenarios ~entries ~base () =
+let scan ?jobs ?nearest ?(deep = false) ~sut ~rules ~scenarios ~entries ~base
+    () =
   let by_id = Hashtbl.create (List.length scenarios * 2) in
   List.iter
     (fun (sc : Errgen.Scenario.t) ->
       if not (Hashtbl.mem by_id sc.id) then Hashtbl.add by_id sc.id sc)
     scenarios;
+  let rules =
+    if deep then Suts.Dataflow_rules.deepen sut.Suts.Sut.sut_name rules
+    else rules
+  in
+  (* The rule set and nearest oracle are resolved once here, not per
+     journal entry: every worker lints against the same prepared
+     checker. *)
+  let checker = Checker.prepare ?nearest rules in
+  (* claim of each rule id, for the deep (claim-aware) classification;
+     rules sharing an id share a claim by construction *)
+  let claim_of =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun (r : Rule.t) ->
+        if not (Hashtbl.mem tbl r.Rule.id) then
+          Hashtbl.add tbl r.Rule.id r.Rule.claim)
+      rules;
+    fun id -> Hashtbl.find_opt tbl id
+  in
+  let gap_claimed findings =
+    List.exists
+      (fun (f : Finding.t) ->
+        Finding.at_least ~threshold:Finding.Warning f.severity
+        && claim_of f.rule_id = Some Rule.Gap)
+      findings
+  in
   let arr = Array.of_list entries in
   let rows =
     Conferr_pool.map ?jobs
@@ -58,8 +86,13 @@ let scan ?jobs ?nearest ~sut ~rules ~scenarios ~entries ~base () =
           ( { entry; static; findings = []; gap = Gap.Not_comparable },
             true )
         | Some sc ->
-          let static, findings = static_of ~nearest ~rules ~sut ~base sc in
-          let gap = Gap.classify ~static ~outcome_label in
+          let static, findings = static_of ~checker ~sut ~base sc in
+          let gap =
+            if deep then
+              Gap.classify_deep ~static ~gap_claimed:(gap_claimed findings)
+                ~outcome_label
+            else Gap.classify ~static ~outcome_label
+          in
           ({ entry; static; findings; gap }, false))
       arr
   in
@@ -206,12 +239,15 @@ let to_json report =
       ("rows", Arr (List.map row_to_json report.rows));
     ]
 
-let record_metrics metrics report =
+let record_metrics ?(dataflow_ids = []) metrics report =
   let module M = Conferr_obsv.Metrics in
   M.declare ~help:"Validator-gap rows by kind" metrics M.Counter
     "conferr_gap_total";
   M.declare ~help:"Static lint findings over replayed mutants by severity"
     metrics M.Counter "conferr_lint_findings_total";
+  if dataflow_ids <> [] then
+    M.declare ~help:"Corpus-level (dataflow) findings by rule" metrics
+      M.Counter "conferr_dataflow_findings_total";
   List.iter
     (fun r ->
       M.inc
@@ -226,7 +262,11 @@ let record_metrics metrics report =
                 ("severity", Finding.severity_label f.severity);
                 ("sut", report.sut_name);
               ]
-            metrics "conferr_lint_findings_total")
+            metrics "conferr_lint_findings_total";
+          if List.mem f.rule_id dataflow_ids then
+            M.inc
+              ~labels:[ ("rule", f.rule_id); ("sut", report.sut_name) ]
+              metrics "conferr_dataflow_findings_total")
         r.findings)
     report.rows
 

@@ -23,6 +23,7 @@ type t = {
   address : string;
   message : string;
   suggestion : string option;
+  related : (string * string) list;
 }
 
 (* A node name usable verbatim as a ConfPath step: lexes as one IDENT
@@ -71,7 +72,8 @@ let address_of_path root path =
   walk root path;
   if Buffer.length buf = 0 then "/" else Buffer.contents buf
 
-let make ?suggestion ~rule_id ~severity ~file ~root ~path message =
+let make ?suggestion ?(related = []) ~rule_id ~severity ~file ~root ~path
+    message =
   {
     rule_id;
     severity;
@@ -80,6 +82,7 @@ let make ?suggestion ~rule_id ~severity ~file ~root ~path message =
     address = address_of_path root path;
     message;
     suggestion;
+    related;
   }
 
 let compare ~file_order a b =
@@ -115,8 +118,16 @@ let to_text f =
     | None -> ""
     | Some s -> Printf.sprintf " (did you mean '%s'?)" s
   in
-  Printf.sprintf "%s:%s: %s: [%s] %s%s" f.file f.address
-    (severity_label f.severity) f.rule_id f.message hint
+  let rel =
+    match f.related with
+    | [] -> ""
+    | sites ->
+      Printf.sprintf " (with %s)"
+        (String.concat ", "
+           (List.map (fun (file, addr) -> file ^ ":" ^ addr) sites))
+  in
+  Printf.sprintf "%s:%s: %s: [%s] %s%s%s" f.file f.address
+    (severity_label f.severity) f.rule_id f.message hint rel
 
 let to_json f =
   let open Conferr_obsv.Json in
@@ -133,4 +144,17 @@ let to_json f =
   let tail =
     match f.suggestion with None -> [] | Some s -> [ ("suggestion", Str s) ]
   in
-  Obj (base @ tail)
+  let rel =
+    match f.related with
+    | [] -> []
+    | sites ->
+      [
+        ( "related",
+          Arr
+            (List.map
+               (fun (file, addr) ->
+                 Obj [ ("file", Str file); ("address", Str addr) ])
+               sites) );
+      ]
+  in
+  Obj (base @ tail @ rel)

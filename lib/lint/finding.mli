@@ -27,6 +27,10 @@ type t = {
   message : string;
   suggestion : string option;
       (** nearest known name, for unknown-name findings *)
+  related : (string * string) list;
+      (** other sites ([file], ConfPath address) that participate in the
+          violation — the second ConfPath of a relation finding, the
+          shadowing occurrence of a cross-file duplicate *)
 }
 
 val address_of_path : Conftree.Node.t -> Conftree.Path.t -> string
@@ -38,10 +42,11 @@ val address_of_path : Conftree.Node.t -> Conftree.Path.t -> string
     addressed node (property-tested). *)
 
 val make :
-  ?suggestion:string -> rule_id:string -> severity:severity -> file:string ->
-  root:Conftree.Node.t -> path:Conftree.Path.t -> string -> t
+  ?suggestion:string -> ?related:(string * string) list -> rule_id:string ->
+  severity:severity -> file:string -> root:Conftree.Node.t ->
+  path:Conftree.Path.t -> string -> t
 (** [make ~rule_id ~severity ~file ~root ~path message] computes the
-    ConfPath address from [root]/[path]. *)
+    ConfPath address from [root]/[path].  [related] defaults to []. *)
 
 val compare : file_order:string list -> t -> t -> int
 (** Deterministic ordering: position of [file] in [file_order] (files

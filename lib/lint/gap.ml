@@ -63,3 +63,12 @@ let classify ~static ~outcome_label =
     | "functional" -> if flagged static then Late_failure else Lint_miss
     | "startup" -> if flagged static then Agree_detected else Over_strict
     | _ -> Not_comparable)
+
+let classify_deep ~static ~gap_claimed ~outcome_label =
+  match classify ~static ~outcome_label with
+  | Silent_acceptance when gap_claimed ->
+    (* A Gap-claim rule predicted the validator would swallow this
+       mutant, and the journal confirms it did: static and dynamic
+       evidence agree, so the pair is no longer an open disagreement. *)
+    Agree_detected
+  | k -> k

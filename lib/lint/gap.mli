@@ -58,3 +58,12 @@ val is_gap : kind -> bool
 val classify : static:static_verdict -> outcome_label:string -> kind
 (** [outcome_label] is {!Conferr.Outcome.label}: ["startup"],
     ["functional"], ["ignored"], ["n/a"], ["crashed"]. *)
+
+val classify_deep :
+  static:static_verdict -> gap_claimed:bool -> outcome_label:string -> kind
+(** Claim-aware refinement used by [conferr gaps --deep]: when the
+    flagging rules include one with a {!Rule.claim.Gap} claim
+    ([gap_claimed]) and the SUT indeed accepted the mutant silently,
+    the pair counts as [Agree_detected] — the rule {e predicted} the
+    silent acceptance and the journal confirms it — instead of
+    [Silent_acceptance].  All other pairs classify as {!classify}. *)

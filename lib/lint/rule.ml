@@ -20,6 +20,58 @@ type raw = {
   raw_suggestion : string option;
 }
 
+type rel_op = Rle | Rlt | Rge | Rgt | Req | Rne
+
+let rel_op_label = function
+  | Rle -> "<="
+  | Rlt -> "<"
+  | Rge -> ">="
+  | Rgt -> ">"
+  | Req -> "=="
+  | Rne -> "!="
+
+let rel_op_of_label = function
+  | "<=" -> Some Rle
+  | "<" -> Some Rlt
+  | ">=" -> Some Rge
+  | ">" -> Some Rgt
+  | "==" -> Some Req
+  | "!=" -> Some Rne
+  | _ -> None
+
+let rel_holds op lhs rhs =
+  match op with
+  | Rle -> lhs <= rhs
+  | Rlt -> lhs < rhs
+  | Rge -> lhs >= rhs
+  | Rgt -> lhs > rhs
+  | Req -> lhs = rhs
+  | Rne -> lhs <> rhs
+
+type term = {
+  t_coeff : int;
+  t_name : string;
+  t_unit : string;
+  t_read : string -> int option;
+  t_default : int;
+  t_masked : string -> bool;
+}
+
+type linexp = { l_const : int; l_terms : term list }
+
+let linexp ?(const = 0) terms = { l_const = const; l_terms = terms }
+
+let term ?(coeff = 1) ?(unit_label = "count") ?(masked = fun _ -> false)
+    ~read ~default name =
+  {
+    t_coeff = coeff;
+    t_name = name;
+    t_unit = unit_label;
+    t_read = read;
+    t_default = default;
+    t_masked = masked;
+  }
+
 type body =
   | Value of {
       target : target;
@@ -58,6 +110,18 @@ type body =
       canon : string -> string;
       what : string;
       exists : string -> bool;
+    }
+  | Relation of {
+      target : target;
+      canon : string -> string;
+      op : rel_op;
+      lhs : linexp;
+      rhs : linexp;
+      describe : string;
+      per_file : bool;
+      harvest :
+        (string -> Conftree.Node.t -> (string * Conftree.Path.t * string) list)
+        option;
     }
   | Check_set of (Conftree.Config_set.t -> raw list)
 

@@ -45,6 +45,40 @@ type raw = {
   raw_suggestion : string option;
 }
 
+(** Comparison operator of a {!body.Relation} constraint. *)
+type rel_op = Rle | Rlt | Rge | Rgt | Req | Rne
+
+val rel_op_label : rel_op -> string
+(** ["<="], ["<"], [">="], [">"], ["=="], ["!="]. *)
+
+val rel_op_of_label : string -> rel_op option
+
+val rel_holds : rel_op -> int -> int -> bool
+
+(** One directive reference inside a linear expression.  The term reads
+    the directive's written value with [t_read] (a unit-normalizing
+    parser: bytes to kB, durations to ms, ...); when the directive is
+    absent, or [t_masked] says the SUT would silently fall back to its
+    built-in default (the MySQL-class flaw), [t_default] flows into the
+    relation instead of the written value. *)
+type term = {
+  t_coeff : int;  (** multiplier, e.g. 16 in [pages >= 16 * relations] *)
+  t_name : string;  (** canonicalized directive name *)
+  t_unit : string;  (** unit class label: ["count"], ["kb"], ["ms"] *)
+  t_read : string -> int option;
+  t_default : int;
+  t_masked : string -> bool;
+}
+
+(** Linear expression [l_const + sum(coeff_i * value_i)]. *)
+type linexp = { l_const : int; l_terms : term list }
+
+val linexp : ?const:int -> term list -> linexp
+
+val term :
+  ?coeff:int -> ?unit_label:string -> ?masked:(string -> bool) ->
+  read:(string -> int option) -> default:int -> string -> term
+
 type body =
   | Value of {
       target : target;
@@ -92,6 +126,29 @@ type body =
       what : string;  (** "file", "directory", "zone file", ... *)
       exists : string -> bool;
     }
+  | Relation of {
+      target : target;
+      canon : string -> string;
+      op : rel_op;
+      lhs : linexp;
+      rhs : linexp;
+      describe : string;
+          (** human statement of the constraint, e.g.
+              ["max_fsm_pages >= 16 * max_fsm_relations"] *)
+      per_file : bool;
+          (** [true]: evaluate independently within each file of the set
+              (zone-file SOA timers); [false]: evaluate once over the
+              whole set with last-occurrence-wins resolution *)
+      harvest :
+        (string -> Conftree.Node.t -> (string * Conftree.Path.t * string) list)
+        option;
+          (** extra pseudo-directive bindings mined from a file's tree
+              (name, site path, raw value) — lets a relation range over
+              values that are not directives, e.g. SOA rdata fields *)
+    }
+      (** linear/ordering constraint between directives, checked
+          statically: violated when [lhs op rhs] is false under the
+          values the SUT would actually run with *)
   | Check_set of (Conftree.Config_set.t -> raw list)
       (** whole-set analysis; used for cross-file and semantic rules *)
 

@@ -30,6 +30,23 @@ type body =
       section : string option;
       names : string list;
     }
+  | F_relation of {
+      file : string option;
+      section : string option;
+      op : Rule.rel_op;
+      lhs : flinexp;
+      rhs : flinexp;
+      per_file : bool;
+    }
+
+and fterm = {
+  ft_coeff : int;
+  ft_name : string;
+  ft_unit : string;
+  ft_default : int;
+}
+
+and flinexp = { fl_const : int; fl_terms : fterm list }
 
 type spec = {
   id : string;
@@ -83,6 +100,41 @@ let to_rule spec =
           target = target ~file ~section;
           names = Option.map (List.map Rule.lower) names;
           canon = Rule.lower;
+        }
+    | F_relation { file; section; op; lhs; rhs; per_file } ->
+      let term_of ft =
+        Rule.term ~coeff:ft.ft_coeff ~unit_label:ft.ft_unit
+          ~read:(Dataflow.read_of_unit ft.ft_unit) ~default:ft.ft_default
+          ft.ft_name
+      in
+      let linexp_of fl =
+        Rule.linexp ~const:fl.fl_const (List.map term_of fl.fl_terms)
+      in
+      let render fl =
+        let parts =
+          (if fl.fl_const <> 0 || fl.fl_terms = [] then
+             [ string_of_int fl.fl_const ]
+           else [])
+          @ List.map
+              (fun ft ->
+                if ft.ft_coeff = 1 then ft.ft_name
+                else Printf.sprintf "%d * %s" ft.ft_coeff ft.ft_name)
+              fl.fl_terms
+        in
+        String.concat " + " parts
+      in
+      Rule.Relation
+        {
+          target = target ~file ~section;
+          canon = Rule.lower;
+          op;
+          lhs = linexp_of lhs;
+          rhs = linexp_of rhs;
+          describe =
+            Printf.sprintf "%s %s %s" (render lhs) (Rule.rel_op_label op)
+              (render rhs);
+          per_file;
+          harvest = None;
         }
     | F_implies_present { file; section; names } ->
       let anchor = match names with n :: _ -> Some n | [] -> None in
@@ -176,6 +228,33 @@ let json_of_body = function
         ("file", opt_str file);
         ("section", opt_str section);
         ("names", Json.Arr (List.map (fun s -> Json.Str s) names));
+      ]
+  | F_relation { file; section; op; lhs; rhs; per_file } ->
+    let json_of_term ft =
+      Json.Obj
+        [
+          ("coeff", Json.Num (float_of_int ft.ft_coeff));
+          ("name", Json.Str ft.ft_name);
+          ("unit", Json.Str ft.ft_unit);
+          ("default", Json.Num (float_of_int ft.ft_default));
+        ]
+    in
+    let json_of_linexp fl =
+      Json.Obj
+        [
+          ("const", Json.Num (float_of_int fl.fl_const));
+          ("terms", Json.Arr (List.map json_of_term fl.fl_terms));
+        ]
+    in
+    Json.Obj
+      [
+        ("kind", Json.Str "relation");
+        ("file", opt_str file);
+        ("section", opt_str section);
+        ("op", Json.Str (Rule.rel_op_label op));
+        ("lhs", json_of_linexp lhs);
+        ("rhs", json_of_linexp rhs);
+        ("per-file", Json.Bool per_file);
       ]
 
 let json_of_spec spec =
@@ -281,6 +360,61 @@ let body_of_json j =
     let* names = str_list_field "names" j in
     if names = [] then Error "implies-present: empty name list"
     else Ok (F_implies_present { file; section; names })
+  | "relation" ->
+    let term_of_json tj =
+      let* coeff = int_field "coeff" tj in
+      let* name = str_field "name" tj in
+      let* unit = str_field "unit" tj in
+      let* default = int_field "default" tj in
+      if not (List.mem unit Dataflow.unit_labels) then
+        Error
+          (Printf.sprintf "relation term: unknown unit %S (want one of %s)"
+             unit
+             (String.concat "/" Dataflow.unit_labels))
+      else
+        Ok { ft_coeff = coeff; ft_name = name; ft_unit = unit;
+             ft_default = default }
+    in
+    let linexp_of_json name =
+      let* lj = field name j in
+      let const =
+        match Option.bind (Json.member "const" lj) Json.num with
+        | Some f when Float.is_integer f -> int_of_float f
+        | _ -> 0
+      in
+      let* terms =
+        match Json.member "terms" lj with
+        | Some (Json.Arr items) ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: rest -> (
+              match term_of_json item with
+              | Ok t -> go (t :: acc) rest
+              | Error e -> Error e)
+          in
+          go [] items
+        | _ ->
+          Error (Printf.sprintf "field %S: expected an object with terms" name)
+      in
+      Ok { fl_const = const; fl_terms = terms }
+    in
+    let* op_label = str_field "op" j in
+    let* op =
+      match Rule.rel_op_of_label op_label with
+      | Some op -> Ok op
+      | None -> Error (Printf.sprintf "relation: unknown operator %S" op_label)
+    in
+    let* lhs = linexp_of_json "lhs" in
+    let* rhs = linexp_of_json "rhs" in
+    if lhs.fl_terms = [] && rhs.fl_terms = [] then
+      Error "relation: no terms on either side"
+    else
+      let per_file =
+        match Json.member "per-file" j with
+        | Some (Json.Bool b) -> b
+        | _ -> false
+      in
+      Ok (F_relation { file; section; op; lhs; rhs; per_file })
   | k -> Error (Printf.sprintf "unknown body kind %S" k)
 
 let spec_of_json j =

@@ -51,6 +51,28 @@ type body =
           (** directives observed to be configured (and to fail) together;
               flagged when some but not all are present *)
     }
+  | F_relation of {
+      file : string option;
+      section : string option;
+      op : Rule.rel_op;
+      lhs : flinexp;
+      rhs : flinexp;
+      per_file : bool;
+    }
+      (** linear/ordering constraint between directives, compiled to
+          {!Rule.body.Relation} with the generic unit parsers of
+          {!Dataflow.read_of_unit} *)
+
+(** Serializable relation term; [ft_unit] is one of
+    {!Dataflow.unit_labels}. *)
+and fterm = {
+  ft_coeff : int;
+  ft_name : string;
+  ft_unit : string;
+  ft_default : int;
+}
+
+and flinexp = { fl_const : int; fl_terms : fterm list }
 
 type spec = {
   id : string;

@@ -499,6 +499,67 @@ let repairs_section reps =
   end;
   Buffer.contents b
 
+type analysis_row = {
+  an_rule : string;
+  an_severity : string;
+  an_file : string;
+  an_address : string;
+  an_message : string;
+  an_related : string;
+}
+
+let analysis_severity_class = function
+  | "error" -> "o-crashed"
+  | "warning" -> "o-ignored"
+  | _ -> "o-functional"
+
+let analysis_section ans =
+  let b = Buffer.create 2048 in
+  let scount s = count (fun r -> r.an_severity = s) ans in
+  Buffer.add_string b "<section class=\"tiles\">";
+  Buffer.add_string b
+    (tile "findings" (string_of_int (List.length ans))
+       "corpus-level (dataflow) findings");
+  Buffer.add_string b
+    (tile "errors" (string_of_int (scount "error")) "relation violations");
+  Buffer.add_string b
+    (tile "warnings" (string_of_int (scount "warning"))
+       "shadowing, ordering, graph");
+  Buffer.add_string b
+    (tile "info" (string_of_int (scount "info")) "silent-default taint");
+  Buffer.add_string b "</section>";
+  if ans = [] then
+    Buffer.add_string b
+      "<p class=\"muted\">no dataflow findings: every relation holds and no \
+       written value is masked.</p>"
+  else begin
+    Buffer.add_string b
+      "<table><thead><tr><th>rule</th><th>severity</th><th>site</th><th>finding</th><th>related</th></tr></thead><tbody>";
+    let shown = 40 in
+    List.iteri
+      (fun i r ->
+        if i < shown then
+          Buffer.add_string b
+            (Printf.sprintf
+               "<tr><td class=\"mono\">%s</td><td><span class=\"key\"><span \
+                class=\"swatch %s\"></span>%s</span></td><td \
+                class=\"mono\">%s:%s</td><td class=\"mono\">%s</td><td \
+                class=\"mono\">%s</td></tr>"
+               (esc r.an_rule)
+               (analysis_severity_class r.an_severity)
+               (esc r.an_severity) (esc r.an_file) (esc r.an_address)
+               (esc r.an_message) (esc r.an_related)))
+      ans;
+    Buffer.add_string b "</tbody></table>";
+    if List.length ans > shown then
+      Buffer.add_string b
+        (Printf.sprintf
+           "<p class=\"muted\">%d further finding(s) not shown \xe2\x80\x94 use \
+            <code>conferr analyze --format json</code> for the full list.</p>"
+           (List.length ans - shown))
+  end;
+  Buffer.contents b
+
 let css =
   {|
 :root {
@@ -555,7 +616,7 @@ pre { background: var(--card); border: 1px solid var(--grid); border-radius: 8px
 code { font-family: ui-monospace, monospace; }
 |}
 
-let html ~title ~rows ?metrics_text ?gaps ?infer ?repairs () =
+let html ~title ~rows ?metrics_text ?gaps ?infer ?repairs ?analysis () =
   let total = List.length rows in
   let na = count (fun r -> r.outcome = "n/a") rows in
   let detected =
@@ -627,6 +688,16 @@ let html ~title ~rows ?metrics_text ?gaps ?infer ?repairs () =
        configuration lint-clean and SUT-accepted (doc/repair.md)</p>";
     Buffer.add_string b (repairs_section reps);
     Buffer.add_string b "</section>");
+  (match analysis with
+  | None -> ()
+  | Some ans ->
+    Buffer.add_string b "<section><h2>Corpus analysis</h2>";
+    Buffer.add_string b
+      "<p class=\"muted\">abstract interpretation over the whole \
+       configuration set: relation checks, cross-file reference graph, \
+       silent-default taint (doc/lint.md)</p>";
+    Buffer.add_string b (analysis_section ans);
+    Buffer.add_string b "</section>");
   (match metrics_text with
   | Some text when String.trim text <> "" ->
     Buffer.add_string b "<details><summary>Raw metrics snapshot</summary><pre>";
@@ -636,9 +707,10 @@ let html ~title ~rows ?metrics_text ?gaps ?infer ?repairs () =
   Buffer.add_string b "</body></html>\n";
   Buffer.contents b
 
-let write_file ~title ~rows ?metrics_text ?gaps ?infer ?repairs path =
+let write_file ~title ~rows ?metrics_text ?gaps ?infer ?repairs ?analysis path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (html ~title ~rows ?metrics_text ?gaps ?infer ?repairs ()))
+      output_string oc
+        (html ~title ~rows ?metrics_text ?gaps ?infer ?repairs ?analysis ()))

@@ -64,10 +64,21 @@ type repair_row = {
 (** One row of the repairs panel (doc/repair.md); [conferr repair] maps
     its pipeline results into it. *)
 
+type analysis_row = {
+  an_rule : string;     (** rule id, e.g. ["PG-REL-FSM"] *)
+  an_severity : string; (** severity label: error/warning/info *)
+  an_file : string;
+  an_address : string;  (** ConfPath address of the anchor site *)
+  an_message : string;
+  an_related : string;  (** other participating sites, pre-rendered *)
+}
+(** One row of the corpus-analysis panel (doc/lint.md's dataflow
+    section); [conferr analyze] maps its findings into it. *)
+
 val html :
   title:string -> rows:row list -> ?metrics_text:string ->
   ?gaps:gap_row list -> ?infer:infer_row list ->
-  ?repairs:repair_row list -> unit -> string
+  ?repairs:repair_row list -> ?analysis:analysis_row list -> unit -> string
 (** The complete document.  [rows] in journal order (the frontier
     timeline reads order as campaign progress); [metrics_text] is a
     Prometheus exposition snapshot to mine for breaker/chaos panels and
@@ -75,9 +86,10 @@ val html :
     gaps panel (static verdict × dynamic outcome disagreements);
     [infer] adds the inferred-constraints panel (mined candidates vs
     hand-written rules); [repairs] adds the repairs panel (synthesized
-    fixes per target). *)
+    fixes per target); [analysis] adds the corpus-analysis panel
+    (relation/reference-graph/taint findings). *)
 
 val write_file :
   title:string -> rows:row list -> ?metrics_text:string ->
   ?gaps:gap_row list -> ?infer:infer_row list ->
-  ?repairs:repair_row list -> string -> unit
+  ?repairs:repair_row list -> ?analysis:analysis_row list -> string -> unit

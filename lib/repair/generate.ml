@@ -229,6 +229,38 @@ let per_finding ~nearest ~stock ~broken (rule : Rule.t) (f : Finding.t) =
       [ mk "stock-value"
           [ { Redit.file; path = f.Finding.path; op = Set_value sn.Node.value } ] ]
     | None -> [])
+  | Rule.Relation { canon; lhs; rhs; _ } ->
+    (* a violated relation implicates every term: one joint candidate
+       restoring all divergent participants at once (the multi-edit fix
+       Cluster mines dynamically, derived here statically), plus the
+       single-directive restores as cheaper alternatives *)
+    let names =
+      List.map
+        (fun (t : Rule.term) -> t.Rule.t_name)
+        (lhs.Rule.l_terms @ rhs.Rule.l_terms)
+    in
+    let restores =
+      List.filter_map
+        (fun name ->
+          Option.map
+            (fun e -> (name, e))
+            (restore_name ~canon ~stock ~broken ~file name))
+        names
+    in
+    let joint =
+      match restores with
+      | [] | [ _ ] -> []
+      | _ ->
+        [
+          {
+            origin = "relation";
+            description = f.Finding.message;
+            edits = List.map snd restores;
+            cluster = List.map fst restores;
+          };
+        ]
+    in
+    joint @ List.map (fun (_, e) -> mk "stock-value" [ e ]) restores
   | Rule.Check_set _ -> (
     let suggestion =
       match f.Finding.suggestion with

@@ -1,0 +1,468 @@
+module Rule = Conferr_lint.Rule
+module Finding = Conferr_lint.Finding
+module Dataflow = Conferr_lint.Dataflow
+module Refgraph = Conferr_lint.Refgraph
+module Node = Conftree.Node
+module Config_set = Conftree.Config_set
+
+let raw ?suggestion ~file ~path message =
+  {
+    Rule.raw_file = file;
+    raw_path = path;
+    raw_message = message;
+    raw_suggestion = suggestion;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* PostgreSQL: the §5.2 cross-parameter constraints as Relation rules.
+   Same parsers and defaults as the simulated server, so the static
+   verdict cannot drift from the boot check. *)
+
+let pg_read parse name v = Result.to_option (parse name v)
+
+let pg_int_default name fallback =
+  match List.assoc_opt name Mini_pg.specs with
+  | Some (Mini_pg.Pint { default; _ }) -> default
+  | _ -> fallback
+
+let pg_mem_default name fallback =
+  match List.assoc_opt name Mini_pg.specs with
+  | Some (Mini_pg.Pmem { default_kb; _ }) -> default_kb
+  | _ -> fallback
+
+let pg_rel_fsm =
+  Rule.make ~id:"PG-REL-FSM" ~severity:Finding.Error
+    ~doc:"max_fsm_pages must be at least 16 * max_fsm_relations (agreement)"
+    (Rule.Relation
+       {
+         target = Rule.anywhere;
+         canon = Rule.lower;
+         op = Rule.Rge;
+         lhs =
+           Rule.linexp
+             [
+               Rule.term
+                 ~read:(pg_read Mini_pg.parse_strict_int "max_fsm_pages")
+                 ~default:(pg_int_default "max_fsm_pages" 153600)
+                 "max_fsm_pages";
+             ];
+         rhs =
+           Rule.linexp
+             [
+               Rule.term ~coeff:16
+                 ~read:(pg_read Mini_pg.parse_strict_int "max_fsm_relations")
+                 ~default:(pg_int_default "max_fsm_relations" 1000)
+                 "max_fsm_relations";
+             ];
+         describe = "max_fsm_pages >= 16 * max_fsm_relations";
+         per_file = false;
+         harvest = None;
+       })
+
+let pg_rel_shmem =
+  Rule.make ~id:"PG-REL-SHMEM" ~severity:Finding.Error
+    ~doc:
+      "shared_buffers must cover 16kB of shared memory per allowed \
+       connection (agreement)"
+    (Rule.Relation
+       {
+         target = Rule.anywhere;
+         canon = Rule.lower;
+         op = Rule.Rge;
+         lhs =
+           Rule.linexp
+             [
+               Rule.term ~unit_label:"kb"
+                 ~read:(pg_read Mini_pg.parse_mem "shared_buffers")
+                 ~default:(pg_mem_default "shared_buffers" (24 * 1024))
+                 "shared_buffers";
+             ];
+         rhs =
+           Rule.linexp
+             [
+               Rule.term ~coeff:16
+                 ~read:(pg_read Mini_pg.parse_strict_int "max_connections")
+                 ~default:(pg_int_default "max_connections" 100)
+                 "max_connections";
+             ];
+         describe = "shared_buffers >= 16kB * max_connections";
+         per_file = false;
+         harvest = None;
+       })
+
+let pg_specs =
+  List.map
+    (fun (name, sp) ->
+      match sp with
+      | Mini_pg.Pint { min; max; default } ->
+        Dataflow.num
+          ~read:(pg_read Mini_pg.parse_strict_int name)
+          ~lo:min ~hi:max ~default name
+      | Mini_pg.Pmem { min_kb; max_kb; default_kb } ->
+        Dataflow.num
+          ~read:(pg_read Mini_pg.parse_mem name)
+          ~lo:min_kb ~hi:max_kb ~default:default_kb name
+      | Mini_pg.Ptime { min_ms; max_ms; default_ms } ->
+        Dataflow.num
+          ~read:(pg_read Mini_pg.parse_time name)
+          ~lo:min_ms ~hi:max_ms ~default:default_ms name
+      | Mini_pg.Pbool _ -> Dataflow.boolean name
+      | Mini_pg.Penum (allowed, _) -> Dataflow.enum name allowed
+      | Mini_pg.Pfloat _ | Mini_pg.Pstring _ -> Dataflow.str name)
+    Mini_pg.specs
+
+(* ------------------------------------------------------------------ *)
+(* Apache: the keep-alive ordering constraint httpd itself never
+   checks, plus cross-file shadowing of set-once directives. *)
+
+let ap_rel_keepalive =
+  Rule.make ~id:"AP-REL-KEEPALIVE" ~severity:Finding.Warning
+    ~doc:
+      "KeepAliveTimeout above Timeout is ineffective; httpd accepts it \
+       silently (gap)"
+    (Rule.Relation
+       {
+         target = Rule.top_level;
+         canon = Rule.lower;
+         op = Rule.Rle;
+         lhs =
+           Rule.linexp
+             [
+               Rule.term ~read:Dataflow.read_count ~default:15
+                 "keepalivetimeout";
+             ];
+         rhs =
+           Rule.linexp
+             [ Rule.term ~read:Dataflow.read_count ~default:300 "timeout" ];
+         describe = "KeepAliveTimeout <= Timeout";
+         per_file = false;
+         harvest = None;
+       })
+
+(* Directives with set-once (last-one-wins) semantics; a second
+   definition in another file silently shadows the first.  Additive
+   directives (Listen, AddType, LoadModule, ...) are excluded. *)
+let ap_singletons =
+  [
+    "timeout";
+    "keepalivetimeout";
+    "keepalive";
+    "maxkeepaliverequests";
+    "maxclients";
+    "serverlimit";
+    "servername";
+    "serveradmin";
+    "serverroot";
+    "documentroot";
+    "defaulttype";
+    "directoryindex";
+    "errorlog";
+    "loglevel";
+    "pidfile";
+  ]
+
+let ap_xfile =
+  Rule.make ~id:"AP-XFILE" ~severity:Finding.Warning
+    ~doc:
+      "a set-once directive defined in several files is silently \
+       last-one-wins (gap)"
+    (Rule.Check_set
+       (fun set ->
+         Config_set.cross_file_duplicates ~kind:Node.kind_directive
+           ~canon:Rule.lower set
+         |> List.concat_map (fun (name, occs) ->
+                if not (List.mem name ap_singletons) then []
+                else
+                  match List.rev occs with
+                  | [] -> []
+                  | (last_file, _) :: shadowed ->
+                    List.rev_map
+                      (fun (file, path) ->
+                        raw ~file ~path
+                          (Printf.sprintf
+                             "directive '%s' is shadowed by a later \
+                              definition in '%s'; only the last one takes \
+                              effect"
+                             name last_file))
+                      shadowed)))
+
+let ap_specs =
+  [
+    Dataflow.num ~read:Dataflow.read_count ~lo:0 ~hi:max_int ~default:300
+      "timeout";
+    Dataflow.num ~read:Dataflow.read_count ~lo:0 ~hi:max_int ~default:15
+      "keepalivetimeout";
+    Dataflow.num ~read:Dataflow.read_count ~lo:1 ~hi:max_int ~default:256
+      "maxclients";
+    Dataflow.boolean "keepalive";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* BIND: SOA timer ordering (RFC 1912 §2.2 — named loads the zone
+   without a word either way) and the zone-declaration reference
+   graph. *)
+
+(* BIND TTL syntax: concatenated <num><unit> groups (1d12h); a bare
+   number is seconds. *)
+let bd_ttl v =
+  let v = String.lowercase_ascii (String.trim v) in
+  let n = String.length v in
+  if n = 0 then None
+  else
+    let rec go i acc =
+      if i >= n then Some acc
+      else
+        let rec digits j =
+          if j < n && match v.[j] with '0' .. '9' -> true | _ -> false then
+            digits (j + 1)
+          else j
+        in
+        let j = digits i in
+        if j = i then None
+        else
+          let num = int_of_string (String.sub v i (j - i)) in
+          if j >= n then Some (acc + num)
+          else
+            let mult =
+              match v.[j] with
+              | 's' -> Some 1
+              | 'm' -> Some 60
+              | 'h' -> Some 3600
+              | 'd' -> Some 86400
+              | 'w' -> Some 604800
+              | _ -> None
+            in
+            match mult with
+            | None -> None
+            | Some m -> go (j + 1) (acc + (num * m))
+    in
+    go 0 0
+
+(* SOA rdata: mname rname ( serial refresh retry expire minimum ) —
+   all-or-nothing so a relation never mixes real and default timers. *)
+let bd_soa_fields rdata =
+  let tokens =
+    String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) rdata)
+    |> List.concat_map (fun t ->
+           match String.trim t with "" | "(" | ")" -> [] | t -> [ t ])
+  in
+  match tokens with
+  | [ _mname; _rname; _serial; refresh; retry; expire; _minimum ] -> (
+    match (bd_ttl refresh, bd_ttl retry, bd_ttl expire) with
+    | Some _, Some _, Some _ -> Some (refresh, retry, expire)
+    | _ -> None)
+  | _ -> None
+
+let bd_soa_harvest _file (root : Node.t) =
+  List.concat
+    (List.mapi
+       (fun i (n : Node.t) ->
+         if
+           n.kind = Node.kind_record
+           && String.uppercase_ascii
+                (Option.value ~default:"" (Node.attr n "type"))
+              = "SOA"
+         then
+           match bd_soa_fields (Node.value_or ~default:"" n) with
+           | Some (refresh, retry, expire) ->
+             [
+               ("soa-refresh", [ i ], refresh);
+               ("soa-retry", [ i ], retry);
+               ("soa-expire", [ i ], expire);
+             ]
+           | None -> []
+         else [])
+       root.children)
+
+let bd_rel_retry =
+  Rule.make ~id:"BD-REL-RETRY" ~severity:Finding.Warning
+    ~doc:
+      "the SOA retry interval should be shorter than the refresh \
+       interval; named loads the zone regardless (gap)"
+    (Rule.Relation
+       {
+         target = Rule.anywhere;
+         canon = Rule.lower;
+         op = Rule.Rlt;
+         lhs =
+           Rule.linexp
+             [ Rule.term ~unit_label:"ms" ~read:bd_ttl ~default:3600 "soa-retry" ];
+         rhs =
+           Rule.linexp
+             [
+               Rule.term ~unit_label:"ms" ~read:bd_ttl ~default:10800
+                 "soa-refresh";
+             ];
+         describe = "SOA retry < refresh";
+         per_file = true;
+         harvest = Some bd_soa_harvest;
+       })
+
+let bd_rel_expire =
+  Rule.make ~id:"BD-REL-EXPIRE" ~severity:Finding.Warning
+    ~doc:
+      "the SOA expire interval should exceed the refresh interval; named \
+       loads the zone regardless (gap)"
+    (Rule.Relation
+       {
+         target = Rule.anywhere;
+         canon = Rule.lower;
+         op = Rule.Rgt;
+         lhs =
+           Rule.linexp
+             [
+               Rule.term ~unit_label:"ms" ~read:bd_ttl ~default:604800
+                 "soa-expire";
+             ];
+         rhs =
+           Rule.linexp
+             [
+               Rule.term ~unit_label:"ms" ~read:bd_ttl ~default:10800
+                 "soa-refresh";
+             ];
+         describe = "SOA expire > refresh";
+         per_file = true;
+         harvest = Some bd_soa_harvest;
+       })
+
+let bd_unquote v =
+  let v = String.trim v in
+  if String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"' then
+    String.sub v 1 (String.length v - 2)
+  else v
+
+let bd_zone_edges set =
+  match Config_set.find set "named.conf" with
+  | None -> []
+  | Some root ->
+    List.concat
+      (List.mapi
+         (fun i (n : Node.t) ->
+           if
+             n.kind = Node.kind_section
+             && String.lowercase_ascii n.name = "zone"
+           then
+             List.concat
+               (List.mapi
+                  (fun j (d : Node.t) ->
+                    if
+                      d.kind = Node.kind_directive
+                      && String.lowercase_ascii d.name = "file"
+                    then
+                      [
+                        {
+                          Refgraph.e_file = "named.conf";
+                          e_path = [ i; j ];
+                          e_what = "zone file";
+                          e_target = bd_unquote (Node.value_or ~default:"" d);
+                        };
+                      ]
+                    else [])
+                  n.children)
+           else [])
+         root.children)
+
+let bd_graph =
+  Rule.make ~id:"BD-GRAPH" ~severity:Finding.Warning
+    ~doc:
+      "two zone declarations serving one master file silently answer \
+       from the same data (gap)"
+    (Rule.Check_set
+       (fun set ->
+         let edges = bd_zone_edges set in
+         let targets =
+           List.fold_left
+             (fun acc (e : Refgraph.edge) ->
+               if List.mem e.e_target acc then acc else acc @ [ e.e_target ])
+             [] edges
+         in
+         List.concat_map
+           (fun target ->
+             match
+               List.filter
+                 (fun (e : Refgraph.edge) -> e.e_target = target)
+                 edges
+             with
+             | _ :: _ :: _ as multi ->
+               List.map
+                 (fun (e : Refgraph.edge) ->
+                   raw ~file:e.e_file ~path:e.e_path
+                     (Printf.sprintf
+                        "zone file '%s' is declared by %d zones; they are \
+                         served from the same master data"
+                        target (List.length multi)))
+                 multi
+             | _ -> [])
+           targets))
+
+(* ------------------------------------------------------------------ *)
+(* MySQL: silent-default taint — the written value the quirky parsers
+   would silently replace with the built-in default. *)
+
+let my_read parse (b : Mini_mysql.bounds) v =
+  match parse ~default:b.Mini_mysql.default ~min:b.min ~max:b.max v with
+  | Mini_mysql.Accepted n -> Some (Int64.to_int n)
+  | Mini_mysql.Defaulted | Mini_mysql.Rejected _ -> None
+
+let my_specs =
+  List.filter_map
+    (fun (name, sp) ->
+      match sp with
+      | Mini_mysql.Size b ->
+        Some
+          (Dataflow.num ~lenient:true
+             ~read:(my_read Mini_mysql.parse_size b)
+             ~lo:min_int ~hi:max_int
+             ~default:(Int64.to_int b.Mini_mysql.default)
+             name)
+      | Mini_mysql.Int b ->
+        Some
+          (Dataflow.num ~lenient:true
+             ~read:(my_read Mini_mysql.parse_int b)
+             ~lo:min_int ~hi:max_int
+             ~default:(Int64.to_int b.Mini_mysql.default)
+             name)
+      | Mini_mysql.Bool _ -> Some (Dataflow.boolean name)
+      | Mini_mysql.Path_existing _ | Mini_mysql.Path_any _ ->
+        Some (Dataflow.str name)
+      | Mini_mysql.Flag -> None)
+    Mini_mysql.mysqld_specs
+
+let my_taint =
+  Dataflow.taint_rule ~id:"MY-TAINT" ~canon:Mini_mysql.fold_dashes
+    ~specs:my_specs
+    "a value the quirky numeric parsers silently replace with the \
+     built-in default (gap)"
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let canon = function
+  | "mysql" -> Mini_mysql.fold_dashes
+  | _ -> Rule.lower
+
+let specs = function
+  | "postgres" -> pg_specs
+  | "apache" -> ap_specs
+  | "mysql" -> my_specs
+  | _ -> []
+
+let edges sut set = match sut with "bind" -> bd_zone_edges set | _ -> []
+
+let deep_rules = function
+  | "postgres" -> [ pg_rel_fsm; pg_rel_shmem ]
+  | "apache" -> [ ap_rel_keepalive; ap_xfile ]
+  | "bind" -> [ bd_rel_retry; bd_rel_expire; bd_graph ]
+  | "mysql" -> [ my_taint ]
+  | _ -> []
+
+let supersedes = function "postgres" -> [ "PG-CROSS" ] | _ -> []
+
+let deepen sut base =
+  let dead = supersedes sut in
+  List.filter (fun (r : Rule.t) -> not (List.mem r.Rule.id dead)) base
+  @ deep_rules sut
+
+let dataflow_ids sut =
+  List.sort_uniq compare
+    (List.map (fun (r : Rule.t) -> r.Rule.id) (deep_rules sut))

@@ -373,6 +373,7 @@ let test_gap_classify () =
            address = "/";
            message = "m";
            suggestion = None;
+           related = [];
          };
        ]))
 
